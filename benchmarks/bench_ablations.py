@@ -1,0 +1,113 @@
+"""Ablations: preprocessing (§4.1), formulation choice (§4.2.1), and the
+Lagrangian/min-cut lower bound (§7.1)."""
+
+from conftest import print_section
+
+from repro.experiments import scaling
+from repro.viz import series_table
+
+
+def test_ablation_preprocessing(benchmark):
+    rows = benchmark.pedantic(
+        lambda: scaling.preprocessing_ablation(sizes=(30, 60, 120)),
+        rounds=1,
+        iterations=1,
+    )
+    table = series_table(
+        ["|V|", "reduced |V|", "reduction", "t with (s)", "t without (s)",
+         "optimum preserved"],
+        [
+            [
+                r.n_vertices,
+                r.reduced_vertices,
+                f"{r.reduction_ratio:.0%}",
+                f"{r.time_with:.3f}",
+                f"{r.time_without:.3f}",
+                r.optimum_preserved,
+            ]
+            for r in rows
+        ],
+    )
+    print_section("Ablation — §4.1 preprocessing", table)
+    assert all(r.optimum_preserved for r in rows)
+
+
+def test_ablation_formulation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: scaling.formulation_ablation(sizes=(30, 60, 120)),
+        rounds=1,
+        iterations=1,
+    )
+    table = series_table(
+        ["|V|", "restr vars", "restr cons", "gen vars", "gen cons",
+         "restr t (s)", "gen t (s)"],
+        [
+            [
+                r.n_vertices,
+                r.restricted_vars,
+                r.restricted_constraints,
+                r.general_vars,
+                r.general_constraints,
+                f"{r.restricted_time:.3f}",
+                f"{r.general_time:.3f}",
+            ]
+            for r in rows
+        ],
+    )
+    print_section(
+        "Ablation — restricted (|V| vars) vs general (2|E|+|V| vars) "
+        "formulation",
+        table,
+    )
+    assert all(r.objectives_match for r in rows)
+
+
+def test_ablation_lower_bound(benchmark):
+    rows = benchmark.pedantic(
+        lambda: scaling.bound_ablation(sizes=(30, 60, 120)),
+        rounds=1,
+        iterations=1,
+    )
+    table = series_table(
+        ["|V|", "exact obj", "lagrangian LB", "lagrangian best", "gap",
+         "LB t (s)", "exact t (s)"],
+        [
+            [
+                r.n_vertices,
+                f"{r.exact_objective:.1f}",
+                f"{r.lagrangian_bound:.1f}",
+                f"{r.lagrangian_best:.1f}",
+                f"{r.bound_gap:.1%}",
+                f"{r.lagrangian_time:.3f}",
+                f"{r.exact_time:.3f}",
+            ]
+            for r in rows
+        ],
+    )
+    print_section(
+        "Ablation — §7.1 'approximate lower bound' via Lagrangian/min-cut",
+        table,
+    )
+    assert all(r.bound_valid for r in rows)
+
+
+def test_solver_scaling(benchmark):
+    rows = benchmark.pedantic(
+        lambda: scaling.solver_scaling(sizes=(50, 100, 200, 400)),
+        rounds=1,
+        iterations=1,
+    )
+    table = series_table(
+        ["|V|", "solve (s)", "B&B nodes", "feasible"],
+        [
+            [r.n_vertices, f"{r.solve_seconds:.3f}", r.nodes_explored,
+             r.feasible]
+            for r in rows
+        ],
+    )
+    print_section(
+        "Solver scaling — preprocess + branch & bound on random "
+        "pipeline DAGs",
+        table,
+    )
+    assert all(r.feasible for r in rows)

@@ -1,0 +1,85 @@
+"""§9 future-work extensions: aggregation, mixed networks, three tiers."""
+
+from conftest import print_section
+
+from repro.core.three_tier import Tier
+from repro.experiments import extensions
+from repro.viz import series_table
+
+
+def test_in_network_aggregation(benchmark):
+    rows = benchmark.pedantic(
+        extensions.aggregation_sweep, rounds=1, iterations=1
+    )
+    table = series_table(
+        ["nodes", "root pps (reduce on node)", "root pps (on server)",
+         "goodput in-network", "goodput centralised"],
+        [
+            [
+                r.n_nodes,
+                f"{r.reduce_on_node_pps:.1f}",
+                f"{r.reduce_on_server_pps:.1f}",
+                f"{r.goodput_on_node:.1%}",
+                f"{r.goodput_on_server:.1%}",
+            ]
+            for r in rows
+        ],
+    )
+    print_section(
+        "§9 — tree-based in-network aggregation (leak-detection app)",
+        table,
+    )
+    assert rows[-1].goodput_on_node > rows[-1].goodput_on_server
+
+
+def test_mixed_networks(benchmark):
+    rows = benchmark.pedantic(
+        extensions.mixed_network_partitions, rounds=1, iterations=1
+    )
+    table = series_table(
+        ["node type", "sustainable rate", "optimal cut", "node CPU",
+         "cut B/s"],
+        [
+            [
+                r.platform,
+                f"x{r.rate_factor:.3f}",
+                r.cut_after,
+                f"{r.node_cpu:.0%}",
+                f"{r.cut_bytes_per_sec:.0f}",
+            ]
+            for r in rows
+        ],
+    )
+    print_section(
+        "§9 — mixed networks: one logical program, one physical "
+        "partition per node type",
+        table,
+    )
+    cuts = {r.platform: r.cut_after for r in rows}
+    assert len(set(cuts.values())) > 1  # heterogeneity shows
+
+
+def test_three_tier_architecture(benchmark):
+    report = benchmark.pedantic(
+        extensions.speech_three_tier, rounds=1, iterations=1
+    )
+    rows = []
+    from repro.apps.speech import PIPELINE_ORDER
+
+    for op in list(PIPELINE_ORDER) + ["detect", "results"]:
+        rows.append([op, report.assignment[op].value])
+    table = series_table(["operator", "tier"], rows)
+    loads = (
+        f"\nmote cpu {report.loads['mote_cpu']:.0%} | micro cpu "
+        f"{report.loads['micro_cpu']:.0%} | mote radio "
+        f"{report.loads['mote_net']:.0f} B/s | backhaul "
+        f"{report.loads['micro_net']:.0f} B/s | solved in "
+        f"{report.solve_seconds * 1000:.0f} ms"
+    )
+    print_section(
+        "§9 — three-tier ILP: motes -> microservers -> server",
+        table + loads,
+    )
+    assert set(report.assignment.values()) == {
+        Tier.MOTE, Tier.MICRO, Tier.SERVER
+    }

@@ -1,0 +1,38 @@
+"""Figure 10: goodput — 1 TMote vs a 20-TMote network, plus the Meraki."""
+
+from conftest import print_section
+
+from repro.experiments import fig10
+from repro.viz import series_table
+
+
+def test_fig10_network_goodput(benchmark):
+    result = benchmark.pedantic(fig10.run, rounds=1, iterations=1)
+    rows = [
+        [
+            s.cut_index,
+            s.cutpoint,
+            f"{s.goodput * 100:.3f}",
+            f"{n.goodput * 100:.3f}",
+        ]
+        for s, n in zip(result.single, result.network)
+    ]
+    table = series_table(
+        ["cut", "cutpoint", "1 TMote % goodput", "20 TMotes % goodput"],
+        rows,
+    )
+    meraki_cut, meraki_rows = fig10.meraki_best_cut()
+    meraki_line = (
+        f"\nsingle peak: cut {result.peak_cut_single()} | 20-node peak: "
+        f"cut {result.peak_cut_network()} (paper: 4 and 6)\n"
+        f"Meraki Mini optimal cut: {meraki_cut} with "
+        f"{meraki_rows[0].goodput * 100:.0f}% goodput (paper: cut 1 — "
+        "send raw data)"
+    )
+    print_section(
+        "Figure 10 — goodput, single mote vs 20-mote network",
+        table + meraki_line,
+    )
+    assert result.peak_cut_single() == 4
+    assert result.peak_cut_network() == 6
+    assert meraki_cut == 1

@@ -1,0 +1,25 @@
+"""Figure 3: the motivating example — optimal partition vs. CPU budget."""
+
+from conftest import print_section
+
+from repro.experiments import fig3
+from repro.viz import series_table
+
+
+def test_fig3_motivating_example(benchmark):
+    rows = benchmark(fig3.run)
+    table = series_table(
+        ["budget", "cut bandwidth", "paper", "node operators", "== brute"],
+        [
+            [
+                row.budget,
+                row.bandwidth,
+                fig3.PAPER_BANDWIDTHS[row.budget],
+                ",".join(row.node_operators),
+                row.matches_brute_force,
+            ]
+            for row in rows
+        ],
+    )
+    print_section("Figure 3 — optimal mote partition vs CPU budget", table)
+    assert [row.bandwidth for row in rows] == [8.0, 6.0, 5.0]

@@ -1,0 +1,37 @@
+"""Figure 5(a): EEG channel — node-partition size vs. input data rate."""
+
+from conftest import print_section
+
+from repro.experiments import fig5a
+from repro.viz import series_table
+
+
+def test_fig5a_eeg_rate_sweep(benchmark):
+    points = benchmark.pedantic(
+        lambda: fig5a.run(n_points=16), rounds=1, iterations=1
+    )
+    tmote = dict(fig5a.series(points, "tmote"))
+    n80 = dict(fig5a.series(points, "n80"))
+    rows = [
+        [f"{rate:.1f}", tmote[rate], n80[rate]]
+        for rate in sorted(tmote)
+    ]
+    table = series_table(
+        ["rate (x native)", "TmoteSky/TinyOS ops", "NokiaN80/Java ops"],
+        rows,
+    )
+    from repro.viz import line_plot
+
+    chart = line_plot(
+        {
+            "TmoteSky/TinyOS": sorted(tmote.items()),
+            "NokiaN80/Java": sorted(n80.items()),
+        },
+        x_label="input rate (x native)",
+        y_label="operators on node",
+    )
+    print_section(
+        "Figure 5(a) — operators in optimal node partition vs input rate",
+        table + "\n\n" + chart,
+    )
+    assert all(n80[r] >= tmote[r] for r in tmote)

@@ -1,0 +1,28 @@
+"""Figure 5(b): speech pipeline — max sustainable rate per cutpoint."""
+
+from conftest import print_section
+
+from repro.experiments import fig5b
+from repro.viz import series_table
+
+
+def test_fig5b_cutpoint_rates(benchmark):
+    bars = benchmark(fig5b.run)
+    cutpoints = sorted(
+        {b.cutpoint for b in bars},
+        key=lambda c: [b.cutpoint_position for b in bars
+                       if b.cutpoint == c][0],
+    )
+    platforms = list(dict.fromkeys(b.platform for b in bars))
+    rows = []
+    for cut in cutpoints:
+        rates = fig5b.platform_rates(bars, cut)
+        rows.append([cut] + [f"{rates[p]:.3f}" for p in platforms])
+    table = series_table(["cutpoint"] + list(platforms), rows)
+    print_section(
+        "Figure 5(b) — handled input rate (multiple of 8 kHz) per "
+        "viable cutpoint; <1.0 means the platform cannot keep up",
+        table,
+    )
+    filtbank = fig5b.platform_rates(bars, "filtbank")
+    assert filtbank["tmote"] < 1.0 < filtbank["voxnet"]

@@ -1,0 +1,31 @@
+"""Figure 7: per-operator CPU and bandwidth along the speech pipeline."""
+
+from conftest import print_section
+
+from repro.experiments import fig7
+from repro.viz import series_table
+
+
+def test_fig7_tmote_profile(benchmark):
+    rows = benchmark(fig7.run)
+    table = series_table(
+        ["operator", "us/frame", "cumulative (ms)", "B/frame", "B/s"],
+        [
+            [
+                r.operator,
+                f"{r.microseconds_per_frame:.0f}",
+                f"{r.cumulative_ms:.1f}",
+                f"{r.bytes_per_frame:.0f}",
+                f"{r.bytes_per_sec:.0f}",
+            ]
+            for r in rows
+        ],
+    )
+    anchors = (
+        "\npaper anchors: ~250 ms cumulative at filtbank, ~2 s at "
+        "cepstrals;\nframe bytes 400 -> 128 (filtbank) -> 52 (cepstrals)"
+    )
+    print_section(
+        "Figure 7 — speech pipeline profiled for TMote Sky", table + anchors
+    )
+    assert fig7.cumulative_ms_at(rows, "cepstrals") > 1000

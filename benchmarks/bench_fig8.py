@@ -1,0 +1,25 @@
+"""Figure 8: normalized cumulative CPU usage per platform."""
+
+from conftest import print_section
+
+from repro.experiments import fig8
+from repro.viz import series_table
+
+
+def test_fig8_relative_costs(benchmark):
+    result = benchmark(fig8.run)
+    rows = [
+        [row.operator]
+        + [f"{row.cumulative_fractions[p]:.3f}" for p in result.platforms]
+        for row in result.rows
+    ]
+    table = series_table(
+        ["operator"] + [f"cum frac {p}" for p in result.platforms], rows
+    )
+    worst = result.max_relative_misestimate("server")
+    print_section(
+        "Figure 8 — normalized cumulative CPU usage (Mote / N80 / PC)",
+        table + f"\nworst per-operator relative mis-estimate vs PC: "
+        f"{worst:.1f}x (paper: >10x)",
+    )
+    assert worst > 10.0

@@ -1,0 +1,47 @@
+"""§7.3.1: network profiling + data-rate binary search + CPU prediction."""
+
+from conftest import print_section
+
+from repro.experiments import overload
+from repro.viz import series_table
+
+
+def test_overload_workflow(benchmark):
+    report = benchmark.pedantic(overload.run, rounds=1, iterations=1)
+    body = (
+        f"network profile (target {report.target_reception:.0%} "
+        f"reception): max send rate {report.max_send_pps_per_node:.1f} "
+        f"msgs/s = {report.max_send_bytes_per_node:.0f} B/s per node\n"
+        f"rate binary search: x{report.max_rate_factor:.3f} of native = "
+        f"{report.max_events_per_sec:.2f} input events/s "
+        f"({report.probes} partitioner probes)\n"
+        f"chosen node partition: {', '.join(report.chosen_cut)}\n"
+        f"cut right after the filterbank: "
+        f"{report.chosen_cut_is_filterbank_prefix} "
+        "(paper: 3 events/s, cut 4 = filterbank)"
+    )
+    print_section("§7.3.1 — overload analysis workflow", body)
+    assert report.chosen_cut_is_filterbank_prefix
+
+
+def test_prediction_error(benchmark):
+    rows = benchmark(overload.prediction_error)
+    table = series_table(
+        ["platform", "predicted CPU", "deployed CPU", "overhead"],
+        [
+            [
+                r.platform,
+                f"{r.predicted_cpu * 100:.1f}%",
+                f"{r.deployed_cpu * 100:.1f}%",
+                f"{r.overhead_factor:.2f}x",
+            ]
+            for r in rows
+        ],
+    )
+    print_section(
+        "§7.3 — additive-cost prediction error (paper: Gumstix predicted "
+        "11.5%, measured 15%)",
+        table,
+    )
+    gumstix = [r for r in rows if r.platform == "gumstix"][0]
+    assert gumstix.deployed_cpu > gumstix.predicted_cpu

@@ -1,0 +1,18 @@
+"""Benchmark configuration.
+
+Run with:  pytest benchmarks/ --benchmark-only
+
+Every benchmark regenerates one of the paper's figures (or an ablation)
+and prints the corresponding rows/series.  Heavy harnesses default to
+reduced sweep sizes; environment variables scale them up:
+
+  REPRO_FIG6_RUNS      solver invocations for Figure 6 (paper: 2100)
+  REPRO_FIG6_CHANNELS  EEG channels for Figure 6 (paper: 22)
+"""
+
+from __future__ import annotations
+
+
+def print_section(title: str, body: str) -> None:
+    bar = "=" * max(8, len(title))
+    print(f"\n{bar}\n{title}\n{bar}\n{body}")

@@ -1,0 +1,113 @@
+"""Wishbone: profile-based partitioning for sensornet applications.
+
+A full reproduction of Newton et al., NSDI 2009.  The public API covers
+the end-to-end workflow:
+
+1. **Build** a dataflow graph with :class:`GraphBuilder` (mark the
+   embedded part with ``with builder.node():``), or use the bundled
+   applications (:func:`build_speech_pipeline`, :func:`build_eeg_pipeline`).
+2. **Profile** it on sample data with :class:`Profiler`, then cost the
+   measurement on any :class:`Platform` from :data:`PLATFORMS`.
+3. **Partition** with :class:`Wishbone` — an ILP solved by our
+   branch-and-bound engine — or search the maximum sustainable data rate
+   with :class:`RateSearch` when nothing fits.
+4. **Deploy** on a simulated :class:`Testbed` via :class:`Deployment` to
+   predict (or measure, with :meth:`Deployment.run`) input loss, message
+   loss, and goodput.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results of every reproduced figure.
+"""
+
+from .apps.eeg import build_eeg_pipeline, synth_eeg
+from .apps.speech import build_speech_pipeline, synth_speech_audio
+from .core import (
+    Formulation,
+    InfeasiblePartition,
+    Partition,
+    PartitionError,
+    PartitionObjective,
+    PartitionProblem,
+    PartitionResult,
+    RateSearch,
+    RateSearchResult,
+    RelocationMode,
+    SolverBackend,
+    WeightedEdge,
+    Wishbone,
+    max_feasible_rate,
+)
+from .dataflow import (
+    Edge,
+    Executor,
+    GraphBuilder,
+    GraphError,
+    Namespace,
+    Operator,
+    OperatorContext,
+    Pinning,
+    Stream,
+    StreamGraph,
+    WorkCounts,
+    run_graph,
+)
+from .network import NetworkProfiler, RoutingTree, Testbed
+from .platforms import PLATFORMS, CycleCosts, Platform, RadioSpec, get_platform
+from .profiler import GraphProfile, Measurement, Profiler
+from .runtime import Deployment, DeploymentPrediction
+from .solver import BranchAndBound, LinearProgram, solve_lp, solve_milp
+from .viz import graph_to_dot, write_dot
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BranchAndBound",
+    "CycleCosts",
+    "Deployment",
+    "DeploymentPrediction",
+    "Edge",
+    "Executor",
+    "Formulation",
+    "GraphBuilder",
+    "GraphError",
+    "GraphProfile",
+    "InfeasiblePartition",
+    "LinearProgram",
+    "Measurement",
+    "Namespace",
+    "NetworkProfiler",
+    "Operator",
+    "OperatorContext",
+    "PLATFORMS",
+    "Partition",
+    "PartitionError",
+    "PartitionObjective",
+    "PartitionProblem",
+    "PartitionResult",
+    "Pinning",
+    "Platform",
+    "Profiler",
+    "RadioSpec",
+    "RateSearch",
+    "RateSearchResult",
+    "RelocationMode",
+    "RoutingTree",
+    "SolverBackend",
+    "Stream",
+    "StreamGraph",
+    "Testbed",
+    "WeightedEdge",
+    "Wishbone",
+    "WorkCounts",
+    "build_eeg_pipeline",
+    "build_speech_pipeline",
+    "get_platform",
+    "graph_to_dot",
+    "max_feasible_rate",
+    "run_graph",
+    "solve_lp",
+    "solve_milp",
+    "synth_eeg",
+    "synth_speech_audio",
+    "write_dot",
+]

@@ -1,0 +1,194 @@
+"""Command-line interface:  python -m repro <command> [options].
+
+Commands:
+  platforms                     list the modeled platforms
+  speech   [--platform P] [--rate R|auto] [--nodes N] [--dot FILE]
+  eeg      [--platform P] [--channels C] [--rate R|auto] [--dot FILE]
+  leak     [--platform P] [--nodes N] [--fanin F] [--dot FILE]
+
+Each application command profiles the bundled app on synthetic data,
+partitions it for the chosen platform (optionally searching the maximum
+sustainable rate), prints the partition and predicted deployment
+behaviour, and can emit a colorized GraphViz file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (
+    Deployment,
+    PartitionObjective,
+    Profiler,
+    RateSearch,
+    RelocationMode,
+    Testbed,
+    Wishbone,
+    get_platform,
+    write_dot,
+)
+from .platforms import PLATFORMS
+from .viz import series_table
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--platform", default="tmote",
+                        choices=sorted(PLATFORMS))
+    parser.add_argument("--rate", default="auto",
+                        help="rate factor (float) or 'auto' to search")
+    parser.add_argument("--nodes", type=int, default=1,
+                        help="testbed size for deployment prediction")
+    parser.add_argument("--dot", default=None,
+                        help="write a GraphViz file of the partition")
+
+
+def _partition_and_report(args, graph, source_data, source_rates,
+                          fanin: float = 1.0) -> int:
+    platform = get_platform(args.platform)
+    profile = Profiler(track_peak=False).profile(
+        graph, source_data, source_rates, platform
+    )
+    wishbone = Wishbone(
+        objective=PartitionObjective(alpha=0.0, beta=1.0),
+        mode=RelocationMode.PERMISSIVE,
+        aggregate_fanin=fanin,
+    )
+    if args.rate == "auto":
+        outcome = RateSearch(wishbone, tolerance=0.02).search(profile)
+        if outcome.result is None:
+            print("no feasible partition at any rate", file=sys.stderr)
+            return 1
+        rate = outcome.rate_factor
+        result = outcome.result
+    else:
+        rate = float(args.rate)
+        result = wishbone.try_partition(profile.scaled(rate))
+        if result is None:
+            print(f"infeasible at rate x{rate}; try --rate auto",
+                  file=sys.stderr)
+            return 1
+    partition = result.partition
+
+    print(f"platform: {platform.description}")
+    print(f"rate factor: x{rate:.3f}")
+    print(f"node partition ({len(partition.node_set)} ops): "
+          f"{', '.join(sorted(partition.node_set))}")
+    print(f"server partition ({len(partition.server_set)} ops): "
+          f"{', '.join(sorted(partition.server_set))}")
+    print(f"node CPU {partition.cpu_utilization:.1%} | cut "
+          f"{partition.network_bytes_per_sec:.0f} B/s | solver "
+          f"{result.solution.status.value} in "
+          f"{result.solve_seconds * 1000:.0f} ms")
+
+    if platform.radio is not None:
+        testbed = Testbed(platform, n_nodes=args.nodes)
+        prediction = Deployment(
+            profile.scaled(rate), partition.node_set, testbed
+        ).analyze()
+        print(f"deployment ({args.nodes} node(s)): input processed "
+              f"{prediction.input_fraction:.1%}, msgs received "
+              f"{prediction.msg_reception:.1%}, goodput "
+              f"{prediction.goodput:.1%}")
+    if args.dot:
+        path = write_dot(graph, args.dot, profile=profile,
+                         node_set=partition.node_set,
+                         title=f"{graph.name} on {platform.name}")
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_platforms(_args) -> int:
+    rows = [
+        [
+            p.name,
+            f"{p.clock_hz / 1e6:.0f} MHz",
+            f"{p.cycle_costs.float_op:g}",
+            f"{p.cycle_costs.trans_op:g}",
+            "yes" if p.radio else "-",
+            p.description.split(":")[0],
+        ]
+        for p in PLATFORMS.values()
+    ]
+    print(series_table(
+        ["name", "clock", "cyc/float", "cyc/libm", "radio", "hardware"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_speech(args) -> int:
+    from .apps.speech import FRAMES_PER_SEC, build_speech_pipeline
+    from .apps.speech import synth_speech_audio
+
+    graph = build_speech_pipeline()
+    audio = synth_speech_audio(duration_s=2.0, seed=0)
+    return _partition_and_report(
+        args, graph, {"source": audio.frames()},
+        {"source": FRAMES_PER_SEC},
+    )
+
+
+def cmd_eeg(args) -> int:
+    from .apps.eeg import build_eeg_pipeline, source_rates, synth_eeg
+
+    graph = build_eeg_pipeline(n_channels=args.channels)
+    recording = synth_eeg(n_channels=args.channels, duration_s=8.0,
+                          seizure_intervals=(), seed=0)
+    return _partition_and_report(
+        args, graph, recording.source_data(), source_rates(args.channels)
+    )
+
+
+def cmd_leak(args) -> int:
+    from .apps.leak import (
+        WINDOWS_PER_SEC,
+        build_leak_pipeline,
+        synth_leak_data,
+    )
+
+    graph = build_leak_pipeline()
+    recording = synth_leak_data(duration_s=10.0, leak_start_s=None, seed=0)
+    return _partition_and_report(
+        args, graph, recording.source_data(),
+        {"vibration": WINDOWS_PER_SEC},
+        fanin=float(args.fanin),
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Wishbone: profile-based partitioning (NSDI 2009 "
+        "reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("platforms", help="list modeled platforms").set_defaults(
+        func=cmd_platforms
+    )
+
+    speech = sub.add_parser("speech", help="partition the MFCC pipeline")
+    _add_common(speech)
+    speech.set_defaults(func=cmd_speech)
+
+    eeg = sub.add_parser("eeg", help="partition the EEG detector")
+    _add_common(eeg)
+    eeg.add_argument("--channels", type=int, default=4)
+    eeg.set_defaults(func=cmd_eeg)
+
+    leak = sub.add_parser("leak", help="partition the leak detector")
+    _add_common(leak)
+    leak.add_argument("--fanin", default=1.0,
+                      help="aggregation-tree fan-in (§9)")
+    leak.set_defaults(func=cmd_leak)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""The paper's two evaluation applications, ported to the dataflow DSL."""
+
+from . import dsp, eeg, speech
+
+__all__ = ["dsp", "eeg", "speech"]

@@ -1,0 +1,197 @@
+"""Shared DSP kernels used by the applications.
+
+All kernels return both the numeric result and the primitive-work bill the
+embedded implementation would incur, so operator work functions can report
+honest costs to the profiler:
+
+* radix-2-style FFT cost model (5 N log2 N flops — the classic count);
+* mel filterbank construction and application;
+* DCT-II computed the way the paper's embedded code does it — cosines
+  evaluated on the fly (each a transcendental call), which is precisely
+  why the cepstral stage crushes the FPU-less TMote (Fig. 7/8);
+* window functions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Primitive-work bill of one kernel invocation."""
+
+    float_ops: float = 0.0
+    trans_ops: float = 0.0
+    int_ops: float = 0.0
+    mem_ops: float = 0.0
+    loop_iterations: float = 0.0
+
+    def as_kwargs(self) -> dict[str, float]:
+        return {
+            "float_ops": self.float_ops,
+            "trans_ops": self.trans_ops,
+            "int_ops": self.int_ops,
+            "mem_ops": self.mem_ops,
+            "loop_iterations": self.loop_iterations,
+        }
+
+
+def hamming_window(length: int) -> np.ndarray:
+    """Hamming window coefficients (precomputed table on the device)."""
+    n = np.arange(length)
+    return (0.54 - 0.46 * np.cos(2.0 * np.pi * n / (length - 1))).astype(
+        np.float32
+    )
+
+
+def preemphasis(frame: np.ndarray, coefficient: float = 0.97) -> tuple[
+    np.ndarray, KernelCost
+]:
+    """First-order pre-emphasis filter, per frame."""
+    x = frame.astype(np.float32)
+    out = np.empty_like(x)
+    out[0] = x[0]
+    out[1:] = x[1:] - coefficient * x[:-1]
+    n = len(frame)
+    return out, KernelCost(float_ops=2.0 * n, mem_ops=2.0 * n,
+                           loop_iterations=float(n))
+
+
+def power_spectrum(frame: np.ndarray, fft_size: int) -> tuple[
+    np.ndarray, KernelCost
+]:
+    """Zero-pad, FFT, and return the one-sided power spectrum.
+
+    The cost bill uses the standard radix-2 estimate (5 N log2 N real
+    flops) plus the squared-magnitude pass; the numerical result comes
+    from numpy's FFT, which is bit-compatible in shape with what the
+    embedded fixed-size kernel computes.
+    """
+    if fft_size & (fft_size - 1):
+        raise ValueError("fft_size must be a power of two")
+    padded = np.zeros(fft_size, dtype=np.float32)
+    padded[: len(frame)] = frame
+    spectrum = np.fft.rfft(padded.astype(np.float64))
+    power = (spectrum.real**2 + spectrum.imag**2).astype(np.float32)
+    bins = fft_size // 2 + 1
+    log2n = math.log2(fft_size)
+    cost = KernelCost(
+        float_ops=5.0 * fft_size * log2n + 3.0 * bins,
+        mem_ops=2.0 * fft_size * log2n,
+        loop_iterations=fft_size * log2n / 2.0,
+    )
+    return power, cost
+
+
+def mel_scale(hz: float) -> float:
+    """Hertz -> mel (O'Shaughnessy)."""
+    return 2595.0 * math.log10(1.0 + hz / 700.0)
+
+
+def mel_inverse(mel: float) -> float:
+    """Mel -> hertz."""
+    return 700.0 * (10.0 ** (mel / 2595.0) - 1.0)
+
+
+def mel_filterbank(
+    n_filters: int,
+    fft_size: int,
+    sample_rate: float,
+    low_hz: float = 0.0,
+    high_hz: float | None = None,
+) -> np.ndarray:
+    """Triangular mel filterbank matrix, shape (n_filters, fft_size//2+1).
+
+    The "bank of overlapping filters that approximates the resolution of
+    human aural perception" (paper §6.2.1); applying it yields roughly a
+    4x data reduction on the paper's configuration.
+    """
+    high_hz = high_hz if high_hz is not None else sample_rate / 2.0
+    bins = fft_size // 2 + 1
+    mel_points = np.linspace(
+        mel_scale(low_hz), mel_scale(high_hz), n_filters + 2
+    )
+    hz_points = np.array([mel_inverse(m) for m in mel_points])
+    bin_points = np.floor(
+        (fft_size + 1) * hz_points / sample_rate
+    ).astype(int)
+    bin_points = np.clip(bin_points, 0, bins - 1)
+    bank = np.zeros((n_filters, bins), dtype=np.float32)
+    for i in range(n_filters):
+        left, center, right = bin_points[i], bin_points[i + 1], bin_points[i + 2]
+        if center == left:
+            center = min(left + 1, bins - 1)
+        if right <= center:
+            right = min(center + 1, bins - 1)
+        for b in range(left, center):
+            bank[i, b] = (b - left) / max(center - left, 1)
+        for b in range(center, right):
+            bank[i, b] = (right - b) / max(right - center, 1)
+    return bank
+
+
+def apply_filterbank(
+    power: np.ndarray, bank: np.ndarray
+) -> tuple[np.ndarray, KernelCost]:
+    """Apply a (sparse triangular) filterbank to a power spectrum."""
+    out = (bank @ power.astype(np.float64)).astype(np.float32)
+    nnz = int(np.count_nonzero(bank))
+    cost = KernelCost(
+        float_ops=2.0 * nnz,
+        mem_ops=2.0 * nnz,
+        loop_iterations=float(nnz),
+    )
+    return out, cost
+
+
+def log_energies(values: np.ndarray, floor: float = 1e-10) -> tuple[
+    np.ndarray, KernelCost
+]:
+    """Natural log of filterbank energies (one libm call per band)."""
+    out = np.log(np.maximum(values.astype(np.float64), floor)).astype(
+        np.float32
+    )
+    n = len(values)
+    return out, KernelCost(trans_ops=float(n), float_ops=float(n),
+                           mem_ops=float(n), loop_iterations=float(n))
+
+
+def dct_ii_on_the_fly(
+    values: np.ndarray, n_coefficients: int
+) -> tuple[np.ndarray, KernelCost]:
+    """DCT-II keeping the first ``n_coefficients``, cosines computed inline.
+
+    The embedded implementation has no room for an N x K cosine table, so
+    each term costs a transcendental call — the reason "floating point
+    operations, which are used heavily in the cepstrals operator, are
+    particularly slow" on the mote (paper §7.2).
+    """
+    n = len(values)
+    k = np.arange(n_coefficients)[:, None]
+    i = np.arange(n)[None, :]
+    basis = np.cos(np.pi * k * (2 * i + 1) / (2.0 * n))
+    out = (basis @ values.astype(np.float64)).astype(np.float32)
+    terms = n_coefficients * n
+    cost = KernelCost(
+        trans_ops=float(terms),
+        float_ops=2.0 * terms + n_coefficients,
+        mem_ops=float(terms),
+        loop_iterations=float(terms),
+    )
+    return out, cost
+
+
+def dct_ii_reference(values: np.ndarray, n_coefficients: int) -> np.ndarray:
+    """scipy-free DCT-II reference used by correctness tests."""
+    n = len(values)
+    out = np.zeros(n_coefficients)
+    for k in range(n_coefficients):
+        total = 0.0
+        for i in range(n):
+            total += values[i] * math.cos(math.pi * k * (2 * i + 1) / (2 * n))
+        out[k] = total
+    return out

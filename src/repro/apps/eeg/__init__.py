@@ -1,0 +1,78 @@
+"""EEG seizure-onset detection application (paper §6.1)."""
+
+from .channel import (
+    BLOCK_SAMPLES,
+    CASCADE_LOWS,
+    FEATURE_LEVELS,
+    FEATURES_PER_CHANNEL,
+    LEVELS,
+    OPERATORS_PER_CHANNEL,
+    SAMPLE_RATE,
+    WINDOW_SECONDS,
+    feature_window_samples,
+    get_channel_features,
+)
+from .filters import (
+    FILTER_GAINS,
+    H_HIGH_EVEN,
+    H_HIGH_ODD,
+    H_LOW_EVEN,
+    H_LOW_ODD,
+    dc_remove,
+    energy_window,
+    high_freq_filter,
+    low_freq_filter,
+    mag_with_scale,
+    to_float,
+)
+from .pipeline import (
+    GLOBAL_OPERATORS,
+    N_CHANNELS,
+    build_eeg_pipeline,
+    expected_operator_count,
+    source_rates,
+)
+from .seizure import (
+    ONSET_RUN,
+    DetectionReport,
+    declare_onsets,
+    evaluate_detections,
+)
+from .svm import LinearSVM
+from .synth import EegRecording, synth_eeg
+
+__all__ = [
+    "CASCADE_LOWS",
+    "BLOCK_SAMPLES",
+    "DetectionReport",
+    "EegRecording",
+    "FEATURES_PER_CHANNEL",
+    "FEATURE_LEVELS",
+    "FILTER_GAINS",
+    "GLOBAL_OPERATORS",
+    "H_HIGH_EVEN",
+    "H_HIGH_ODD",
+    "H_LOW_EVEN",
+    "H_LOW_ODD",
+    "LEVELS",
+    "LinearSVM",
+    "N_CHANNELS",
+    "ONSET_RUN",
+    "OPERATORS_PER_CHANNEL",
+    "SAMPLE_RATE",
+    "WINDOW_SECONDS",
+    "build_eeg_pipeline",
+    "dc_remove",
+    "declare_onsets",
+    "energy_window",
+    "evaluate_detections",
+    "expected_operator_count",
+    "feature_window_samples",
+    "get_channel_features",
+    "high_freq_filter",
+    "low_freq_filter",
+    "mag_with_scale",
+    "source_rates",
+    "synth_eeg",
+    "to_float",
+]

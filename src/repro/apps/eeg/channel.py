@@ -1,0 +1,105 @@
+"""GetChannelFeatures: the per-channel 7-level wavelet cascade (paper §6.1).
+
+"This structure is cascaded through 7-levels, with the high frequency
+signals from the last three levels used to compute the energy in those
+signals.  Note that at each level, the amount of data is halved."
+
+The decomposition depth is 7: six low-pass stages carry the signal down,
+and the high-pass branch at levels 5, 6 and 7 (tapping the level-4, -5
+and -6 low-pass outputs respectively) provides the feature subbands —
+every filter output is consumed, as in the paper's Figure 1 code.
+
+Per channel this instantiates:
+
+* 6 LowFreqFilter stages      (6 x 5 = 30 operators)
+* 3 HighFreqFilter stages     (3 x 5 = 15 operators), at levels 5-7
+* 3 MagWithScale operators
+* 3 energy-window operators
+* 1 zip of the three features
+
+plus the channel's source and DC removal — 54 operators per channel.
+"""
+
+from __future__ import annotations
+
+from ...dataflow.builder import GraphBuilder, Stream
+from ...dataflow.operators import zip_n
+from .filters import (
+    FILTER_GAINS,
+    dc_remove,
+    energy_window,
+    high_freq_filter,
+    low_freq_filter,
+    mag_with_scale,
+)
+
+#: EEG sampling rate (paper §6.1: 256 samples/s, 16-bit).
+SAMPLE_RATE = 256
+#: Samples per source block (one block per second per channel).
+BLOCK_SAMPLES = 256
+#: Feature window length in seconds (paper: 2-second windows).
+WINDOW_SECONDS = 2
+#: Decomposition depth.
+LEVELS = 7
+#: Low-pass stages in the cascade (the deepest level is high-pass only).
+CASCADE_LOWS = LEVELS - 1
+#: Levels whose high-frequency subbands become features (the last three).
+FEATURE_LEVELS = (5, 6, 7)
+#: Features per channel.
+FEATURES_PER_CHANNEL = len(FEATURE_LEVELS)
+
+#: Operators instantiated per channel (source + dc + cascade + features).
+OPERATORS_PER_CHANNEL = (
+    2 + 5 * CASCADE_LOWS + 5 * len(FEATURE_LEVELS) + 3 + 3 + 1
+)
+
+
+def feature_window_samples(level: int) -> int:
+    """Samples of the level-``level`` subband inside one feature window.
+
+    Each cascade level halves the rate, so level L runs at 256 / 2^L
+    samples/s; a 2-second window therefore spans 2 * 256 / 2^L samples.
+    """
+    rate = SAMPLE_RATE // (2**level)
+    return max(1, WINDOW_SECONDS * rate)
+
+
+def get_channel_features(
+    builder: GraphBuilder, channel: int
+) -> Stream:
+    """Build one channel: source through per-channel feature zip.
+
+    Returns the stream of per-window feature triples
+    ``(energy_L5, energy_L6, energy_L7)``.
+    """
+    prefix = f"ch{channel:02d}"
+    source = builder.source(f"{prefix}.source", output_size=BLOCK_SAMPLES * 2)
+    cleaned = dc_remove(builder, f"{prefix}.dc", source)
+
+    lows: list[Stream] = []
+    current = cleaned
+    for level in range(1, CASCADE_LOWS + 1):
+        current = low_freq_filter(builder, f"{prefix}.low{level}", current)
+        lows.append(current)
+
+    features: list[Stream] = []
+    for level in FEATURE_LEVELS:
+        # The high-pass branch at level L taps the low-pass output of
+        # level L-1 (lows[level-2]), then halves the rate once more.
+        tap = lows[level - 2]
+        high = high_freq_filter(builder, f"{prefix}.high{level}", tap)
+        magnitude = mag_with_scale(
+            builder,
+            f"{prefix}.level{level}",
+            high,
+            FILTER_GAINS[level - 1],
+        )
+        energy = energy_window(
+            builder,
+            f"{prefix}.energy{level}",
+            magnitude,
+            feature_window_samples(level),
+        )
+        features.append(energy)
+
+    return zip_n(builder, f"{prefix}.features", features, output_size=12)

@@ -1,0 +1,90 @@
+"""Seizure onset logic and detection metrics (paper §6.1).
+
+"After three consecutive positive windows have been detected, a seizure
+is declared."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .channel import WINDOW_SECONDS
+
+#: Consecutive positive windows required to declare onset.
+ONSET_RUN = 3
+
+
+def declare_onsets(
+    window_predictions: np.ndarray, run: int = ONSET_RUN
+) -> list[int]:
+    """Indices of windows at which a seizure is declared.
+
+    A declaration happens on the ``run``-th consecutive positive window;
+    the run counter resets on a negative window, so one long seizure
+    produces one declaration.
+    """
+    onsets: list[int] = []
+    consecutive = 0
+    declared = False
+    for index, positive in enumerate(np.asarray(window_predictions, bool)):
+        if positive:
+            consecutive += 1
+            if consecutive >= run and not declared:
+                onsets.append(index)
+                declared = True
+        else:
+            consecutive = 0
+            declared = False
+    return onsets
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """Event-level evaluation of a detection run."""
+
+    true_detections: int      # seizures with a declaration inside them
+    missed_seizures: int
+    false_alarms: int         # declarations outside any seizure
+    detection_latency_s: list[float]  # onset delay per detected seizure
+
+    @property
+    def sensitivity(self) -> float:
+        total = self.true_detections + self.missed_seizures
+        return self.true_detections / total if total else 1.0
+
+
+def evaluate_detections(
+    window_predictions: np.ndarray,
+    seizure_intervals: tuple[tuple[float, float], ...],
+    run: int = ONSET_RUN,
+) -> DetectionReport:
+    """Score declarations against labelled seizure intervals."""
+    onsets = declare_onsets(window_predictions, run=run)
+    onset_times = [
+        (index + 1) * WINDOW_SECONDS for index in onsets
+    ]  # declaration at end of the run's last window
+
+    latencies: list[float] = []
+    detected = [False] * len(seizure_intervals)
+    false_alarms = 0
+    for time in onset_times:
+        hit = False
+        for i, (start_s, end_s) in enumerate(seizure_intervals):
+            # Allow the declaration to land within or just after the event
+            # (the run straddles the boundary at worst by one window).
+            if start_s <= time <= end_s + WINDOW_SECONDS * run:
+                if not detected[i]:
+                    detected[i] = True
+                    latencies.append(max(0.0, time - start_s))
+                hit = True
+                break
+        if not hit:
+            false_alarms += 1
+    return DetectionReport(
+        true_detections=sum(detected),
+        missed_seizures=len(seizure_intervals) - sum(detected),
+        false_alarms=false_alarms,
+        detection_latency_s=latencies,
+    )

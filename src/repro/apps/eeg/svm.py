@@ -1,0 +1,87 @@
+"""Linear SVM trained from scratch (Pegasos SGD).
+
+The paper's detector feeds the 66-element feature vector into a
+"patient-specific support vector machine" (§6.1).  With no sklearn
+available offline we implement the primal Pegasos solver
+(Shalev-Shwartz et al.), which is more than adequate for a linear
+max-margin classifier on 66 features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class LinearSVM:
+    """Primal linear SVM with hinge loss, trained by Pegasos SGD.
+
+    Args:
+        lam: L2 regularisation strength.
+        epochs: passes over the training set.
+        seed: RNG seed for sampling order.
+    """
+
+    lam: float = 1e-3
+    epochs: int = 40
+    seed: int = 0
+    weights: np.ndarray | None = None
+    bias: float = 0.0
+    _mean: np.ndarray = field(default=None, repr=False)  # type: ignore
+    _std: np.ndarray = field(default=None, repr=False)  # type: ignore
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LinearSVM":
+        """Train on (n_samples, n_features) and boolean labels."""
+        x = np.asarray(features, dtype=float)
+        y = np.where(np.asarray(labels, dtype=bool), 1.0, -1.0)
+        if x.ndim != 2 or len(x) != len(y):
+            raise ValueError("features must be 2-D and match labels")
+        if len(np.unique(y)) < 2:
+            raise ValueError("training data needs both classes")
+
+        self._mean = x.mean(axis=0)
+        self._std = x.std(axis=0)
+        self._std[self._std == 0] = 1.0
+        z = (x - self._mean) / self._std
+
+        rng = np.random.default_rng(self.seed)
+        n, d = z.shape
+        w = np.zeros(d)
+        b = 0.0
+        t = 0
+        for _ in range(self.epochs):
+            for i in rng.permutation(n):
+                t += 1
+                eta = 1.0 / (self.lam * t)
+                margin = y[i] * (z[i] @ w + b)
+                w *= 1.0 - eta * self.lam
+                if margin < 1.0:
+                    w += eta * y[i] * z[i]
+                    b += eta * y[i] * 0.1  # unregularised, damped bias
+        self.weights = w
+        self.bias = b
+        return self
+
+    def decision(self, features: np.ndarray) -> np.ndarray:
+        """Signed margin scores."""
+        if self.weights is None:
+            raise RuntimeError("SVM is not trained")
+        x = np.asarray(features, dtype=float)
+        single = x.ndim == 1
+        if single:
+            x = x[None, :]
+        z = (x - self._mean) / self._std
+        scores = z @ self.weights + self.bias
+        return scores[0] if single else scores
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Boolean predictions (True = positive class)."""
+        return self.decision(features) > 0
+
+    def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
+        predictions = self.predict(features)
+        return float(
+            (predictions == np.asarray(labels, dtype=bool)).mean()
+        )

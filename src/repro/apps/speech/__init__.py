@@ -1,0 +1,49 @@
+"""Acoustic speech detection application (paper §6.2)."""
+
+from .audio import (
+    FRAME_SAMPLES,
+    FRAMES_PER_SEC,
+    SAMPLE_RATE,
+    LabelledAudio,
+    silence_audio,
+    synth_speech_audio,
+)
+from .detector import (
+    EnergyDetector,
+    LinearMfccDetector,
+    detection_accuracy,
+)
+from .pipeline import (
+    DEPLOYMENT_CUTPOINTS,
+    PIPELINE_ORDER,
+    VIABLE_CUTPOINTS,
+    build_speech_pipeline,
+    cut_index,
+    node_set_for_cut,
+)
+from .reference import reference_mfcc, reference_mfccs
+from .stages import FFT_SIZE, N_CEPSTRA, N_FILTERS, PREEMPH_COEFF
+
+__all__ = [
+    "DEPLOYMENT_CUTPOINTS",
+    "EnergyDetector",
+    "FFT_SIZE",
+    "FRAMES_PER_SEC",
+    "FRAME_SAMPLES",
+    "LabelledAudio",
+    "LinearMfccDetector",
+    "N_CEPSTRA",
+    "N_FILTERS",
+    "PIPELINE_ORDER",
+    "PREEMPH_COEFF",
+    "SAMPLE_RATE",
+    "VIABLE_CUTPOINTS",
+    "build_speech_pipeline",
+    "cut_index",
+    "detection_accuracy",
+    "node_set_for_cut",
+    "reference_mfcc",
+    "reference_mfccs",
+    "silence_audio",
+    "synth_speech_audio",
+]

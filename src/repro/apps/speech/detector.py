@@ -1,0 +1,95 @@
+"""Speech/non-speech decision from MFCC vectors (paper §6.2).
+
+The paper's end goal is data reduction for speaker identification; the
+deployed stage is a speech *detector* following Martin et al.'s
+MFCC-based approach.  We provide two interchangeable server-side
+detectors:
+
+* :class:`EnergyDetector` — adaptive threshold on C0 (the log-energy
+  cepstral coefficient) with a noise-floor tracker; no training needed;
+* :class:`LinearMfccDetector` — a linear classifier over the full MFCC
+  vector, trained from labelled frames with the same Pegasos SGD the EEG
+  application uses for its SVM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class EnergyDetector:
+    """Adaptive-threshold detector on the C0 coefficient.
+
+    Tracks the noise floor with an exponential moving average over frames
+    it believes are silence, and flags frames whose C0 exceeds the floor
+    by ``margin``.
+    """
+
+    margin: float = 20.0
+    alpha: float = 0.05
+    _floor: float | None = None
+
+    def step(self, mfcc: np.ndarray) -> bool:
+        c0 = float(mfcc[0])
+        if self._floor is None:
+            self._floor = c0
+            return False
+        is_speech = c0 > self._floor + self.margin
+        if not is_speech:
+            self._floor = (1 - self.alpha) * self._floor + self.alpha * c0
+        return is_speech
+
+    def detect(self, mfccs: list[np.ndarray]) -> np.ndarray:
+        return np.array([self.step(m) for m in mfccs], dtype=bool)
+
+
+@dataclass
+class LinearMfccDetector:
+    """Linear classifier over MFCC vectors, trained with Pegasos SGD.
+
+    Wraps the same :class:`~repro.apps.eeg.svm.LinearSVM` the seizure
+    detector uses (including its feature standardisation).
+    """
+
+    _svm: object | None = None
+
+    def train(
+        self,
+        mfccs: np.ndarray,
+        labels: np.ndarray,
+        epochs: int = 40,
+        lam: float = 1e-2,
+        seed: int = 0,
+    ) -> None:
+        """Fit on (n_frames, n_coeffs) features and boolean labels."""
+        from ..eeg.svm import LinearSVM
+
+        svm = LinearSVM(lam=lam, epochs=epochs, seed=seed)
+        svm.fit(np.asarray(mfccs, dtype=float), np.asarray(labels, bool))
+        self._svm = svm
+
+    @property
+    def trained(self) -> bool:
+        return self._svm is not None
+
+    def detect(self, mfccs: list[np.ndarray] | np.ndarray) -> np.ndarray:
+        if self._svm is None:
+            raise RuntimeError("detector is not trained")
+        features = np.asarray(mfccs, dtype=float)
+        return self._svm.predict(features)
+
+
+def detection_accuracy(
+    predicted: np.ndarray, truth: np.ndarray
+) -> float:
+    """Frame-level accuracy of a detection run."""
+    predicted = np.asarray(predicted, dtype=bool)
+    truth = np.asarray(truth, dtype=bool)
+    if len(predicted) != len(truth):
+        raise ValueError("length mismatch between prediction and truth")
+    if len(truth) == 0:
+        return 1.0
+    return float((predicted == truth).mean())

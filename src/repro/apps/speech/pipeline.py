@@ -1,0 +1,111 @@
+"""Assemble the speech-detection stream graph (paper §6.2, Fig. 7).
+
+The node-namespace part is the 8-stage MFCC pipeline; the server side
+holds the speech/non-speech decision and the result sink.  The module
+also names the paper's cutpoints:
+
+* ``PIPELINE_ORDER`` — the 8 operators of Figure 7's x-axis;
+* ``DEPLOYMENT_CUTPOINTS`` — the six "relevant cutpoints" of Figures 9
+  and 10 (cut k = operators 1..k on the node), where cut 4 is the
+  filterbank and cut 6 the cepstral stage, exactly as in §7.3;
+* ``VIABLE_CUTPOINTS`` — the data-reducing cutpoints shown in Fig. 5(b)
+  (source, filtbank, logs, cepstrals).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ...dataflow.builder import GraphBuilder
+from ...dataflow.graph import OperatorContext, StreamGraph
+from .stages import (
+    add_cepstrals,
+    add_fft,
+    add_filtbank,
+    add_hamming,
+    add_logs,
+    add_prefilt,
+    add_preemph,
+    add_source,
+)
+
+#: Figure 7's x-axis, in pipeline order.
+PIPELINE_ORDER = (
+    "source",
+    "preemph",
+    "hamming",
+    "prefilt",
+    "fft",
+    "filtbank",
+    "logs",
+    "cepstrals",
+)
+
+#: The six relevant cutpoints of Figures 9/10: after each named operator.
+#: hamming and prefilt are skipped (their float expansion makes them
+#: strictly dominated); cut 4 = filterbank, cut 6 = cepstrals as in §7.3.
+DEPLOYMENT_CUTPOINTS = (
+    "source",
+    "preemph",
+    "fft",
+    "filtbank",
+    "logs",
+    "cepstrals",
+)
+
+#: Fig. 5(b)'s viable (data-reducing) cutpoints.
+VIABLE_CUTPOINTS = ("source", "filtbank", "logs", "cepstrals")
+
+
+def build_speech_pipeline(name: str = "speech") -> StreamGraph:
+    """Build the full node+server speech detection graph."""
+    builder = GraphBuilder(name)
+    with builder.node():
+        stream = add_source(builder)
+        stream = add_preemph(builder, stream)
+        stream = add_hamming(builder, stream)
+        stream = add_prefilt(builder, stream)
+        stream = add_fft(builder, stream)
+        stream = add_filtbank(builder, stream)
+        stream = add_logs(builder, stream)
+        stream = add_cepstrals(builder, stream)
+
+    def detect_work(ctx: OperatorContext, port: int, item: Any) -> None:
+        # Adaptive C0 threshold; state = noise floor tracker.  The margin
+        # (in C0 log-energy units) matches EnergyDetector's default.
+        mfcc = np.asarray(item)
+        c0 = float(mfcc[0])
+        ctx.count(float_ops=4.0)
+        floor = ctx.state.get("floor")
+        if floor is None:
+            ctx.state["floor"] = c0
+            ctx.emit(False)
+            return
+        is_speech = c0 > floor + 20.0
+        if not is_speech:
+            ctx.state["floor"] = 0.95 * floor + 0.05 * c0
+        ctx.emit(bool(is_speech))
+
+    detections = builder.iterate(
+        "detect", stream, detect_work, make_state=dict
+    )
+    builder.sink("results", detections)
+    return builder.build()
+
+
+def node_set_for_cut(graph: StreamGraph, cut_after: str) -> frozenset[str]:
+    """Operators on the node when cutting right after ``cut_after``."""
+    if cut_after not in PIPELINE_ORDER:
+        raise ValueError(
+            f"unknown cutpoint {cut_after!r}; expected one of "
+            f"{PIPELINE_ORDER}"
+        )
+    index = PIPELINE_ORDER.index(cut_after)
+    return frozenset(PIPELINE_ORDER[: index + 1])
+
+
+def cut_index(cut_after: str) -> int:
+    """1-based index of a deployment cutpoint (Figures 9/10 x-axis)."""
+    return DEPLOYMENT_CUTPOINTS.index(cut_after) + 1

@@ -1,0 +1,48 @@
+"""Plain-numpy MFCC reference implementation.
+
+Computes the same MFCCs as the dataflow pipeline but in one straight-line
+function.  Used by the tests to verify the operator graph is numerically
+faithful ("we ported existing implementations ... and verified that the
+results matched the original implementations", paper §6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dsp import hamming_window, mel_filterbank
+from .stages import FFT_SIZE, N_CEPSTRA, N_FILTERS, PREEMPH_COEFF
+from .audio import FRAME_SAMPLES, SAMPLE_RATE
+
+
+def reference_mfcc(frame: np.ndarray) -> np.ndarray:
+    """MFCC vector of one 200-sample int16 frame, straight-line numpy."""
+    x = frame.astype(np.float64)
+    # Pre-emphasis (then the int16 clamp the pipeline applies).
+    emphasized = np.empty_like(x)
+    emphasized[0] = x[0]
+    emphasized[1:] = x[1:] - PREEMPH_COEFF * x[:-1]
+    emphasized = np.clip(emphasized, -32768, 32767).astype(np.int16)
+    emphasized = emphasized.astype(np.float64)
+    # Hamming window.
+    windowed = emphasized * hamming_window(FRAME_SAMPLES).astype(np.float64)
+    # Pre-filter: DC removal and zero-padding.
+    padded = np.zeros(FFT_SIZE)
+    padded[:FRAME_SAMPLES] = windowed - windowed.mean()
+    # Power spectrum.
+    spectrum = np.fft.rfft(padded)
+    power = spectrum.real**2 + spectrum.imag**2
+    # Mel filterbank + logs.
+    bank = mel_filterbank(N_FILTERS, FFT_SIZE, SAMPLE_RATE).astype(np.float64)
+    energies = bank @ power
+    logs = np.log(np.maximum(energies, 1e-10))
+    # DCT-II, first 13 coefficients.
+    k = np.arange(N_CEPSTRA)[:, None]
+    i = np.arange(N_FILTERS)[None, :]
+    basis = np.cos(np.pi * k * (2 * i + 1) / (2.0 * N_FILTERS))
+    return basis @ logs
+
+
+def reference_mfccs(frames: list[np.ndarray]) -> np.ndarray:
+    """MFCC matrix (n_frames x 13) for a frame list."""
+    return np.stack([reference_mfcc(f) for f in frames])

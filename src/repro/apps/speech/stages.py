@@ -1,0 +1,133 @@
+"""The MFCC pipeline stages (paper §6.2, Figure 7).
+
+Eight operators, in the paper's order:
+
+    source -> preemph -> hamming -> prefilt -> fft -> filtbank -> logs
+           -> cepstrals
+
+Each stage performs the real DSP (numpy) *and* reports the primitive work
+an embedded implementation would spend, so the profiler can cost the
+pipeline on every platform.  Frame geometry matches the paper: 200
+samples (400 bytes) in, 32 filterbank bands (128 bytes), 13 cepstral
+coefficients (52 bytes) out.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ...dataflow.builder import GraphBuilder, Stream
+from ...dataflow.graph import OperatorContext
+from ..dsp import (
+    apply_filterbank,
+    dct_ii_on_the_fly,
+    hamming_window,
+    log_energies,
+    mel_filterbank,
+    power_spectrum,
+    preemphasis,
+)
+from .audio import FRAME_SAMPLES, SAMPLE_RATE
+
+#: FFT size used by the pipeline (200-sample frames zero-padded).
+FFT_SIZE = 256
+#: Mel filterbank bands (128-byte frames after the filterbank, Fig. 7).
+N_FILTERS = 32
+#: Cepstral coefficients kept (52-byte frames: 13 x float32, §6.2.1).
+N_CEPSTRA = 13
+#: Pre-emphasis coefficient.
+PREEMPH_COEFF = 0.97
+
+
+def add_source(builder: GraphBuilder) -> Stream:
+    """The audio source: 200-sample int16 frames from the ADC."""
+    return builder.source("source", output_size=FRAME_SAMPLES * 2)
+
+
+def add_preemph(builder: GraphBuilder, stream: Stream) -> Stream:
+    """Pre-emphasis; output stays 16-bit to keep the stream width flat."""
+
+    def work(ctx: OperatorContext, port: int, item: Any) -> None:
+        out, cost = preemphasis(np.asarray(item), PREEMPH_COEFF)
+        ctx.count(**cost.as_kwargs())
+        ctx.emit(np.clip(out, -32768, 32767).astype(np.int16))
+
+    return builder.iterate("preemph", stream, work)
+
+
+def add_hamming(builder: GraphBuilder, stream: Stream) -> Stream:
+    """Hamming window (table lookup + multiply); output is float32."""
+    window = hamming_window(FRAME_SAMPLES)
+
+    def work(ctx: OperatorContext, port: int, item: Any) -> None:
+        frame = np.asarray(item, dtype=np.float32)
+        n = len(frame)
+        ctx.count(float_ops=float(n), mem_ops=2.0 * n,
+                  loop_iterations=float(n))
+        ctx.emit((frame * window[:n]).astype(np.float32))
+
+    return builder.iterate("hamming", stream, work)
+
+
+def add_prefilt(builder: GraphBuilder, stream: Stream) -> Stream:
+    """Pre-filter: DC removal and zero-padding to the FFT size."""
+
+    def work(ctx: OperatorContext, port: int, item: Any) -> None:
+        frame = np.asarray(item, dtype=np.float32)
+        n = len(frame)
+        mean = float(frame.mean())
+        padded = np.zeros(FFT_SIZE, dtype=np.float32)
+        padded[:n] = frame - mean
+        ctx.count(float_ops=2.0 * n, mem_ops=float(n + FFT_SIZE),
+                  loop_iterations=float(n))
+        ctx.emit(padded)
+
+    return builder.iterate("prefilt", stream, work)
+
+
+def add_fft(builder: GraphBuilder, stream: Stream) -> Stream:
+    """FFT + one-sided power spectrum (129 float32 bins)."""
+
+    def work(ctx: OperatorContext, port: int, item: Any) -> None:
+        power, cost = power_spectrum(np.asarray(item), FFT_SIZE)
+        ctx.count(**cost.as_kwargs())
+        ctx.emit(power)
+
+    return builder.iterate("fft", stream, work)
+
+
+def add_filtbank(builder: GraphBuilder, stream: Stream) -> Stream:
+    """Mel filterbank: 129 power bins -> 32 band energies (4x reduction)."""
+    bank = mel_filterbank(N_FILTERS, FFT_SIZE, SAMPLE_RATE)
+
+    def work(ctx: OperatorContext, port: int, item: Any) -> None:
+        energies, cost = apply_filterbank(np.asarray(item), bank)
+        ctx.count(**cost.as_kwargs())
+        ctx.emit(energies)
+
+    return builder.iterate("filtbank", stream, work)
+
+
+def add_logs(builder: GraphBuilder, stream: Stream) -> Stream:
+    """Log spectrum ("transforms multiplicative in a linear spectrum are
+    additive in a log spectrum", §6.2.1)."""
+
+    def work(ctx: OperatorContext, port: int, item: Any) -> None:
+        logs, cost = log_energies(np.asarray(item))
+        ctx.count(**cost.as_kwargs())
+        ctx.emit(logs)
+
+    return builder.iterate("logs", stream, work)
+
+
+def add_cepstrals(builder: GraphBuilder, stream: Stream) -> Stream:
+    """First 13 DCT-II coefficients of the log spectrum: the MFCCs."""
+
+    def work(ctx: OperatorContext, port: int, item: Any) -> None:
+        mfcc, cost = dct_ii_on_the_fly(np.asarray(item), N_CEPSTRA)
+        ctx.count(**cost.as_kwargs())
+        ctx.emit(mfcc)
+
+    return builder.iterate("cepstrals", stream, work)

@@ -1,0 +1,76 @@
+"""Exhaustive optimal partitioning — ground truth for tests and ablations.
+
+Enumerates every assignment of the movable vertices and keeps the best
+feasible one.  Exponential, so guarded to small movable sets; the test
+suite uses it to verify the ILP solutions on randomly generated DAGs, and
+the evaluation harness uses it on the speech pipeline ("a brute force
+testing of all cut points will suffice", paper §7.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from .cut import PartitionError
+from .problem import PartitionProblem
+
+_MAX_MOVABLE = 22
+
+
+@dataclass
+class BruteForceResult:
+    node_set: set[str] | None
+    objective: float
+    evaluated: int
+    feasible_count: int
+
+    @property
+    def feasible(self) -> bool:
+        return self.node_set is not None
+
+
+def brute_force_partition(
+    problem: PartitionProblem,
+    single_crossing: bool = True,
+) -> BruteForceResult:
+    """Optimal assignment by exhaustive enumeration.
+
+    Args:
+        problem: the instance to solve.
+        single_crossing: additionally require no server->node edge
+            (matches the restricted formulation's search space).
+    """
+    movable = sorted(problem.movable())
+    if len(movable) > _MAX_MOVABLE:
+        raise PartitionError(
+            f"brute force limited to {_MAX_MOVABLE} movable vertices, "
+            f"got {len(movable)}"
+        )
+    pinned_node = problem.node_pinned()
+
+    best_set: set[str] | None = None
+    best_objective = float("inf")
+    evaluated = 0
+    feasible_count = 0
+    for bits in itertools.product((False, True), repeat=len(movable)):
+        evaluated += 1
+        node_set = set(pinned_node)
+        node_set.update(
+            name for name, chosen in zip(movable, bits) if chosen
+        )
+        if single_crossing and not problem.respects_precedence(node_set):
+            continue
+        if not problem.is_feasible(node_set):
+            continue
+        feasible_count += 1
+        objective = problem.objective(node_set)
+        if objective < best_objective - 1e-12:
+            best_objective = objective
+            best_set = node_set
+    return BruteForceResult(
+        node_set=best_set,
+        objective=best_objective if best_set is not None else float("inf"),
+        evaluated=evaluated,
+        feasible_count=feasible_count,
+    )

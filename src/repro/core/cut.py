@@ -1,0 +1,109 @@
+"""Partition results and errors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dataflow.graph import Edge, StreamGraph
+from ..profiler.records import GraphProfile
+from ..solver.solution import Solution
+
+
+class PartitionError(Exception):
+    """Raised when a partitioning request is malformed."""
+
+
+class InfeasiblePartition(PartitionError):
+    """No assignment satisfies the pinning/budget constraints.
+
+    The paper treats this as a first-class outcome: Wishbone tells the
+    programmer the program does not "fit", and Section 4.3's rate search
+    can then find the highest rate at which it does.
+    """
+
+
+@dataclass
+class Partition:
+    """A node/server assignment with its evaluated loads.
+
+    Attributes:
+        graph: the partitioned stream graph.
+        node_set: operators assigned to the embedded node (replicated on
+            every physical node).
+        cpu_utilization: node-side CPU load (fraction of the platform CPU).
+        network_bytes_per_sec: channel cost of the cut edges.
+        objective_value: alpha*cpu + beta*net at this assignment.
+        feasible: whether budgets and pins are all satisfied.
+        solver_solution: the MILP solution that produced the assignment
+            (``None`` for brute-force/heuristic partitions).
+    """
+
+    graph: StreamGraph
+    node_set: frozenset[str]
+    cpu_utilization: float
+    network_bytes_per_sec: float
+    objective_value: float
+    feasible: bool = True
+    solver_solution: Solution | None = None
+    notes: dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_node_set(
+        cls,
+        profile: GraphProfile,
+        node_set: set[str] | frozenset[str],
+        alpha: float,
+        beta: float,
+        cpu_budget: float | None = None,
+        net_budget: float | None = None,
+        solver_solution: Solution | None = None,
+    ) -> "Partition":
+        """Evaluate an assignment against a profile (ground-truth path)."""
+        node_set = frozenset(node_set)
+        cpu = profile.node_cpu_utilization(set(node_set))
+        net = profile.cut_bandwidth(set(node_set))
+        feasible = True
+        if cpu_budget is not None and cpu > cpu_budget + 1e-9:
+            feasible = False
+        if net_budget is not None and net > net_budget + 1e-9:
+            feasible = False
+        return cls(
+            graph=profile.graph,
+            node_set=node_set,
+            cpu_utilization=cpu,
+            network_bytes_per_sec=net,
+            objective_value=alpha * cpu + beta * net,
+            feasible=feasible,
+            solver_solution=solver_solution,
+        )
+
+    @property
+    def server_set(self) -> frozenset[str]:
+        return frozenset(self.graph.operators) - self.node_set
+
+    def is_node(self, name: str) -> bool:
+        return name in self.node_set
+
+    def cut_edges(self) -> list[Edge]:
+        """Edges crossing from the node partition to the server."""
+        return [
+            edge
+            for edge in self.graph.edges
+            if edge.src in self.node_set and edge.dst not in self.node_set
+        ]
+
+    def crossings(self) -> int:
+        """Total boundary crossings in either direction."""
+        return sum(
+            1
+            for edge in self.graph.edges
+            if (edge.src in self.node_set) != (edge.dst in self.node_set)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Partition(node={len(self.node_set)}, "
+            f"server={len(self.server_set)}, cpu={self.cpu_utilization:.3f}, "
+            f"net={self.network_bytes_per_sec:.1f} B/s, "
+            f"feasible={self.feasible})"
+        )

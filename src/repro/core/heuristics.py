@@ -1,0 +1,185 @@
+"""Baseline partitioners from the paper's related-work discussion (§4).
+
+The paper argues that existing tools are a poor fit:
+
+* *balanced graph partitioners* (METIS, Zoltan) "seek to create a fixed
+  number of balanced graph partitions while minimizing cut edges" — but
+  the server has unbounded capacity and operator costs are asymmetric;
+* *list scheduling* optimizes schedule length (latency), "not the
+  appropriate metric for streaming systems", and assumes comparable
+  processors.
+
+We implement both, plus a cheap topological-prefix sweep, so benchmarks
+can quantify the claims rather than take them on faith.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..dataflow.graph import Pinning
+from .problem import PartitionProblem
+
+
+@dataclass
+class HeuristicResult:
+    """An assignment plus its evaluation under the Wishbone objective."""
+
+    name: str
+    node_set: set[str]
+    cpu: float
+    net: float
+    objective: float
+    feasible: bool
+    single_crossing: bool
+
+    @classmethod
+    def evaluate(
+        cls, name: str, problem: PartitionProblem, node_set: set[str]
+    ) -> "HeuristicResult":
+        return cls(
+            name=name,
+            node_set=set(node_set),
+            cpu=problem.cpu_load(node_set),
+            net=problem.net_load(node_set),
+            objective=problem.objective(node_set),
+            feasible=problem.is_feasible(node_set),
+            single_crossing=problem.respects_precedence(node_set),
+        )
+
+
+def balanced_mincut_partition(
+    problem: PartitionProblem, seed: int = 0
+) -> HeuristicResult:
+    """METIS-style balanced bisection (Kernighan-Lin on the undirected graph).
+
+    Balance is over vertex CPU weight; the cut minimizes edge bandwidth.
+    The side containing more node-pinned vertices becomes the node
+    partition.  Expected failure modes on Wishbone instances: the balanced
+    half routinely blows the embedded CPU budget.
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(problem.vertices)
+    for edge in problem.edges:
+        existing = 0.0
+        if graph.has_edge(edge.src, edge.dst):
+            existing = graph[edge.src][edge.dst]["weight"]
+        graph.add_edge(edge.src, edge.dst, weight=existing + edge.bandwidth)
+    if len(problem.vertices) < 2:
+        return HeuristicResult.evaluate(
+            "balanced-mincut", problem, set(problem.vertices)
+        )
+    side_a, side_b = nx.algorithms.community.kernighan_lin_bisection(
+        graph, weight="weight", seed=seed
+    )
+    pinned_node = problem.node_pinned()
+    node_side = side_a if len(side_a & pinned_node) >= len(
+        side_b & pinned_node
+    ) else side_b
+    return HeuristicResult.evaluate(
+        "balanced-mincut", problem, set(node_side)
+    )
+
+
+def list_schedule_partition(
+    problem: PartitionProblem, server_speedup: float = 50.0
+) -> HeuristicResult:
+    """Classic two-processor list scheduling (minimizes makespan).
+
+    Tasks are prioritised by bottom level (critical path to a sink) and
+    greedily assigned to whichever processor finishes them earliest,
+    charging edge bandwidth as communication delay on cross-processor
+    edges.  This optimizes latency of one graph traversal — the wrong
+    metric for throughput, which is the point of the baseline.
+    """
+    succ: dict[str, list[tuple[str, float]]] = {
+        v: [] for v in problem.vertices
+    }
+    pred: dict[str, list[tuple[str, float]]] = {
+        v: [] for v in problem.vertices
+    }
+    for edge in problem.edges:
+        succ[edge.src].append((edge.dst, edge.bandwidth))
+        pred[edge.dst].append((edge.src, edge.bandwidth))
+
+    # Bottom levels via reverse topological traversal.
+    order = _topological(problem)
+    bottom: dict[str, float] = {}
+    for v in reversed(order):
+        child_level = max(
+            (bottom[w] + bw for w, bw in succ[v]), default=0.0
+        )
+        bottom[v] = problem.cpu.get(v, 0.0) + child_level
+
+    node_ready = 0.0
+    server_ready = 0.0
+    finish: dict[str, float] = {}
+    placement: dict[str, str] = {}
+    for v in sorted(order, key=lambda name: -bottom[name]):
+        pin = problem.pins[v]
+        node_cost = problem.cpu.get(v, 0.0)
+        server_cost = node_cost / server_speedup
+
+        def start_time(side: str) -> float:
+            ready = node_ready if side == "node" else server_ready
+            for u, bandwidth in pred[v]:
+                arrival = finish[u]
+                if placement[u] != side:
+                    arrival += bandwidth * 1e-6  # comm delay per unit bw
+                ready = max(ready, arrival)
+            return ready
+
+        node_finish = start_time("node") + node_cost
+        server_finish = start_time("server") + server_cost
+        if pin is Pinning.NODE:
+            side = "node"
+        elif pin is Pinning.SERVER:
+            side = "server"
+        else:
+            side = "node" if node_finish <= server_finish else "server"
+        placement[v] = side
+        finish[v] = node_finish if side == "node" else server_finish
+        if side == "node":
+            node_ready = finish[v]
+        else:
+            server_ready = finish[v]
+
+    node_set = {v for v, side in placement.items() if side == "node"}
+    return HeuristicResult.evaluate("list-schedule", problem, node_set)
+
+
+def greedy_prefix_partition(problem: PartitionProblem) -> HeuristicResult:
+    """Sweep topological prefixes (always precedence-closed) for the best
+    feasible cut.  A cheap upper bound; exact on chains."""
+    order = _topological(problem)
+    best: set[str] | None = None
+    best_objective = float("inf")
+    node_set: set[str] = set()
+    # The empty prefix is a candidate too (everything on the server).
+    prefixes = [set()]
+    for v in order:
+        node_set.add(v)
+        prefixes.append(set(node_set))
+    for candidate in prefixes:
+        if not problem.respects_pins(candidate):
+            continue
+        if not problem.is_feasible(candidate):
+            continue
+        objective = problem.objective(candidate)
+        if objective < best_objective - 1e-12:
+            best_objective = objective
+            best = candidate
+    chosen = best if best is not None else set(problem.node_pinned())
+    result = HeuristicResult.evaluate("greedy-prefix", problem, chosen)
+    if best is None:
+        result.feasible = False
+    return result
+
+
+def _topological(problem: PartitionProblem) -> list[str]:
+    graph = nx.DiGraph()
+    graph.add_nodes_from(problem.vertices)
+    graph.add_edges_from((e.src, e.dst) for e in problem.edges)
+    return list(nx.lexicographical_topological_sort(graph))

@@ -1,0 +1,106 @@
+"""The general (bidirectional) ILP formulation — paper Eq. (1)-(5).
+
+This formulation supports data flowing back and forth across the network:
+the cut indicator for each edge is linearised through two non-negative
+variables ``e_uv`` and ``e'_uv`` (Eq. 3), so the objective stays linear
+(Eq. 5).  It has 2|E| + |V| variables (only |V| integer) and at most
+4|E| + |V| + 1 constraints.
+
+The paper's prototype does not deploy this formulation (its code
+generators only support one crossing) but defines it; we implement it for
+completeness, as the ablation baseline, and because it is the right tool
+for graphs where "a high-bandwidth stream is merged with a heavily-
+processed stream" (§4.2.1's discussion of the restriction's costs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dataflow.graph import Pinning
+from ..solver.model import LinearProgram, Variable
+from .problem import PartitionProblem
+
+
+@dataclass
+class GeneralIlp:
+    """A built model plus variable maps for decoding solutions."""
+
+    program: LinearProgram
+    assign_vars: dict[str, Variable]
+    #: (src, dst) -> (e_uv, e'_uv, r_uv)
+    cut_vars: dict[tuple[str, str], tuple[Variable, Variable, float]]
+
+    def node_set(self, values: dict[str, float]) -> set[str]:
+        return {
+            name
+            for name, var in self.assign_vars.items()
+            if values.get(var.name, 0.0) > 0.5
+        }
+
+    def cut_bandwidth(self, values: dict[str, float]) -> float:
+        """Network load of a solution: sum (e_uv + e'_uv) * r_uv (Eq. 4)."""
+        return sum(
+            (values.get(e.name, 0.0) + values.get(e_prime.name, 0.0))
+            * bandwidth
+            for (e, e_prime, bandwidth) in self.cut_vars.values()
+        )
+
+
+def build_general_ilp(problem: PartitionProblem) -> GeneralIlp:
+    """Encode the instance as the general bidirectional ILP."""
+    lp = LinearProgram(name="wishbone-general")
+    assign: dict[str, Variable] = {}
+    cut_vars: dict[tuple[str, str], tuple[Variable, Variable, float]] = {}
+
+    for name in problem.vertices:
+        pin = problem.pins[name]
+        lb, ub = (1.0, 1.0) if pin is Pinning.NODE else (0.0, 1.0)
+        if pin is Pinning.SERVER:
+            lb, ub = 0.0, 0.0
+        assign[name] = lp.add_variable(
+            f"f[{name}]",
+            lb=lb,
+            ub=ub,
+            integer=True,
+            objective=problem.alpha * problem.cpu.get(name, 0.0),
+        )
+
+    # Eq. 3: per-edge slack variables, charged beta * r_uv each (Eq. 4/5).
+    net_terms: dict[Variable, float] = {}
+    for index, edge in enumerate(problem.edges):
+        e = lp.add_variable(
+            f"e[{edge.src}->{edge.dst}#{index}]",
+            lb=0.0,
+            objective=problem.beta * edge.bandwidth,
+        )
+        e_prime = lp.add_variable(
+            f"e'[{edge.src}->{edge.dst}#{index}]",
+            lb=0.0,
+            objective=problem.beta * edge.bandwidth,
+        )
+        cut_vars[(edge.src, edge.dst)] = (e, e_prime, edge.bandwidth)
+        lp.add_constraint(
+            {assign[edge.src]: 1.0, assign[edge.dst]: -1.0, e: 1.0},
+            ">=",
+            0.0,
+        )
+        lp.add_constraint(
+            {assign[edge.dst]: 1.0, assign[edge.src]: -1.0, e_prime: 1.0},
+            ">=",
+            0.0,
+        )
+        net_terms[e] = net_terms.get(e, 0.0) + edge.bandwidth
+        net_terms[e_prime] = net_terms.get(e_prime, 0.0) + edge.bandwidth
+
+    # Eq. 2: CPU budget.
+    lp.add_constraint(
+        {assign[v]: problem.cpu.get(v, 0.0) for v in problem.vertices},
+        "<=",
+        problem.cpu_budget,
+        name="cpu_budget",
+    )
+    # Eq. 4: network budget over the linearised cut variables.
+    lp.add_constraint(net_terms, "<=", problem.net_budget, name="net_budget")
+
+    return GeneralIlp(program=lp, assign_vars=assign, cut_vars=cut_vars)

@@ -1,0 +1,95 @@
+"""The restricted (single-crossing) ILP formulation — paper Eq. (1),(2),(6),(7).
+
+With data flowing only node -> server, every edge satisfies
+``f_u - f_v >= 0`` (Eq. 6), the cut-bandwidth expression simplifies to
+``net = sum (f_u - f_v) * r_uv`` (Eq. 7), and the auxiliary edge variables
+of the general formulation disappear: |V| variables and at most
+|E| + |V| + 1 constraints.  This is the formulation the paper's prototype
+uses ("We have chosen this restricted formulation for our current,
+prototype implementation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dataflow.graph import Pinning
+from ..solver.model import LinearProgram, Variable
+from .problem import PartitionProblem
+
+
+@dataclass
+class RestrictedIlp:
+    """A built model plus the variable map needed to read solutions."""
+
+    program: LinearProgram
+    assign_vars: dict[str, Variable]
+
+    def node_set(self, values: dict[str, float]) -> set[str]:
+        """Decode a solution: vertices with f_v = 1 go to the node."""
+        return {
+            name
+            for name, var in self.assign_vars.items()
+            if values.get(var.name, 0.0) > 0.5
+        }
+
+
+def build_restricted_ilp(problem: PartitionProblem) -> RestrictedIlp:
+    """Encode the instance as the restricted ILP.
+
+    Variables: one binary ``f_v`` per vertex (1 = node, 0 = server).
+    Pins become fixed bounds (Eq. 1); Eq. 2 caps node CPU; Eq. 6 forces
+    unidirectional flow; Eq. 7's network load is capped by the budget and
+    enters the objective with weight beta (Eq. 5).
+    """
+    lp = LinearProgram(name="wishbone-restricted")
+    assign: dict[str, Variable] = {}
+
+    # Per-vertex objective coefficient:
+    #   alpha * c_v            (CPU term of Eq. 5)
+    # + beta * (sum of r over out-edges - sum of r over in-edges)
+    #                          (vertex-wise regrouping of Eq. 7)
+    net_coeff: dict[str, float] = {v: 0.0 for v in problem.vertices}
+    for edge in problem.edges:
+        net_coeff[edge.src] += edge.bandwidth
+        net_coeff[edge.dst] -= edge.bandwidth
+
+    for name in problem.vertices:
+        pin = problem.pins[name]
+        lb, ub = (1.0, 1.0) if pin is Pinning.NODE else (0.0, 1.0)
+        if pin is Pinning.SERVER:
+            lb, ub = 0.0, 0.0
+        objective = (
+            problem.alpha * problem.cpu.get(name, 0.0)
+            + problem.beta * net_coeff[name]
+        )
+        assign[name] = lp.add_variable(
+            f"f[{name}]", lb=lb, ub=ub, integer=True, objective=objective
+        )
+
+    # Eq. 6: f_u >= f_v on every edge (single crossing, flow toward server).
+    for edge in problem.edges:
+        lp.add_constraint(
+            {assign[edge.src]: 1.0, assign[edge.dst]: -1.0},
+            ">=",
+            0.0,
+            name=f"prec[{edge.src}->{edge.dst}]",
+        )
+
+    # Eq. 2: CPU budget.
+    lp.add_constraint(
+        {assign[v]: problem.cpu.get(v, 0.0) for v in problem.vertices},
+        "<=",
+        problem.cpu_budget,
+        name="cpu_budget",
+    )
+
+    # Eq. 7 network load <= N (Eq. 4's cap, in the simplified form).
+    lp.add_constraint(
+        {assign[v]: net_coeff[v] for v in problem.vertices},
+        "<=",
+        problem.net_budget,
+        name="net_budget",
+    )
+
+    return RestrictedIlp(program=lp, assign_vars=assign)

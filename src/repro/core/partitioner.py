@@ -1,0 +1,242 @@
+"""The Wishbone partitioner facade (paper Sections 3-4).
+
+Ties the pipeline together:  pin -> reduce (preprocess) -> formulate ->
+solve -> expand -> evaluate.  The result is a :class:`Partition` over the
+original graph along with solver telemetry (the find/prove timings Figure 6
+plots).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+
+from ..dataflow.graph import Pinning
+from ..profiler.records import GraphProfile
+from ..solver.branch_bound import BranchAndBound
+from ..solver.scipy_backend import solve_milp_scipy
+from ..solver.solution import Solution
+from .cut import InfeasiblePartition, Partition, PartitionError
+from .ilp_general import build_general_ilp
+from .ilp_restricted import build_restricted_ilp
+from .pinning import RelocationMode, compute_pinnings
+from .preprocess import ReducedProblem, preprocess
+from .problem import PartitionProblem, problem_from_profile
+
+
+class Formulation(enum.Enum):
+    """Which ILP encoding to use (paper §4.2.1)."""
+
+    RESTRICTED = "restricted"  # Eq. (1),(2),(6),(7) — single crossing
+    GENERAL = "general"        # Eq. (1)-(5) — back-and-forth allowed
+
+
+class SolverBackend(enum.Enum):
+    BRANCH_AND_BOUND = "branch-and-bound"  # our solver (find/prove history)
+    SCIPY_MILP = "scipy-milp"              # HiGHS cross-check
+
+
+@dataclass(frozen=True)
+class PartitionObjective:
+    """min alpha*cpu + beta*net (Eq. 5); defaults to minimizing bandwidth
+    subject to CPU feasibility — the configuration the paper evaluates
+    (Section 7.1: "alpha = 0, beta = 1")."""
+
+    alpha: float = 0.0
+    beta: float = 1.0
+
+
+@dataclass
+class PartitionResult:
+    """Everything a partitioning run produced."""
+
+    partition: Partition
+    solution: Solution
+    problem: PartitionProblem
+    reduced: ReducedProblem | None
+    pins: dict[str, Pinning]
+    build_seconds: float
+    solve_seconds: float
+
+    @property
+    def feasible(self) -> bool:
+        return self.partition.feasible
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Vertices removed by preprocessing (0 = none, 1 = all)."""
+        if self.reduced is None:
+            return 0.0
+        before = len(self.problem.vertices)
+        after = len(self.reduced.problem.vertices)
+        return 1.0 - after / before if before else 0.0
+
+
+class Wishbone:
+    """Profile-driven graph partitioner.
+
+    Args:
+        objective: the alpha/beta weights of Eq. 5 (defaults to the
+            platform's own weights if ``None``).
+        mode: conservative or permissive stateful-operator relocation.
+        formulation: restricted (default, as in the paper's prototype) or
+            general.
+        solver: branch-and-bound (ours) or scipy's HiGHS MILP.
+        use_preprocess: apply the Section 4.1 reduction.
+        cpu_budget: node CPU budget as a utilization fraction; defaults to
+            the platform's ``cpu_budget_fraction``.
+        net_budget: channel budget in bytes/s; defaults to the platform
+            radio's goodput capacity (or infinity without a radio).
+        lp_engine: LP engine for branch and bound ("scipy" or "simplex").
+        time_limit: wall-clock cap per solve, in seconds.
+        gap_tolerance: relative optimality gap at which branch and bound
+            declares a solution optimal.  Symmetric graphs (e.g. the 22
+            identical EEG channels) create huge plateaus of equivalent
+            solutions; a small positive gap prunes them without changing
+            which partitions are found.
+        aggregate_fanin: §9 in-network aggregation — the expected fan-in
+            of the aggregation tree (typically the network size).  Edge
+            costs downstream of a ``reduce`` operator are divided by it;
+            1.0 reproduces the paper's two-tier behaviour.
+    """
+
+    def __init__(
+        self,
+        objective: PartitionObjective | None = None,
+        mode: RelocationMode = RelocationMode.CONSERVATIVE,
+        formulation: Formulation = Formulation.RESTRICTED,
+        solver: SolverBackend = SolverBackend.BRANCH_AND_BOUND,
+        use_preprocess: bool = True,
+        cpu_budget: float | None = None,
+        net_budget: float | None = None,
+        lp_engine: str = "scipy",
+        time_limit: float | None = None,
+        gap_tolerance: float = 1e-6,
+        aggregate_fanin: float = 1.0,
+    ) -> None:
+        self.objective = objective
+        self.mode = mode
+        self.formulation = formulation
+        self.solver = solver
+        self.use_preprocess = use_preprocess
+        self.cpu_budget = cpu_budget
+        self.net_budget = net_budget
+        self.lp_engine = lp_engine
+        self.time_limit = time_limit
+        self.gap_tolerance = gap_tolerance
+        self.aggregate_fanin = aggregate_fanin
+
+    # -- problem construction -----------------------------------------------
+
+    def build_problem(
+        self, profile: GraphProfile
+    ) -> tuple[PartitionProblem, dict[str, Pinning]]:
+        """Pin operators and assemble the weighted instance."""
+        platform = profile.platform
+        objective = self.objective or PartitionObjective(
+            alpha=platform.alpha, beta=platform.beta
+        )
+        cpu_budget = (
+            self.cpu_budget
+            if self.cpu_budget is not None
+            else platform.cpu_budget_fraction
+        )
+        if self.net_budget is not None:
+            net_budget = self.net_budget
+        elif platform.radio is not None:
+            net_budget = platform.radio.goodput_capacity_bytes
+        else:
+            net_budget = float("inf")
+        single_crossing = self.formulation is Formulation.RESTRICTED
+        pins = compute_pinnings(
+            profile.graph, self.mode, single_crossing=single_crossing
+        )
+        problem = problem_from_profile(
+            profile,
+            pins,
+            cpu_budget=cpu_budget,
+            net_budget=min(net_budget, 1e15),
+            alpha=objective.alpha,
+            beta=objective.beta,
+            aggregate_fanin=self.aggregate_fanin,
+        )
+        return problem, pins
+
+    # -- solving --------------------------------------------------------------
+
+    def solve_problem(
+        self, problem: PartitionProblem
+    ) -> tuple[set[str], Solution, ReducedProblem | None, float, float]:
+        """Reduce, formulate, and solve; returns the original-vertex set."""
+        build_start = time.perf_counter()
+        reduced = preprocess(problem) if self.use_preprocess else None
+        target = reduced.problem if reduced is not None else problem
+
+        if self.formulation is Formulation.RESTRICTED:
+            model = build_restricted_ilp(target)
+        else:
+            model = build_general_ilp(target)
+        build_seconds = time.perf_counter() - build_start
+
+        solve_start = time.perf_counter()
+        if self.solver is SolverBackend.BRANCH_AND_BOUND:
+            solution = BranchAndBound(
+                lp_engine=self.lp_engine,
+                time_limit=self.time_limit,
+                gap_tolerance=self.gap_tolerance,
+            ).solve(model.program)
+        else:
+            solution = solve_milp_scipy(
+                model.program, time_limit=self.time_limit
+            )
+        solve_seconds = time.perf_counter() - solve_start
+
+        if not solution.status.has_solution:
+            raise InfeasiblePartition(
+                f"no feasible partition (solver status: {solution.status})"
+            )
+        cluster_set = model.node_set(solution.values)
+        node_set = (
+            reduced.expand(cluster_set) if reduced is not None else cluster_set
+        )
+        return node_set, solution, reduced, build_seconds, solve_seconds
+
+    def partition(self, profile: GraphProfile) -> PartitionResult:
+        """Partition a profiled graph; raises on infeasibility."""
+        problem, pins = self.build_problem(profile)
+        node_set, solution, reduced, build_s, solve_s = self.solve_problem(
+            problem
+        )
+        # Evaluate against the problem the solver actually saw (which may
+        # discount aggregated edges); cross-check feasibility there.
+        if not problem.is_feasible(node_set):
+            raise PartitionError(
+                "solver returned an assignment that violates the budgets; "
+                "this indicates an encoding bug"
+            )
+        partition = Partition(
+            graph=profile.graph,
+            node_set=frozenset(node_set),
+            cpu_utilization=problem.cpu_load(node_set),
+            network_bytes_per_sec=problem.net_load(node_set),
+            objective_value=problem.objective(node_set),
+            feasible=True,
+            solver_solution=solution,
+        )
+        return PartitionResult(
+            partition=partition,
+            solution=solution,
+            problem=problem,
+            reduced=reduced,
+            pins=pins,
+            build_seconds=build_s,
+            solve_seconds=solve_s,
+        )
+
+    def try_partition(self, profile: GraphProfile) -> PartitionResult | None:
+        """Like :meth:`partition` but returns ``None`` on infeasibility."""
+        try:
+            return self.partition(profile)
+        except InfeasiblePartition:
+            return None

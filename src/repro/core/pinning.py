@@ -1,0 +1,122 @@
+"""Relocation constraints: movable vs. pinned operators (paper §2.1.1).
+
+The rules, verbatim from the paper:
+
+* operators with side effects (sensor sampling, LEDs, file output) are
+  pinned to their namespace's partition;
+* stateless, effect-free operators are always movable;
+* stateful operators in the *server* partition can never move into the
+  network (serial semantics, single state instance);
+* stateful operators in the *node* partition may move to the server —
+  their state is duplicated in a per-node table — but doing so puts a
+  lossy wireless link upstream of state, so it is allowed only in
+  *permissive* mode; *conservative* mode pins them to the node.  Operators
+  explicitly marked ``loss_tolerant`` are movable in either mode.
+
+Under the single-crossing restriction of §2.1.2, "pinning an operator pins
+all up- or down-stream operators": everything upstream of a node-pinned
+operator must be on the node, everything downstream of a server-pinned
+operator must be on the server.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..dataflow.graph import Namespace, Pinning, StreamGraph
+from .cut import InfeasiblePartition
+
+
+class RelocationMode(enum.Enum):
+    """How to treat stateful operators in the node namespace (§2.1.1)."""
+
+    CONSERVATIVE = "conservative"
+    PERMISSIVE = "permissive"
+
+
+def base_pinnings(
+    graph: StreamGraph, mode: RelocationMode = RelocationMode.CONSERVATIVE
+) -> dict[str, Pinning]:
+    """Classify every operator before constraint propagation."""
+    pins: dict[str, Pinning] = {}
+    for name, op in graph.operators.items():
+        if op.namespace is Namespace.NODE:
+            if op.is_source or op.side_effects:
+                pins[name] = Pinning.NODE
+            elif (
+                op.stateful
+                and mode is RelocationMode.CONSERVATIVE
+                and not op.loss_tolerant
+            ):
+                pins[name] = Pinning.NODE
+            else:
+                pins[name] = Pinning.MOVABLE
+        else:  # server namespace
+            if op.is_sink or op.side_effects or op.stateful:
+                pins[name] = Pinning.SERVER
+            else:
+                pins[name] = Pinning.MOVABLE
+    return pins
+
+
+def propagate_pinnings(
+    graph: StreamGraph, pins: dict[str, Pinning]
+) -> dict[str, Pinning]:
+    """Close pins under the single-crossing restriction (§2.1.2).
+
+    Raises :class:`InfeasiblePartition` if some operator would have to be
+    on both sides (a node-pinned operator downstream of a server-pinned
+    one).
+    """
+    result = dict(pins)
+    for name, pin in pins.items():
+        if pin is Pinning.NODE:
+            for ancestor in graph.ancestors(name):
+                if result.get(ancestor) is Pinning.SERVER:
+                    raise InfeasiblePartition(
+                        f"operator {ancestor!r} is pinned to the server but "
+                        f"feeds node-pinned operator {name!r}; no "
+                        "single-crossing partition exists"
+                    )
+                result[ancestor] = Pinning.NODE
+        elif pin is Pinning.SERVER:
+            for descendant in graph.descendants(name):
+                if result.get(descendant) is Pinning.NODE:
+                    raise InfeasiblePartition(
+                        f"operator {descendant!r} is pinned to the node but "
+                        f"consumes server-pinned operator {name!r}; no "
+                        "single-crossing partition exists"
+                    )
+                result[descendant] = Pinning.SERVER
+    return result
+
+
+def compute_pinnings(
+    graph: StreamGraph,
+    mode: RelocationMode = RelocationMode.CONSERVATIVE,
+    single_crossing: bool = True,
+) -> dict[str, Pinning]:
+    """Full pinning pass: classify, then (optionally) propagate."""
+    pins = base_pinnings(graph, mode)
+    if single_crossing:
+        pins = propagate_pinnings(graph, pins)
+    return pins
+
+
+def movable_operators(pins: dict[str, Pinning]) -> set[str]:
+    """The movable subset — the search space of the partitioner."""
+    return {name for name, pin in pins.items() if pin is Pinning.MOVABLE}
+
+
+def node_candidate_operators(pins: dict[str, Pinning]) -> set[str]:
+    """Operators that might run on the node: movable + node-pinned.
+
+    This is the set the paper profiles on embedded hardware ("the
+    partitioner determines what operators might possibly run on the
+    embedded platform", §3).
+    """
+    return {
+        name
+        for name, pin in pins.items()
+        if pin in (Pinning.MOVABLE, Pinning.NODE)
+    }

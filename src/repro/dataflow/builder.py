@@ -1,0 +1,273 @@
+"""Graph construction API: streams, the builder, and the Node{} namespace.
+
+Mirrors how a WaveScript program wires a graph (paper Fig. 1 / Fig. 2):
+functions take streams and return streams, and placing construction code
+inside ``with builder.node():`` is the analogue of the ``namespace Node {}``
+block — every operator created there is *logically* replicated once per
+embedded node, though the partitioner may still *physically* place it on
+the server.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections.abc import Callable, Iterator
+from typing import Any
+
+from .graph import (
+    Namespace,
+    Operator,
+    OperatorContext,
+    StreamGraph,
+    WorkFunction,
+)
+
+
+class Stream:
+    """Handle to an operator's output stream, used while wiring a graph."""
+
+    __slots__ = ("builder", "operator_name")
+
+    def __init__(self, builder: "GraphBuilder", operator_name: str) -> None:
+        self.builder = builder
+        self.operator_name = operator_name
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Stream({self.operator_name!r})"
+
+
+class GraphBuilder:
+    """Incrementally builds a :class:`StreamGraph`.
+
+    Names are auto-uniquified so application code can instantiate the same
+    sub-pipeline many times (e.g. 22 EEG channels) without name clashes.
+    """
+
+    def __init__(self, name: str = "graph") -> None:
+        self.graph = StreamGraph(name)
+        self._namespace = Namespace.SERVER
+        self._name_counts: dict[str, int] = {}
+
+    # -- namespace ----------------------------------------------------------
+
+    @contextlib.contextmanager
+    def node(self) -> Iterator[None]:
+        """Enter the Node{} namespace (operators replicated per node)."""
+        previous = self._namespace
+        self._namespace = Namespace.NODE
+        try:
+            yield
+        finally:
+            self._namespace = previous
+
+    @property
+    def current_namespace(self) -> Namespace:
+        return self._namespace
+
+    # -- operator creation ----------------------------------------------------
+
+    def _unique(self, base: str) -> str:
+        count = self._name_counts.get(base, 0)
+        self._name_counts[base] = count + 1
+        return base if count == 0 else f"{base}.{count}"
+
+    def _add(
+        self,
+        base_name: str,
+        work: WorkFunction | None,
+        inputs: list[Stream],
+        make_state: Callable[[], Any] | None = None,
+        side_effects: bool = False,
+        is_source: bool = False,
+        is_sink: bool = False,
+        output_size: int | None = None,
+        loss_tolerant: bool = False,
+        aggregate: bool = False,
+    ) -> Stream:
+        name = self._unique(base_name)
+        op = Operator(
+            name=name,
+            work=work,
+            make_state=make_state,
+            namespace=self._namespace,
+            side_effects=side_effects,
+            is_source=is_source,
+            is_sink=is_sink,
+            output_size=output_size,
+            loss_tolerant=loss_tolerant,
+            aggregate=aggregate,
+        )
+        self.graph.add_operator(op)
+        for port, stream in enumerate(inputs):
+            if stream.builder is not self:
+                raise ValueError(
+                    f"stream {stream!r} belongs to a different builder"
+                )
+            self.graph.add_edge(stream.operator_name, name, dst_port=port)
+        return Stream(self, name)
+
+    def source(
+        self,
+        name: str,
+        output_size: int | None = None,
+    ) -> Stream:
+        """A data source (samples hardware; always pinned to the node).
+
+        Sources have no work function of their own — elements are *pushed*
+        into them by the executor or the runtime (mirroring split-phase IO
+        on TinyOS, where the ADC delivers buffers to the application).
+        """
+        if self._namespace is not Namespace.NODE:
+            raise ValueError(
+                f"source {name!r} must be created inside the Node namespace"
+            )
+        return self._add(
+            name,
+            work=None,
+            inputs=[],
+            side_effects=True,
+            is_source=True,
+            output_size=output_size,
+        )
+
+    def iterate(
+        self,
+        name: str,
+        stream: Stream,
+        work: WorkFunction,
+        make_state: Callable[[], Any] | None = None,
+        side_effects: bool = False,
+        output_size: int | None = None,
+        loss_tolerant: bool = False,
+    ) -> Stream:
+        """The WaveScript ``iterate`` form: one input, one output stream."""
+        return self._add(
+            name,
+            work=work,
+            inputs=[stream],
+            make_state=make_state,
+            side_effects=side_effects,
+            output_size=output_size,
+            loss_tolerant=loss_tolerant,
+        )
+
+    def fmap(
+        self,
+        name: str,
+        stream: Stream,
+        fn: Callable[[Any], Any],
+        cost: Callable[[Any], dict[str, float]] | None = None,
+        output_size: int | None = None,
+    ) -> Stream:
+        """Stateless map; ``cost(item)`` reports primitive work per element."""
+
+        def work(ctx: OperatorContext, port: int, item: Any) -> None:
+            if cost is not None:
+                ctx.count(**cost(item))
+            ctx.emit(fn(item))
+
+        return self._add(name, work=work, inputs=[stream],
+                         output_size=output_size)
+
+    def sfilter(
+        self,
+        name: str,
+        stream: Stream,
+        predicate: Callable[[Any], bool],
+        cost: Callable[[Any], dict[str, float]] | None = None,
+    ) -> Stream:
+        """Stateless filter: pass elements satisfying ``predicate``."""
+
+        def work(ctx: OperatorContext, port: int, item: Any) -> None:
+            if cost is not None:
+                ctx.count(**cost(item))
+            if predicate(item):
+                ctx.emit(item)
+
+        return self._add(name, work=work, inputs=[stream])
+
+    def merge(
+        self,
+        name: str,
+        streams: list[Stream],
+        work: WorkFunction,
+        make_state: Callable[[], Any] | None = None,
+        output_size: int | None = None,
+        loss_tolerant: bool = False,
+    ) -> Stream:
+        """A multi-input operator; items arrive tagged with their port."""
+        if not streams:
+            raise ValueError("merge needs at least one input stream")
+        return self._add(
+            name,
+            work=work,
+            inputs=streams,
+            make_state=make_state,
+            output_size=output_size,
+            loss_tolerant=loss_tolerant,
+        )
+
+    def reduce(
+        self,
+        name: str,
+        stream: Stream,
+        work: WorkFunction,
+        make_state: Callable[[], Any] | None = None,
+        output_size: int | None = None,
+    ) -> Stream:
+        """A cross-node aggregation operator (paper §9).
+
+        "This communication pattern would be exposed as a 'reduce'
+        operator that would reside in the logical node partition, but
+        would implicitly take its input not just from streams within the
+        local node, but from child nodes routing through it in an
+        aggregation tree.  The partitioning algorithm remains the same.
+        If the reduce operator is assigned to the embedded node,
+        aggregation happens in-network, otherwise all data is sent to
+        the server."
+
+        Reduce operators are loss-tolerant by construction (aggregation
+        over whichever children reported) and must live in the Node
+        namespace.
+        """
+        if self._namespace is not Namespace.NODE:
+            raise ValueError(
+                f"reduce {name!r} must be created inside the Node namespace"
+            )
+        return self._add(
+            name,
+            work=work,
+            inputs=[stream],
+            make_state=make_state,
+            output_size=output_size,
+            loss_tolerant=True,
+            aggregate=True,
+        )
+
+    def sink(self, name: str, stream: Stream) -> Stream:
+        """Terminal consumer on the server (prints/stores results)."""
+        if self._namespace is not Namespace.SERVER:
+            raise ValueError(
+                f"sink {name!r} must be created in the server namespace"
+            )
+
+        def work(ctx: OperatorContext, port: int, item: Any) -> None:
+            ctx.state.append(item)
+
+        return self._add(
+            name,
+            work=work,
+            inputs=[stream],
+            make_state=list,
+            side_effects=True,
+            is_sink=True,
+        )
+
+    # -- finish -----------------------------------------------------------
+
+    def build(self) -> StreamGraph:
+        """Validate and return the constructed graph."""
+        from .validate import validate_graph
+
+        validate_graph(self.graph)
+        return self.graph

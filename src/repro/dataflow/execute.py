@@ -1,0 +1,173 @@
+"""Reference in-process executor.
+
+Runs a whole stream graph in one process with depth-first ``emit``
+semantics — the same traversal order the paper's C backend generates
+("passing data via emit becomes a function call, and the system does a
+depth-first traversal of the stream graph", Section 5.1).
+
+The executor doubles as the measurement half of the profiler: it records,
+per operator, invocation/input/output counts and primitive work, and per
+edge, element counts and serialized bytes.  Platform cost models then turn
+those counts into seconds (``repro.profiler``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .graph import Edge, GraphError, Operator, OperatorContext, StreamGraph, WorkCounts
+from .sizing import element_size
+
+
+@dataclass
+class OperatorStats:
+    """Measured behaviour of one operator during a run."""
+
+    invocations: int = 0
+    inputs: int = 0
+    outputs: int = 0
+    counts: WorkCounts = field(default_factory=WorkCounts)
+
+
+@dataclass
+class EdgeStats:
+    """Measured traffic on one edge during a run."""
+
+    elements: int = 0
+    bytes: int = 0
+    peak_element_bytes: int = 0
+
+
+class ExecutionStats:
+    """Aggregate measurements of a full run."""
+
+    def __init__(self, graph: StreamGraph) -> None:
+        self.graph = graph
+        self.operators: dict[str, OperatorStats] = {
+            name: OperatorStats() for name in graph.operators
+        }
+        self.edge_traffic: dict[Edge, EdgeStats] = {
+            edge: EdgeStats() for edge in graph.edges
+        }
+        #: total elements pushed into each source
+        self.source_inputs: dict[str, int] = {name: 0 for name in graph.sources}
+
+    def output_bytes(self, name: str) -> int:
+        """Total serialized bytes emitted by operator ``name``."""
+        sizes = [
+            stats.bytes
+            for edge, stats in self.edge_traffic.items()
+            if edge.src == name
+        ]
+        # All out-edges carry the same stream; report one copy.
+        return max(sizes, default=0)
+
+
+class Executor:
+    """Depth-first reference executor for a :class:`StreamGraph`."""
+
+    def __init__(self, graph: StreamGraph) -> None:
+        self.graph = graph
+        self.stats = ExecutionStats(graph)
+        self._state: dict[str, Any] = {
+            name: op.new_state() for name, op in graph.operators.items()
+        }
+        # Pre-resolve the fan-out of every operator.
+        self._fanout: dict[str, list[Edge]] = {
+            name: graph.out_edges(name) for name in graph.operators
+        }
+
+    def state_of(self, name: str) -> Any:
+        """The private state object of operator ``name`` (tests/sinks)."""
+        return self._state[name]
+
+    def sink_values(self, name: str) -> list[Any]:
+        """Convenience: collected elements of a sink operator."""
+        op = self.graph.operators[name]
+        if not op.is_sink:
+            raise GraphError(f"{name!r} is not a sink")
+        return list(self._state[name])
+
+    # -- driving ----------------------------------------------------------
+
+    def push(self, source: str, item: Any) -> None:
+        """Inject one element into a source operator and run the traversal."""
+        op = self.graph.operators[source]
+        if not op.is_source:
+            raise GraphError(f"{source!r} is not a source operator")
+        self.stats.source_inputs[source] += 1
+        source_stats = self.stats.operators[source]
+        source_stats.invocations += 1
+        source_stats.outputs += 1
+        source_stats.counts.add(invocations=1.0)
+        self._deliver(source, item)
+
+    def push_many(self, source: str, items: list[Any]) -> None:
+        for item in items:
+            self.push(source, item)
+
+    # -- internals ----------------------------------------------------------
+
+    def _deliver(self, src: str, value: Any) -> None:
+        """Send ``value`` down every out-edge of ``src`` (depth-first)."""
+        edges = self._fanout[src]
+        if not edges:
+            return
+        size = None
+        for edge in edges:
+            stats = self.stats.edge_traffic[edge]
+            if size is None:
+                declared = self.graph.operators[src].output_size
+                size = declared if declared is not None else element_size(value)
+            stats.elements += 1
+            stats.bytes += size
+            stats.peak_element_bytes = max(stats.peak_element_bytes, size)
+            self._invoke(edge.dst, edge.dst_port, value)
+
+    def _invoke(self, name: str, port: int, item: Any) -> None:
+        op: Operator = self.graph.operators[name]
+        stats = self.stats.operators[name]
+        stats.invocations += 1
+        stats.inputs += 1
+        stats.counts.add(invocations=1.0)
+
+        emitted: list[Any] = []
+        ctx = OperatorContext(self._state[name], emitted.append, stats.counts)
+        if op.work is not None:
+            op.work(ctx, port, item)
+        stats.outputs += len(emitted)
+        for value in emitted:
+            self._deliver(name, value)
+
+
+def run_graph(
+    graph: StreamGraph,
+    source_data: dict[str, list[Any]],
+    round_robin: bool = True,
+) -> Executor:
+    """Run a graph to completion on per-source input traces.
+
+    With ``round_robin=True`` sources are interleaved element-by-element
+    (matching simultaneous sampling of multiple sensors); otherwise each
+    source's trace is drained in full before the next.
+    """
+    executor = Executor(graph)
+    missing = set(source_data) - set(graph.sources)
+    if missing:
+        raise GraphError(f"not source operators: {sorted(missing)}")
+    if round_robin:
+        iterators = {name: iter(items) for name, items in source_data.items()}
+        live = dict(iterators)
+        while live:
+            for name in list(live):
+                try:
+                    item = next(live[name])
+                except StopIteration:
+                    del live[name]
+                    continue
+                executor.push(name, item)
+    else:
+        for name, items in source_data.items():
+            executor.push_many(name, items)
+    return executor

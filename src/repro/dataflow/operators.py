@@ -1,0 +1,251 @@
+"""Reusable operator work functions and state factories.
+
+These are the library combinators applications are built from — the
+equivalents of the FIRFilter / zipN / windowing helpers in the paper's
+Figure 1.  Each work function reports its primitive work through
+``ctx.count`` so the profiler can price it on any platform.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from typing import Any
+
+import numpy as np
+
+from .builder import GraphBuilder, Stream
+from .graph import OperatorContext
+
+
+# ---------------------------------------------------------------------------
+# FIR filtering (paper Fig. 1, FIRFilter)
+# ---------------------------------------------------------------------------
+
+def fir_filter(
+    builder: GraphBuilder,
+    name: str,
+    stream: Stream,
+    coefficients: np.ndarray,
+) -> Stream:
+    """Streaming FIR filter over scalar samples.
+
+    Stateful: keeps the last ``len(coefficients)`` samples in a FIFO, just
+    like the WaveScript version.  Cost: one multiply-accumulate per tap per
+    sample (counted as float ops) plus the FIFO shuffling (memory ops).
+    """
+    coefficients = np.asarray(coefficients, dtype=float)
+    taps = len(coefficients)
+
+    def make_state() -> deque:
+        fifo: deque = deque([0.0] * (taps - 1), maxlen=taps)
+        return fifo
+
+    def work(ctx: OperatorContext, port: int, item: Any) -> None:
+        fifo: deque = ctx.state
+        fifo.append(float(item))
+        total = 0.0
+        for i, coef in enumerate(coefficients):
+            total += coef * fifo[i]
+        ctx.count(float_ops=2.0 * taps, mem_ops=2.0 * taps,
+                  loop_iterations=taps)
+        ctx.emit(total)
+
+    return builder.iterate(name, stream, work, make_state=make_state)
+
+
+def fir_filter_block(
+    builder: GraphBuilder,
+    name: str,
+    stream: Stream,
+    coefficients: np.ndarray,
+) -> Stream:
+    """FIR filter over *array* elements (one window per stream element).
+
+    Carries filter state across windows so the output is identical to
+    sample-at-a-time filtering; vectorised internally for speed, but the
+    reported work is per-sample identical to :func:`fir_filter`.
+    """
+    coefficients = np.asarray(coefficients, dtype=float)
+    taps = len(coefficients)
+
+    def make_state() -> dict:
+        return {"tail": np.zeros(taps - 1)}
+
+    def work(ctx: OperatorContext, port: int, item: Any) -> None:
+        block = np.asarray(item, dtype=float)
+        padded = np.concatenate([ctx.state["tail"], block])
+        # Convolution in "streaming" alignment: output[n] depends on
+        # samples n-taps+1 .. n.
+        out = np.convolve(padded, coefficients[::-1], mode="valid")
+        if taps > 1:
+            ctx.state["tail"] = padded[-(taps - 1):]
+        n = len(block)
+        ctx.count(float_ops=2.0 * taps * n, mem_ops=2.0 * taps * n,
+                  loop_iterations=float(taps * n))
+        ctx.emit(out)
+
+    return builder.iterate(name, stream, work, make_state=make_state)
+
+
+# ---------------------------------------------------------------------------
+# Even/odd polyphase split (paper Fig. 1, GetEven / GetOdd)
+# ---------------------------------------------------------------------------
+
+def get_even(builder: GraphBuilder, name: str, stream: Stream) -> Stream:
+    """Keep even-indexed samples of each window (polyphase branch)."""
+
+    def work(ctx: OperatorContext, port: int, item: Any) -> None:
+        block = np.asarray(item)
+        out = block[0::2]
+        ctx.count(mem_ops=float(len(out)), int_ops=float(len(out)),
+                  loop_iterations=float(len(out)))
+        ctx.emit(out)
+
+    return builder.iterate(name, stream, work)
+
+
+def get_odd(builder: GraphBuilder, name: str, stream: Stream) -> Stream:
+    """Keep odd-indexed samples of each window (polyphase branch)."""
+
+    def work(ctx: OperatorContext, port: int, item: Any) -> None:
+        block = np.asarray(item)
+        out = block[1::2]
+        ctx.count(mem_ops=float(len(out)), int_ops=float(len(out)),
+                  loop_iterations=float(len(out)))
+        ctx.emit(out)
+
+    return builder.iterate(name, stream, work)
+
+
+def add_streams(
+    builder: GraphBuilder,
+    name: str,
+    left: Stream,
+    right: Stream,
+) -> Stream:
+    """Element-wise sum of two aligned streams (AddOddAndEven).
+
+    Stateful: buffers whichever side arrives first.  Marked loss-tolerant
+    is *not* appropriate here — losing one side desynchronises the pair —
+    which is exactly the paper's argument for conservative mode.
+    """
+
+    def make_state() -> dict:
+        return {0: deque(), 1: deque()}
+
+    def work(ctx: OperatorContext, port: int, item: Any) -> None:
+        queues = ctx.state
+        queues[port].append(item)
+        while queues[0] and queues[1]:
+            a = np.asarray(queues[0].popleft(), dtype=float)
+            b = np.asarray(queues[1].popleft(), dtype=float)
+            n = min(len(a), len(b))
+            ctx.count(float_ops=float(n), mem_ops=2.0 * n,
+                      loop_iterations=float(n))
+            ctx.emit(a[:n] + b[:n])
+
+    return builder.merge(name, [left, right], work, make_state=make_state)
+
+
+def zip_n(
+    builder: GraphBuilder,
+    name: str,
+    streams: list[Stream],
+    output_size: int | None = None,
+) -> Stream:
+    """Synchronise N streams: emit a tuple once every input has an element."""
+    n = len(streams)
+
+    def make_state() -> list[deque]:
+        return [deque() for _ in range(n)]
+
+    def work(ctx: OperatorContext, port: int, item: Any) -> None:
+        queues = ctx.state
+        queues[port].append(item)
+        while all(queues):
+            ctx.count(mem_ops=float(n), loop_iterations=float(n))
+            ctx.emit(tuple(q.popleft() for q in queues))
+
+    return builder.merge(name, streams, work, make_state=make_state,
+                         output_size=output_size)
+
+
+# ---------------------------------------------------------------------------
+# Windowing / rebuffering
+# ---------------------------------------------------------------------------
+
+def rewindow(
+    builder: GraphBuilder,
+    name: str,
+    stream: Stream,
+    window: int,
+    hop: int | None = None,
+) -> Stream:
+    """Regroup a stream of arrays into windows of ``window`` samples.
+
+    With ``hop < window`` windows overlap; with ``hop == window`` (default)
+    they tile.  Equivalent of WaveScript's Sigseg rewindowing.
+    """
+    hop = window if hop is None else hop
+    if hop <= 0 or window <= 0:
+        raise ValueError("window and hop must be positive")
+
+    def make_state() -> dict:
+        return {"buffer": np.zeros(0)}
+
+    def work(ctx: OperatorContext, port: int, item: Any) -> None:
+        buffer = np.concatenate([ctx.state["buffer"], np.asarray(item)])
+        emitted = 0
+        while len(buffer) >= window:
+            ctx.emit(buffer[:window].copy())
+            buffer = buffer[hop:]
+            emitted += 1
+        ctx.state["buffer"] = buffer
+        ctx.count(mem_ops=float(len(np.asarray(item)) + emitted * window),
+                  loop_iterations=float(emitted))
+
+    return builder.iterate(name, stream, work, make_state=make_state)
+
+
+def decimate(
+    builder: GraphBuilder,
+    name: str,
+    stream: Stream,
+    factor: int,
+) -> Stream:
+    """Keep one element in every ``factor`` (counts elements, stateful)."""
+    if factor < 1:
+        raise ValueError("decimation factor must be >= 1")
+
+    def make_state() -> dict:
+        return {"count": 0}
+
+    def work(ctx: OperatorContext, port: int, item: Any) -> None:
+        ctx.count(int_ops=1.0)
+        if ctx.state["count"] % factor == 0:
+            ctx.emit(item)
+        ctx.state["count"] += 1
+
+    return builder.iterate(name, stream, work, make_state=make_state,
+                           loss_tolerant=True)
+
+
+def constant_cost_map(
+    builder: GraphBuilder,
+    name: str,
+    stream: Stream,
+    fn: Callable[[Any], Any],
+    float_ops_per_item: float = 0.0,
+    int_ops_per_item: float = 0.0,
+    mem_ops_per_item: float = 0.0,
+    output_size: int | None = None,
+) -> Stream:
+    """Stateless map with a fixed per-element primitive-work bill."""
+
+    def work(ctx: OperatorContext, port: int, item: Any) -> None:
+        ctx.count(float_ops=float_ops_per_item, int_ops=int_ops_per_item,
+                  mem_ops=mem_ops_per_item)
+        ctx.emit(fn(item))
+
+    return builder.iterate(name, stream, work, output_size=output_size)

@@ -1,0 +1,52 @@
+"""Serialized element-size estimation.
+
+The profiler needs bytes-per-element for every stream in order to turn
+measured element rates into bandwidths (the ``r_uv`` edge costs of the ILP).
+Operators can declare a fixed ``output_size``; otherwise we measure the
+values flowing at profile time using the same width conventions as the
+embedded code generators: 16-bit samples stay 16-bit, floats are 32-bit
+(the TinyOS/MSP430 backend uses single precision), sequences serialize
+element-by-element with no framing overhead (framing is added by the
+runtime's packetizer, not the stream).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+#: Serialized width of a scalar Python float (C ``float`` on embedded targets).
+FLOAT_BYTES = 4
+#: Serialized width of a scalar Python int (C ``int32_t``).
+INT_BYTES = 4
+#: Serialized width of a bool flag.
+BOOL_BYTES = 1
+
+
+def element_size(value: Any) -> int:
+    """Serialized size in bytes of one stream element."""
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, bool) or isinstance(value, np.bool_):
+        return BOOL_BYTES
+    if isinstance(value, (int, np.integer)):
+        if isinstance(value, (np.int16, np.uint16)):
+            return 2
+        if isinstance(value, (np.int8, np.uint8)):
+            return 1
+        return INT_BYTES
+    if isinstance(value, (float, np.floating)):
+        if isinstance(value, np.float64):
+            # Embedded backends downcast to single precision.
+            return FLOAT_BYTES
+        return FLOAT_BYTES
+    if isinstance(value, (tuple, list)):
+        return sum(element_size(v) for v in value)
+    if isinstance(value, dict):
+        return sum(element_size(v) for v in value.values())
+    if value is None:
+        return 0
+    raise TypeError(f"cannot size stream element of type {type(value)!r}")

@@ -1,0 +1,81 @@
+"""Structural validation of stream graphs.
+
+Checks the invariants the rest of the system relies on:
+
+* the graph is a DAG (topological order exists);
+* sources live in the Node namespace, sinks in the server namespace;
+* every non-source operator is reachable from a source (no dead inputs);
+* input ports of every operator are contiguous starting at 0;
+* namespace consistency: data never flows from a server-namespace operator
+  back into a Node-namespace operator (the logical partition of Fig. 2 is
+  one-way, which is what permits the restricted ILP of Section 4.2).
+"""
+
+from __future__ import annotations
+
+from .graph import GraphError, Namespace, StreamGraph
+
+
+def validate_graph(graph: StreamGraph) -> None:
+    """Raise :class:`GraphError` if any structural invariant is violated."""
+    if not graph.operators:
+        raise GraphError("graph has no operators")
+
+    graph.topological_order()  # raises on cycles
+
+    if not graph.sources:
+        raise GraphError("graph has no source operators")
+    if not graph.sinks:
+        raise GraphError("graph has no sink operators")
+
+    for name, op in graph.operators.items():
+        if op.is_source and op.namespace is not Namespace.NODE:
+            raise GraphError(f"source {name!r} not in Node namespace")
+        if op.is_sink and op.namespace is not Namespace.SERVER:
+            raise GraphError(f"sink {name!r} not in server namespace")
+        if not op.is_source and not graph.in_edges(name):
+            raise GraphError(f"operator {name!r} has no inputs")
+        if op.is_source and graph.in_edges(name):
+            raise GraphError(f"source {name!r} has inputs")
+        ports = sorted(e.dst_port for e in graph.in_edges(name))
+        if ports and ports != list(range(len(ports))):
+            raise GraphError(
+                f"operator {name!r} has non-contiguous input ports: {ports}"
+            )
+
+    for edge in graph.edges:
+        src_ns = graph.operators[edge.src].namespace
+        dst_ns = graph.operators[edge.dst].namespace
+        if src_ns is Namespace.SERVER and dst_ns is Namespace.NODE:
+            raise GraphError(
+                f"edge {edge!r} flows from server namespace back to Node "
+                "namespace; the logical partition must be one-way"
+            )
+
+    # Reachability: every sink must be reachable from some source.
+    reachable: set[str] = set()
+    stack = list(graph.sources)
+    while stack:
+        cur = stack.pop()
+        if cur in reachable:
+            continue
+        reachable.add(cur)
+        stack.extend(graph.successors(cur))
+    unreachable_sinks = [s for s in graph.sinks if s not in reachable]
+    if unreachable_sinks:
+        raise GraphError(
+            f"sinks unreachable from any source: {unreachable_sinks}"
+        )
+
+
+def crosses_network_once(graph: StreamGraph, node_set: set[str]) -> bool:
+    """True if no source→sink path crosses the node/server boundary twice.
+
+    ``node_set`` is the set of operators assigned to the embedded node.
+    Because data flows sources→sinks, the single-crossing restriction of
+    Section 2.1.2 is equivalent to: no edge goes server→node.
+    """
+    for edge in graph.edges:
+        if edge.src not in node_set and edge.dst in node_set:
+            return False
+    return True

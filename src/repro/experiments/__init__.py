@@ -1,0 +1,36 @@
+"""Experiment harnesses: one module per paper figure plus ablations.
+
+Each module's ``run()`` regenerates the rows/series the paper reports;
+``benchmarks/`` wraps them with pytest-benchmark and prints the tables,
+and the test suite asserts the qualitative claims hold.
+"""
+
+from . import (
+    common,
+    extensions,
+    fig3,
+    fig5a,
+    fig5b,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    overload,
+    scaling,
+)
+
+__all__ = [
+    "common",
+    "extensions",
+    "fig3",
+    "fig5a",
+    "fig5b",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "overload",
+    "scaling",
+]

@@ -1,0 +1,68 @@
+"""Shared scenario builders for the experiment harnesses.
+
+Profiling runs are cached per parameter set: the paper's methodology
+profiles once and then re-partitions under many budgets/rates (profiles
+scale linearly with rate, §4.3), and our harnesses do the same.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from ..apps.eeg import build_eeg_pipeline, source_rates, synth_eeg
+from ..apps.speech import (
+    FRAMES_PER_SEC,
+    build_speech_pipeline,
+    synth_speech_audio,
+)
+from ..dataflow.graph import StreamGraph
+from ..profiler.profiler import Measurement, Profiler
+from ..profiler.records import GraphProfile
+from ..platforms import get_platform
+
+
+@functools.lru_cache(maxsize=4)
+def speech_measurement(
+    duration_s: float = 2.0, seed: int = 0
+) -> tuple[StreamGraph, Measurement]:
+    """The speech pipeline profiled on synthetic audio."""
+    graph = build_speech_pipeline()
+    audio = synth_speech_audio(duration_s=duration_s, seed=seed)
+    measurement = Profiler(track_peak=False).measure(
+        graph,
+        {"source": audio.frames()},
+        {"source": FRAMES_PER_SEC},
+    )
+    return graph, measurement
+
+
+@functools.lru_cache(maxsize=4)
+def eeg_measurement(
+    n_channels: int = 22, duration_s: float = 8.0, seed: int = 0
+) -> tuple[StreamGraph, Measurement]:
+    """The EEG pipeline profiled on synthetic background EEG."""
+    graph = build_eeg_pipeline(n_channels=n_channels)
+    recording = synth_eeg(
+        n_channels=n_channels,
+        duration_s=duration_s,
+        seizure_intervals=(),
+        seed=seed,
+    )
+    measurement = Profiler(track_peak=False).measure(
+        graph,
+        recording.source_data(),
+        source_rates(n_channels),
+    )
+    return graph, measurement
+
+
+def speech_profile(platform_name: str) -> GraphProfile:
+    """Speech profile on a named platform."""
+    _, measurement = speech_measurement()
+    return measurement.on(get_platform(platform_name))
+
+
+def eeg_profile(platform_name: str, n_channels: int = 22) -> GraphProfile:
+    """EEG profile on a named platform."""
+    _, measurement = eeg_measurement(n_channels=n_channels)
+    return measurement.on(get_platform(platform_name))

@@ -1,0 +1,200 @@
+"""§9 extensions: in-network aggregation, mixed networks, three tiers.
+
+These regenerate the behaviours the paper sketches as future work:
+
+* **Aggregation**: the leak-detection app's network-average ``reduce``
+  operator; comparing root-link load and goodput with the reduce placed
+  on the nodes (in-network aggregation) vs. on the server.
+* **Mixed networks**: "A single logical node partition can take on
+  different physical partitions at different nodes.  This is
+  accomplished simply by running the partitioning algorithm once for
+  each type of node."
+* **Three tiers**: motes -> microservers -> server, via the dedicated
+  ILP in ``repro.core.three_tier``.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+from ..apps.leak import WINDOWS_PER_SEC, build_leak_pipeline, synth_leak_data
+from ..apps.speech import PIPELINE_ORDER
+from ..core.partitioner import (
+    PartitionObjective,
+    RelocationMode,
+    Wishbone,
+)
+from ..core.pinning import compute_pinnings
+from ..core.rate_search import RateSearch
+from ..core.three_tier import (
+    Tier,
+    ThreeTierProblem,
+    build_three_tier_ilp,
+    three_tier_from_two_profiles,
+)
+from ..network.testbed import Testbed
+from ..platforms import get_platform
+from ..profiler.profiler import Measurement, Profiler
+from ..runtime.deployment import Deployment
+from ..solver.branch_bound import BranchAndBound
+from .common import speech_measurement
+
+
+# ---------------------------------------------------------------------------
+# In-network aggregation
+# ---------------------------------------------------------------------------
+
+@functools.lru_cache(maxsize=2)
+def leak_measurement(seed: int = 0) -> tuple[object, Measurement]:
+    graph = build_leak_pipeline()
+    recording = synth_leak_data(duration_s=10.0, leak_start_s=None,
+                                seed=seed)
+    measurement = Profiler(track_peak=False).measure(
+        graph,
+        recording.source_data(),
+        {"vibration": WINDOWS_PER_SEC},
+    )
+    return graph, measurement
+
+
+@dataclass(frozen=True)
+class AggregationRow:
+    n_nodes: int
+    reduce_on_node_pps: float      # root-link packets/s, in-network
+    reduce_on_server_pps: float    # root-link packets/s, centralised
+    goodput_on_node: float
+    goodput_on_server: float
+
+
+def aggregation_sweep(
+    node_counts: tuple[int, ...] = (1, 2, 5, 10, 20, 40),
+    platform_name: str = "tmote",
+) -> list[AggregationRow]:
+    """Root-link load with the reduce in-network vs. centralised."""
+    graph, measurement = leak_measurement()
+    platform = get_platform(platform_name)
+    profile = measurement.on(platform)
+    with_reduce = frozenset(
+        {"vibration", "bandpass", "rms", "netAverage"}
+    )
+    without_reduce = frozenset({"vibration", "bandpass", "rms"})
+    rows: list[AggregationRow] = []
+    for n in node_counts:
+        testbed = Testbed(platform, n_nodes=n)
+        on_node = Deployment(profile, with_reduce, testbed).analyze()
+        on_server = Deployment(profile, without_reduce, testbed).analyze()
+        rows.append(
+            AggregationRow(
+                n_nodes=n,
+                reduce_on_node_pps=on_node.offered_pps,
+                reduce_on_server_pps=on_server.offered_pps,
+                goodput_on_node=on_node.goodput,
+                goodput_on_server=on_server.goodput,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Mixed networks
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MixedNetworkRow:
+    platform: str
+    rate_factor: float
+    cut_after: str
+    node_cpu: float
+    cut_bytes_per_sec: float
+
+
+def mixed_network_partitions(
+    platform_names: tuple[str, ...] = ("tmote", "n80", "meraki"),
+) -> list[MixedNetworkRow]:
+    """One logical program, one physical partition per node type (§9)."""
+    _, measurement = speech_measurement()
+    rows: list[MixedNetworkRow] = []
+    for name in platform_names:
+        profile = measurement.on(get_platform(name))
+        wishbone = Wishbone(
+            objective=PartitionObjective(alpha=0.0, beta=1.0),
+            mode=RelocationMode.PERMISSIVE,
+        )
+        outcome = RateSearch(wishbone, tolerance=0.02).search(profile)
+        if outcome.result is None:
+            rows.append(MixedNetworkRow(name, 0.0, "-", 0.0, 0.0))
+            continue
+        partition = outcome.result.partition
+        cut = max(partition.node_set, key=PIPELINE_ORDER.index)
+        rows.append(
+            MixedNetworkRow(
+                platform=name,
+                rate_factor=outcome.rate_factor,
+                cut_after=cut,
+                node_cpu=partition.cpu_utilization,
+                cut_bytes_per_sec=partition.network_bytes_per_sec,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Three-tier architecture
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ThreeTierReport:
+    problem: ThreeTierProblem
+    assignment: dict[str, Tier]
+    loads: dict[str, float]
+    objective: float
+    solve_seconds: float
+
+
+def speech_three_tier(
+    mote: str = "tmote",
+    micro: str = "meraki",
+    mote_net_budget: float = 1500.0,
+    micro_net_budget: float = 50_000.0,
+    rate_factor: float = 0.1,
+) -> ThreeTierReport:
+    """Partition the speech pipeline across mote / microserver / server.
+
+    The microserver (a Meraki-class gateway, per the Triage-style setup
+    the paper cites) has ~15x the mote's CPU and a WiFi backhaul; the
+    mote keeps its CC2420 budget.  The expected outcome: cheap front-end
+    stages on the mote, the float-heavy middle on the microserver, the
+    rest on the server.
+    """
+    import time
+
+    graph, measurement = speech_measurement()
+    mote_profile = measurement.on(get_platform(mote)).scaled(rate_factor)
+    micro_profile = measurement.on(get_platform(micro)).scaled(rate_factor)
+    pins = compute_pinnings(graph, RelocationMode.PERMISSIVE)
+    problem = three_tier_from_two_profiles(
+        mote_profile,
+        micro_profile,
+        pins,
+        mote_cpu_budget=get_platform(mote).cpu_budget_fraction,
+        micro_cpu_budget=get_platform(micro).cpu_budget_fraction,
+        mote_net_budget=mote_net_budget,
+        micro_net_budget=micro_net_budget,
+        alphas=(0.0, 0.0),
+        betas=(1.0, 0.05),  # mote radio 20x more precious than backhaul
+    )
+    model = build_three_tier_ilp(problem)
+    start = time.perf_counter()
+    solution = BranchAndBound().solve(model.program)
+    elapsed = time.perf_counter() - start
+    if not solution.status.has_solution:
+        raise RuntimeError(f"three-tier solve failed: {solution.status}")
+    assignment = model.assignment(solution.values)
+    return ThreeTierReport(
+        problem=problem,
+        assignment=assignment,
+        loads=problem.loads(assignment),
+        objective=problem.objective(assignment),
+        solve_seconds=elapsed,
+    )

@@ -1,0 +1,56 @@
+"""Figure 10: goodput for 1 TMote vs. a 20-TMote network, per cutpoint.
+
+"For the case of a single TMote, peak throughput rate occurs at the 4th
+cut point (filterbank), while for the whole TMote network in aggregate,
+peak throughput occurs at the 6th and final cut point (cepstral). [...]
+a many node network is limited by the same bottleneck as a network of
+only one node: the single link at the root of the routing tree.  At the
+final cut point, the problem becomes compute bound and the aggregate
+power of the 20 TMote network makes it more potent than the single node."
+
+Also reproduced here: the Meraki result of §7.3.1 — ~15x the TMote's CPU
+but >=10x the bandwidth, so its optimal cutpoint is 1 (ship raw data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps.speech import DEPLOYMENT_CUTPOINTS
+from .fig9 import Fig9Row, run as run_fig9
+
+
+@dataclass
+class Fig10Result:
+    single: list[Fig9Row]   # n_nodes = 1
+    network: list[Fig9Row]  # n_nodes = 20
+
+    def peak_cut_single(self) -> int:
+        return max(self.single, key=lambda r: r.goodput).cut_index
+
+    def peak_cut_network(self) -> int:
+        return max(self.network, key=lambda r: r.goodput).cut_index
+
+
+def run(
+    platform_name: str = "tmote",
+    network_size: int = 20,
+    rate_factor: float = 1.0,
+) -> Fig10Result:
+    return Fig10Result(
+        single=run_fig9(platform_name, n_nodes=1, rate_factor=rate_factor),
+        network=run_fig9(
+            platform_name, n_nodes=network_size, rate_factor=rate_factor
+        ),
+    )
+
+
+def meraki_best_cut(rate_factor: float = 1.0) -> tuple[int, list[Fig9Row]]:
+    """Best cutpoint for a single Meraki Mini (§7.3.1 expects cut 1)."""
+    rows = run_fig9("meraki", n_nodes=1, rate_factor=rate_factor)
+    best = max(rows, key=lambda r: r.goodput)
+    return best.cut_index, rows
+
+
+def cutpoint_labels() -> tuple[str, ...]:
+    return DEPLOYMENT_CUTPOINTS

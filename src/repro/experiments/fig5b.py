@@ -1,0 +1,61 @@
+"""Figure 5(b): compute-bound sustainable rate per cutpoint per platform.
+
+"For each viable cut-point, we show the maximum data-rate supported on
+each hardware platform. [...] Bars falling under the horizontal line
+indicate that the platform cannot be expected to keep up with the full
+(8 kHz) data rate."
+
+The rate multiple at a cut is 1 / (CPU utilization of the node-side
+prefix at the native rate) — purely compute-bound, as in the figure.
+Expected shape: TMote worst; N80 only ~2x better despite a 55x clock;
+iPhone ~3x worse than its clock peer (DVFS); Scheme (server) far above 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps.speech import PIPELINE_ORDER, VIABLE_CUTPOINTS
+from ..platforms import FIG5B_PLATFORMS, get_platform
+from .common import speech_measurement
+
+
+@dataclass(frozen=True)
+class Fig5bBar:
+    cutpoint: str
+    cutpoint_position: int   # 1-based position in the pipeline
+    platform: str
+    rate_multiple: float     # max sustainable multiple of 8 kHz
+    keeps_up: bool           # rate_multiple >= 1.0
+
+
+def run(
+    platforms: tuple[str, ...] = FIG5B_PLATFORMS,
+    cutpoints: tuple[str, ...] = VIABLE_CUTPOINTS,
+) -> list[Fig5bBar]:
+    _, measurement = speech_measurement()
+    bars: list[Fig5bBar] = []
+    for platform_name in platforms:
+        profile = measurement.on(get_platform(platform_name))
+        for cut in cutpoints:
+            index = PIPELINE_ORDER.index(cut)
+            prefix = set(PIPELINE_ORDER[: index + 1])
+            utilization = profile.node_cpu_utilization(prefix)
+            rate = 1.0 / utilization if utilization > 0 else float("inf")
+            bars.append(
+                Fig5bBar(
+                    cutpoint=cut,
+                    cutpoint_position=index + 1,
+                    platform=platform_name,
+                    rate_multiple=rate,
+                    keeps_up=rate >= 1.0,
+                )
+            )
+    return bars
+
+
+def platform_rates(bars: list[Fig5bBar], cutpoint: str) -> dict[str, float]:
+    """platform -> rate multiple at one cutpoint."""
+    return {
+        b.platform: b.rate_multiple for b in bars if b.cutpoint == cutpoint
+    }

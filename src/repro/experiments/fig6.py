@@ -1,0 +1,133 @@
+"""Figure 6: CDF of solver time to find vs. to prove the optimal partition.
+
+The paper invokes lp_solve 2100 times on the full EEG application (1412
+operators), linearly varying the data rate "to cover everything from
+'everything fits easily' to 'nothing fits'", and plots two CDFs: the time
+at which the optimal solution was *discovered* and the time required to
+*prove* it optimal.  The discover curve sits roughly an order of
+magnitude left of the prove curve.
+
+Our branch-and-bound solver records both timestamps natively
+(``Solution.discover_elapsed`` / ``prove_elapsed``).  Absolute times are
+not comparable to a 2009 Xeon running lp_solve; the reproduced claims are
+the *shape*: every run terminates, the typical case is far below the
+worst case, and proving takes consistently longer than finding.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.cut import InfeasiblePartition
+from ..core.partitioner import (
+    Formulation,
+    PartitionObjective,
+    RelocationMode,
+    Wishbone,
+)
+from ..platforms import get_platform
+from .common import eeg_measurement
+
+#: Environment variable to scale the number of solver invocations
+#: (paper: 2100; default here is small enough for CI).
+RUNS_ENV = "REPRO_FIG6_RUNS"
+#: Environment variable to scale the EEG channel count (paper: 22).
+CHANNELS_ENV = "REPRO_FIG6_CHANNELS"
+
+
+@dataclass(frozen=True)
+class Fig6Sample:
+    rate_factor: float
+    discover_seconds: float
+    prove_seconds: float
+    nodes_explored: int
+    feasible: bool
+    node_operators: int
+
+
+@dataclass
+class Fig6Result:
+    samples: list[Fig6Sample]
+    graph_operators: int
+
+    def cdf(self, which: str = "discover") -> tuple[np.ndarray, np.ndarray]:
+        """(sorted seconds, percentile) for the chosen curve."""
+        if which == "discover":
+            values = [s.discover_seconds for s in self.samples if s.feasible]
+        elif which == "prove":
+            values = [s.prove_seconds for s in self.samples if s.feasible]
+        else:
+            raise ValueError("which must be 'discover' or 'prove'")
+        data = np.sort(np.array(values))
+        percentiles = (
+            100.0 * (np.arange(len(data)) + 1) / max(len(data), 1)
+        )
+        return data, percentiles
+
+    def percentile(self, which: str, pct: float) -> float:
+        data, _ = self.cdf(which)
+        if len(data) == 0:
+            return float("nan")
+        return float(np.percentile(data, pct))
+
+
+def run(
+    n_runs: int | None = None,
+    n_channels: int | None = None,
+    max_factor: float = 40.0,
+    lp_engine: str = "scipy",
+    gap_tolerance: float = 5e-3,
+    time_limit: float | None = 30.0,
+) -> Fig6Result:
+    """Sweep data rates, partitioning the full EEG graph at each.
+
+    ``gap_tolerance`` defaults to 0.5 %: the 22 identical channels make
+    the instance massively symmetric and the CPU-budget knapsack keeps an
+    LP-IP gap open, so proving *exact* optimality reproduces the paper's
+    12-minute worst-case "time to prove" tail.  A sub-percent gap keeps
+    the discovered partitions identical while making proofs tractable;
+    set ``gap_tolerance=0`` to reproduce the full tail behaviour.
+    """
+    if n_runs is None:
+        n_runs = int(os.environ.get(RUNS_ENV, "21"))
+    if n_channels is None:
+        n_channels = int(os.environ.get(CHANNELS_ENV, "22"))
+    graph, measurement = eeg_measurement(n_channels=n_channels)
+    profile = measurement.on(get_platform("tmote"))
+
+    wishbone = Wishbone(
+        objective=PartitionObjective(alpha=0.0, beta=1.0),
+        mode=RelocationMode.PERMISSIVE,
+        formulation=Formulation.RESTRICTED,
+        cpu_budget=1.0,
+        net_budget=float("inf"),
+        lp_engine=lp_engine,
+        gap_tolerance=gap_tolerance,
+        time_limit=time_limit,
+    )
+    factors = np.linspace(0.25, max_factor, n_runs)
+    samples: list[Fig6Sample] = []
+    for factor in factors:
+        scaled = profile.scaled(float(factor))
+        try:
+            result = wishbone.partition(scaled)
+        except InfeasiblePartition:
+            samples.append(
+                Fig6Sample(float(factor), 0.0, 0.0, 0, False, 0)
+            )
+            continue
+        solution = result.solution
+        samples.append(
+            Fig6Sample(
+                rate_factor=float(factor),
+                discover_seconds=solution.discover_elapsed,
+                prove_seconds=solution.prove_elapsed,
+                nodes_explored=solution.nodes_explored,
+                feasible=True,
+                node_operators=len(result.partition.node_set),
+            )
+        )
+    return Fig6Result(samples=samples, graph_operators=len(graph))

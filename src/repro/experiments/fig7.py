@@ -1,0 +1,65 @@
+"""Figure 7: per-operator CPU time and output bandwidth along the speech
+pipeline, profiled for the TMote Sky.
+
+"Each vertical impulse represents the number of microseconds of CPU time
+consumed by that operator per frame (left scale), while the line
+represents the number of bytes per second output by that operator."
+
+Reproduced anchors: ~400-byte source frames reduced to 128 bytes after
+the filterbank and 52 bytes after the DCT; cumulative compute of roughly
+250 ms through the filterbank and ~2 s through the cepstral stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps.speech import PIPELINE_ORDER
+from ..platforms import get_platform
+from .common import speech_measurement
+
+
+@dataclass(frozen=True)
+class Fig7Row:
+    operator: str
+    microseconds_per_frame: float
+    cumulative_ms: float
+    bytes_per_frame: float
+    bytes_per_sec: float
+
+
+def run(platform_name: str = "tmote") -> list[Fig7Row]:
+    graph, measurement = speech_measurement()
+    profile = measurement.on(get_platform(platform_name))
+    n_frames = measurement.stats.source_inputs["source"]
+    rows: list[Fig7Row] = []
+    cumulative = 0.0
+    for name in PIPELINE_ORDER:
+        op = profile.operators[name]
+        per_frame = op.seconds / n_frames
+        cumulative += per_frame
+        out_edges = [e for e in graph.edges if e.src == name]
+        if out_edges:
+            edge_profile = profile.edges[out_edges[0]]
+            bytes_per_frame = edge_profile.mean_element_bytes
+            bytes_per_sec = edge_profile.bytes_per_sec
+        else:
+            bytes_per_frame = 0.0
+            bytes_per_sec = 0.0
+        rows.append(
+            Fig7Row(
+                operator=name,
+                microseconds_per_frame=per_frame * 1e6,
+                cumulative_ms=cumulative * 1e3,
+                bytes_per_frame=bytes_per_frame,
+                bytes_per_sec=bytes_per_sec,
+            )
+        )
+    return rows
+
+
+def cumulative_ms_at(rows: list[Fig7Row], operator: str) -> float:
+    for row in rows:
+        if row.operator == operator:
+            return row.cumulative_ms
+    raise KeyError(operator)

@@ -1,0 +1,82 @@
+"""Figure 8: normalized cumulative CPU usage across platforms.
+
+"For each platform processing the complete operator graph, Figure 8 shows
+the fraction of time consumed by each operator.  If the time required for
+each operator scaled linearly with the overall speed of the platform, all
+three lines would be identical. [...] a model that assumes the relative
+costs of operators are the same on all platforms would mis-estimate costs
+by over an order of magnitude."
+
+The reproduced claims: the three curves differ, the mote spends a far
+larger fraction in the float/libm-heavy ``cepstrals`` stage than the PC,
+and the worst per-operator relative-cost mis-estimate exceeds 10x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps.speech import PIPELINE_ORDER
+from ..platforms import get_platform
+from .common import speech_measurement
+
+#: Paper's Figure 8 legend: Mote, N80, PC.
+DEFAULT_PLATFORMS = ("tmote", "n80", "server")
+
+
+@dataclass(frozen=True)
+class Fig8Row:
+    operator: str
+    fractions: dict[str, float]             # platform -> fraction of total
+    cumulative_fractions: dict[str, float]  # platform -> running sum
+
+
+@dataclass
+class Fig8Result:
+    rows: list[Fig8Row]
+    platforms: tuple[str, ...]
+
+    def max_relative_misestimate(
+        self, reference: str = "server"
+    ) -> float:
+        """Worst-case per-operator cost ratio if one assumed the reference
+        platform's relative costs everywhere."""
+        worst = 1.0
+        for row in self.rows:
+            ref = row.fractions[reference]
+            for platform, fraction in row.fractions.items():
+                if platform == reference or ref <= 0 or fraction <= 0:
+                    continue
+                ratio = fraction / ref
+                worst = max(worst, ratio, 1.0 / ratio)
+        return worst
+
+
+def run(platforms: tuple[str, ...] = DEFAULT_PLATFORMS) -> Fig8Result:
+    _, measurement = speech_measurement()
+    profiles = {
+        name: measurement.on(get_platform(name)) for name in platforms
+    }
+    totals = {
+        name: sum(
+            profiles[name].operators[op].seconds for op in PIPELINE_ORDER
+        )
+        for name in platforms
+    }
+    rows: list[Fig8Row] = []
+    running = {name: 0.0 for name in platforms}
+    for op in PIPELINE_ORDER:
+        fractions = {
+            name: profiles[name].operators[op].seconds / totals[name]
+            for name in platforms
+        }
+        for name in platforms:
+            running[name] += fractions[name]
+        rows.append(
+            Fig8Row(
+                operator=op,
+                fractions=fractions,
+                cumulative_fractions=dict(running),
+            )
+        )
+    return Fig8Result(rows=rows, platforms=tuple(platforms))

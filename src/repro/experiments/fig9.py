@@ -1,0 +1,69 @@
+"""Figure 9: loss-rate measurements, one TMote plus basestation.
+
+"Lines show the percentage of input data processed, the percentage of
+network messages received, and the product of these: the goodput."
+
+The shape to reproduce (§7.3): at early cutpoints the offered data rate
+"drives the network reception rate to zero"; at late cutpoints the CPU
+"is busy for long periods, missing input events"; in the middle "even an
+underpowered TMote can process 10% of sample windows" — the peak at
+cut 4, the filterbank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps.speech import DEPLOYMENT_CUTPOINTS, node_set_for_cut
+from ..network.testbed import Testbed
+from ..platforms import get_platform
+from ..runtime.deployment import Deployment
+from .common import speech_measurement
+
+
+@dataclass(frozen=True)
+class Fig9Row:
+    cut_index: int           # 1-based, as in the figure's x-axis
+    cutpoint: str
+    input_fraction: float    # percent input received / 100
+    msg_reception: float     # percent network msgs received / 100
+    goodput: float           # their product
+
+
+def run(
+    platform_name: str = "tmote",
+    n_nodes: int = 1,
+    rate_factor: float = 1.0,
+) -> list[Fig9Row]:
+    """Evaluate every deployment cutpoint on an ``n_nodes`` testbed."""
+    graph, measurement = speech_measurement()
+    platform = get_platform(platform_name)
+    profile = measurement.on(platform).scaled(rate_factor)
+    testbed = Testbed(platform, n_nodes=n_nodes)
+    rows: list[Fig9Row] = []
+    for index, cut in enumerate(DEPLOYMENT_CUTPOINTS, start=1):
+        node_set = node_set_for_cut(graph, cut)
+        prediction = Deployment(profile, node_set, testbed).analyze()
+        rows.append(
+            Fig9Row(
+                cut_index=index,
+                cutpoint=cut,
+                input_fraction=prediction.input_fraction,
+                msg_reception=prediction.msg_reception,
+                goodput=prediction.goodput,
+            )
+        )
+    return rows
+
+
+def peak_cut(rows: list[Fig9Row]) -> Fig9Row:
+    """The cutpoint with the best goodput."""
+    return max(rows, key=lambda r: r.goodput)
+
+
+def best_to_worst_ratio(rows: list[Fig9Row]) -> float:
+    """Best goodput over worst *nonzero* goodput (the ~20x claim)."""
+    nonzero = [r.goodput for r in rows if r.goodput > 1e-6]
+    if not nonzero:
+        return float("inf")
+    return max(nonzero) / min(nonzero)

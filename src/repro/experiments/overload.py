@@ -1,0 +1,117 @@
+"""§7.3.1 overload analysis: network profiling + rate binary search.
+
+Reproduces the deployment workflow the paper walks through:
+
+1. profile the network for a target reception rate (90 %) — the tool
+   returns a maximum send rate in msgs/s and bytes/s;
+2. binary-search the input data rate for the highest rate with a feasible
+   partition ("binary search found that the highest data rate for which a
+   partition was possible ... was at 3 input events per second"), with
+   the expected optimal cut right after the filterbank;
+3. quantify the additive-cost prediction error ("on the Gumstix ... the
+   application was predicted to use 11.5 % CPU based on profiling data.
+   When measured, the application used 15 %").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps.speech import FRAMES_PER_SEC, PIPELINE_ORDER
+from ..core.partitioner import (
+    Formulation,
+    PartitionObjective,
+    RelocationMode,
+    Wishbone,
+)
+from ..core.rate_search import RateSearch
+from ..network.netprofiler import NetworkProfiler
+from ..network.testbed import Testbed
+from ..platforms import get_platform
+from .common import speech_measurement
+
+
+@dataclass
+class OverloadReport:
+    target_reception: float
+    max_send_pps_per_node: float
+    max_send_bytes_per_node: float
+    max_rate_factor: float
+    max_events_per_sec: float
+    chosen_cut: tuple[str, ...]
+    chosen_cut_is_filterbank_prefix: bool
+    probes: int
+
+
+def run(
+    platform_name: str = "tmote",
+    n_nodes: int = 1,
+    target_reception: float = 0.9,
+) -> OverloadReport:
+    """Network profile + §4.3 rate search on the speech application."""
+    platform = get_platform(platform_name)
+    _, measurement = speech_measurement()
+    profile = measurement.on(platform)
+
+    testbed = Testbed(platform, n_nodes=n_nodes)
+    network_profile = NetworkProfiler(testbed).profile(target_reception)
+    net_budget = network_profile.max_send_bytes_per_sec
+
+    wishbone = Wishbone(
+        objective=PartitionObjective(alpha=0.0, beta=1.0),
+        mode=RelocationMode.PERMISSIVE,
+        formulation=Formulation.RESTRICTED,
+        net_budget=net_budget,
+    )
+    search = RateSearch(wishbone, tolerance=0.01)
+    outcome = search.search(profile)
+
+    node_ops: tuple[str, ...] = ()
+    if outcome.result is not None:
+        node_ops = tuple(
+            sorted(
+                outcome.result.partition.node_set,
+                key=PIPELINE_ORDER.index,
+            )
+        )
+    filterbank_prefix = tuple(PIPELINE_ORDER[: PIPELINE_ORDER.index(
+        "filtbank") + 1])
+    return OverloadReport(
+        target_reception=target_reception,
+        max_send_pps_per_node=network_profile.max_send_pps,
+        max_send_bytes_per_node=network_profile.max_send_bytes_per_sec,
+        max_rate_factor=outcome.rate_factor,
+        max_events_per_sec=outcome.rate_factor * FRAMES_PER_SEC,
+        chosen_cut=node_ops,
+        chosen_cut_is_filterbank_prefix=node_ops == filterbank_prefix,
+        probes=outcome.probes,
+    )
+
+
+@dataclass
+class OverheadRow:
+    platform: str
+    predicted_cpu: float   # profiler prediction at the native rate
+    deployed_cpu: float    # including the OS-overhead factor
+    overhead_factor: float
+
+
+def prediction_error(
+    platforms: tuple[str, ...] = ("gumstix", "tmote", "n80", "meraki"),
+) -> list[OverheadRow]:
+    """Predicted vs. deployed CPU for the whole pipeline on the node."""
+    _, measurement = speech_measurement()
+    rows: list[OverheadRow] = []
+    for name in platforms:
+        platform = get_platform(name)
+        profile = measurement.on(platform)
+        predicted = profile.node_cpu_utilization(set(PIPELINE_ORDER))
+        rows.append(
+            OverheadRow(
+                platform=name,
+                predicted_cpu=predicted,
+                deployed_cpu=predicted * platform.os_overhead_factor,
+                overhead_factor=platform.os_overhead_factor,
+            )
+        )
+    return rows

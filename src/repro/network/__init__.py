@@ -1,0 +1,14 @@
+"""Network simulation: routing trees, shared-channel testbeds, profiling."""
+
+from .netprofiler import NetworkProfile, NetworkProfiler, RampPoint
+from .testbed import ChannelReport, Testbed
+from .topology import RoutingTree
+
+__all__ = [
+    "ChannelReport",
+    "NetworkProfile",
+    "NetworkProfiler",
+    "RampPoint",
+    "RoutingTree",
+    "Testbed",
+]

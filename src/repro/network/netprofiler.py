@@ -1,0 +1,120 @@
+"""The network profiling tool (paper §7.3.1).
+
+"The first step in deploying Wishbone is to profile the network topology
+in the deployment environment. [...] We run a portable WaveScript program
+that measures the goodput from each node in the network.  This tool sends
+packets from all nodes at an identical rate, which gradually increases.
+[...] Our profiling tool takes as input a target reception rate (e.g.
+90%), and returns a maximum send rate (in msgs/sec and bytes/sec) that
+the network can maintain."
+
+We reproduce the tool against the simulated testbed: ramp the per-node
+send rate, record the measured reception curve, and return the highest
+rate that sustains the target.  The curve itself is useful output — it is
+the "baseline drop rate then dramatic drop-off" shape the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .testbed import Testbed
+
+
+@dataclass(frozen=True)
+class RampPoint:
+    """One step of the profiling ramp."""
+
+    per_node_pps: float
+    aggregate_pps: float
+    reception_fraction: float
+    goodput_pps: float
+
+
+@dataclass
+class NetworkProfile:
+    """Result of a profiling run.
+
+    Attributes:
+        ramp: measured reception at each probed rate, increasing.
+        target_reception: the requested target.
+        max_send_pps: highest per-node packet rate meeting the target.
+        max_send_bytes_per_sec: same, in payload bytes/s.
+    """
+
+    ramp: list[RampPoint]
+    target_reception: float
+    max_send_pps: float
+    max_send_bytes_per_sec: float
+
+
+class NetworkProfiler:
+    """Ramp-based network profiler.
+
+    Args:
+        testbed: the deployment to profile.
+        start_pps: initial per-node send rate.
+        growth: multiplicative ramp step (> 1).
+        max_steps: ramp length bound.
+    """
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        start_pps: float = 0.25,
+        growth: float = 1.25,
+        max_steps: int = 60,
+    ) -> None:
+        if growth <= 1.0:
+            raise ValueError("growth must be > 1")
+        self.testbed = testbed
+        self.start_pps = start_pps
+        self.growth = growth
+        self.max_steps = max_steps
+
+    def profile(self, target_reception: float = 0.9) -> NetworkProfile:
+        """Ramp rates and return the max rate meeting the target reception."""
+        if not 0.0 < target_reception <= 1.0:
+            raise ValueError("target_reception must be in (0, 1]")
+        ramp: list[RampPoint] = []
+        best_pps = 0.0
+        rate = self.start_pps
+        below_count = 0
+        for _ in range(self.max_steps):
+            report = self.testbed.channel_report(rate)
+            ramp.append(
+                RampPoint(
+                    per_node_pps=rate,
+                    aggregate_pps=report.offered_pps,
+                    reception_fraction=report.delivery_fraction,
+                    goodput_pps=report.delivered_pps,
+                )
+            )
+            if report.delivery_fraction >= target_reception:
+                best_pps = rate
+                below_count = 0
+            else:
+                below_count += 1
+                if below_count >= 3:
+                    break  # well past the knee; stop ramping
+            rate *= self.growth
+
+        # Refine between the last passing rate and the first failing one.
+        if best_pps > 0.0:
+            lo, hi = best_pps, best_pps * self.growth
+            for _ in range(30):
+                mid = (lo + hi) / 2.0
+                report = self.testbed.channel_report(mid)
+                if report.delivery_fraction >= target_reception:
+                    lo = mid
+                else:
+                    hi = mid
+            best_pps = lo
+
+        payload = self.testbed.radio.payload_bytes
+        return NetworkProfile(
+            ramp=ramp,
+            target_reception=target_reception,
+            max_send_pps=best_pps,
+            max_send_bytes_per_sec=best_pps * payload,
+        )

@@ -1,0 +1,106 @@
+"""Testbed model: N nodes, a routing tree, and a shared radio channel.
+
+This is the simulation stand-in for the paper's 20-TMote deployment
+(§7.3).  Given per-node offered packet rates it reports what the channel
+delivers, applying the congestion behaviour of the platform's radio at
+the root-link bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..platforms.base import Platform, RadioSpec
+from .topology import RoutingTree
+
+
+@dataclass(frozen=True)
+class ChannelReport:
+    """Delivery outcome for one offered-load configuration."""
+
+    offered_pps: float          # aggregate packets/s crossing the root link
+    delivery_fraction: float    # per-packet delivery probability
+    delivered_pps: float        # goodput in packets/s
+    offered_bytes_per_sec: float
+    delivered_bytes_per_sec: float
+
+    @property
+    def saturated(self) -> bool:
+        return self.delivered_pps < self.offered_pps * 0.5
+
+
+class Testbed:
+    """A deployment environment: platform + node count + topology.
+
+    Args:
+        platform: the node platform (must have a radio).
+        n_nodes: number of sensor nodes.
+        topology: routing tree; defaults to a star (every node one hop
+            from the basestation — the root link still carries everything).
+    """
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(
+        self,
+        platform: Platform,
+        n_nodes: int,
+        topology: RoutingTree | None = None,
+    ) -> None:
+        if platform.radio is None:
+            raise ValueError(
+                f"platform {platform.name!r} has no radio; cannot deploy"
+            )
+        if topology is not None and topology.n_nodes != n_nodes:
+            raise ValueError("topology size does not match n_nodes")
+        self.platform = platform
+        self.n_nodes = n_nodes
+        self.topology = topology or RoutingTree.star(n_nodes)
+
+    @property
+    def radio(self) -> RadioSpec:
+        radio = self.platform.radio
+        assert radio is not None  # guarded in __init__
+        return radio
+
+    def channel_report(self, per_node_pps: float) -> ChannelReport:
+        """Deliverability when every node offers ``per_node_pps`` packets/s."""
+        offered = self.topology.root_link_load(per_node_pps)
+        fraction = self.radio.delivery_fraction(offered)
+        payload = self.radio.payload_bytes
+        return ChannelReport(
+            offered_pps=offered,
+            delivery_fraction=fraction,
+            delivered_pps=offered * fraction,
+            offered_bytes_per_sec=offered * payload,
+            delivered_bytes_per_sec=offered * fraction * payload,
+        )
+
+    def per_node_capacity_pps(self, target_delivery: float) -> float:
+        """Max per-node packet rate keeping delivery >= ``target_delivery``.
+
+        The network-profiling primitive of §7.3.1, inverted analytically:
+        below the knee delivery is ``base_delivery``; past it delivery
+        decays exponentially, so we solve for the offered load where the
+        curve crosses the target.
+        """
+        radio = self.radio
+        if target_delivery <= 0:
+            return float("inf")
+        if target_delivery >= radio.base_delivery:
+            aggregate = radio.saturation_pps
+        else:
+            import math
+
+            # base * exp(-k (x - 1)) = target  =>  x = 1 + ln(base/target)/k
+            ratio = 1.0 + math.log(
+                radio.base_delivery / target_delivery
+            ) / radio.collapse_rate
+            aggregate = radio.saturation_pps * ratio
+        return aggregate / self.n_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Testbed({self.platform.name}, n={self.n_nodes}, "
+            f"depth={self.topology.depth})"
+        )

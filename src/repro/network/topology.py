@@ -1,0 +1,96 @@
+"""Network topologies: routing trees rooted at the basestation.
+
+The paper's key observation (§7.3.1): "a many node network is limited by
+the same bottleneck as a network of only one node: the single link at the
+root of the routing tree."  We model a collection tree where every node's
+traffic ultimately crosses the root link, which is where the shared
+channel saturates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RoutingTree:
+    """A collection tree of ``n_nodes`` sensors under one basestation.
+
+    Attributes:
+        n_nodes: number of sensor nodes.
+        depth: hop depth of the deepest node (informational; every packet
+            consumes the root link regardless of depth).
+        parent: optional explicit parent map (node id -> parent id, with
+            -1 meaning the basestation).
+    """
+
+    n_nodes: int
+    depth: int = 1
+    parent: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("a routing tree needs at least one node")
+        if self.parent:
+            for node, par in self.parent.items():
+                if not (0 <= node < self.n_nodes):
+                    raise ValueError(f"unknown node id {node}")
+                if par != -1 and not (0 <= par < self.n_nodes):
+                    raise ValueError(f"unknown parent id {par}")
+
+    @classmethod
+    def star(cls, n_nodes: int) -> "RoutingTree":
+        """Every node one hop from the basestation."""
+        return cls(
+            n_nodes=n_nodes,
+            depth=1,
+            parent={i: -1 for i in range(n_nodes)},
+        )
+
+    @classmethod
+    def line(cls, n_nodes: int) -> "RoutingTree":
+        """A worst-case chain: node i forwards through node i-1."""
+        return cls(
+            n_nodes=n_nodes,
+            depth=n_nodes,
+            parent={i: i - 1 for i in range(n_nodes)},
+        )
+
+    def root_link_load(self, per_node_pps: dict[int, float] | float) -> float:
+        """Aggregate packet rate crossing the root link.
+
+        All originated traffic is destined for the basestation, so the
+        root link carries the sum of all per-node rates.
+        """
+        if isinstance(per_node_pps, dict):
+            return float(sum(per_node_pps.values()))
+        return float(per_node_pps) * self.n_nodes
+
+    def forwarding_load(self, per_node_pps: float) -> dict[int, float]:
+        """Per-node transmit rate including forwarded descendants' traffic.
+
+        Used to find the busiest transmitter in deep trees (children of the
+        root relay everything below them).
+        """
+        children: dict[int, list[int]] = {i: [] for i in range(self.n_nodes)}
+        roots: list[int] = []
+        parent = self.parent or {i: -1 for i in range(self.n_nodes)}
+        for node in range(self.n_nodes):
+            par = parent.get(node, -1)
+            if par == -1:
+                roots.append(node)
+            else:
+                children[par].append(node)
+
+        load: dict[int, float] = {}
+
+        def subtree(node: int) -> float:
+            total = per_node_pps
+            for child in children[node]:
+                total += subtree(child)
+            load[node] = total
+            return total
+
+        for root in roots:
+            subtree(root)
+        return load

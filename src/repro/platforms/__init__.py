@@ -1,0 +1,42 @@
+"""Hardware platform cost models (the profiling substrate).
+
+``PLATFORMS`` maps names to :class:`Platform` records for every target in
+the paper's evaluation: TMote Sky, Nokia N80, iPhone, Gumstix, VoxNet,
+Meraki Mini, the Scheme interpreter, and the backend server.
+"""
+
+from .base import CycleCosts, Platform, RadioSpec
+from .library import (
+    FIG5B_PLATFORMS,
+    GUMSTIX,
+    IPHONE,
+    MERAKI_MINI,
+    NOKIA_N80,
+    PLATFORMS,
+    SCHEME_PC,
+    SERVER,
+    TMOTE_RADIO,
+    TMOTE_SKY,
+    VOXNET,
+    WIFI_RADIO,
+    get_platform,
+)
+
+__all__ = [
+    "FIG5B_PLATFORMS",
+    "GUMSTIX",
+    "IPHONE",
+    "MERAKI_MINI",
+    "NOKIA_N80",
+    "PLATFORMS",
+    "SCHEME_PC",
+    "SERVER",
+    "TMOTE_RADIO",
+    "TMOTE_SKY",
+    "VOXNET",
+    "WIFI_RADIO",
+    "CycleCosts",
+    "Platform",
+    "RadioSpec",
+    "get_platform",
+]

@@ -1,0 +1,232 @@
+"""The seven platforms of the paper's evaluation, calibrated to its anchors.
+
+Anchors used for calibration (paper section in parentheses):
+
+* TMote Sky (§6.2.2, Fig. 7): speech pipeline on a 200-sample frame takes
+  ≈250 ms cumulatively through the mel filterbank and ≈2 s through the
+  cepstral DCT; at the filterbank cut the mote "can process 10 % of sample
+  windows".  The MSP430 has no FPU — software floating point, and
+  double-precision libm transcendentals cost milliseconds each (Fig. 8
+  shows the cepstral stage dominating on the mote).
+* Nokia N80 (§7.2): "performing only about twice as fast [as the TMote] —
+  surprisingly poor performance given that the N80 has a 32-bit processor
+  running at 55X the clock rate", blamed on the JVM.
+* iPhone (§7.2): "412 MHz iPhone using GCC performed 3X worse than the
+  400 MHz Gumstix", blamed on frequency scaling.
+* Gumstix (§7.3): "the entire speaker detection application was predicted
+  to use 11.5 % CPU based on profiling data.  When measured, the
+  application used 15 %" — an OS-overhead factor of ≈1.3.
+* Meraki Mini (§7.3.1): "relatively little CPU power — only around 15
+  times that of the TMote — [but] a WiFi radio with at least 10x higher
+  bandwidth", making "send everything raw" (cut 1) optimal.
+* TMote radio (§7.3.1, Fig. 9): per-node/basestation channel saturates at
+  tens of packets/s; beyond the knee "the network reception rate [drives]
+  to zero"; the profiling tool targets ≈90 % reception.
+* Server (§4): "assumed to have infinite computational power".
+"""
+
+from __future__ import annotations
+
+from .base import CycleCosts, Platform, RadioSpec
+
+# ---------------------------------------------------------------------------
+# Radios
+# ---------------------------------------------------------------------------
+
+#: CC2420/TinyOS channel as seen by the application: 28-byte AM payloads,
+#: knee around 45 packets/s of aggregate goodput at the routing-tree root,
+#: ~92 % baseline delivery, sharp congestion collapse past the knee.
+TMOTE_RADIO = RadioSpec(
+    payload_bytes=28,
+    saturation_pps=45.0,
+    base_delivery=0.92,
+    collapse_rate=3.0,
+)
+
+#: 802.11 (Meraki, phones, embedded Linux): MTU-sized frames, TCP-style
+#: coalescing of small elements, and two to three orders of magnitude more
+#: capacity than the mote channel.
+WIFI_RADIO = RadioSpec(
+    payload_bytes=1400,
+    saturation_pps=500.0,
+    base_delivery=0.97,
+    collapse_rate=2.0,
+    stream_oriented=True,
+)
+
+# ---------------------------------------------------------------------------
+# Platforms
+# ---------------------------------------------------------------------------
+
+TMOTE_SKY = Platform(
+    name="tmote",
+    description="TMote Sky: MSP430F1611 @ 4 MHz, TinyOS 2.0, CC2420 radio, "
+    "software floating point, libm transcendentals in double precision",
+    clock_hz=4_000_000.0,
+    cycle_costs=CycleCosts(
+        int_op=1.0,
+        float_op=60.0,       # soft-float single-precision mul/add
+        trans_op=15_000.0,   # double-precision log/cos via msp430 libm
+        mem_op=2.0,
+        invocation=400.0,    # TinyOS task post + scheduler dispatch
+        loop_iteration=4.0,
+    ),
+    cpu_budget_fraction=0.75,  # leave headroom for the radio stack
+    radio=TMOTE_RADIO,
+    os_overhead_factor=1.25,
+)
+
+NOKIA_N80 = Platform(
+    name="n80",
+    description="Nokia N80: 220 MHz ARM926 (no FPU), Symbian S60 + JavaME "
+    "(JSR-135); interpreted bytecode, software doubles, slow Math.* calls",
+    clock_hz=220_000_000.0,
+    cycle_costs=CycleCosts(
+        int_op=120.0,         # interpreter dispatch per bytecode
+        float_op=1_800.0,     # boxed software float arithmetic
+        trans_op=280_000.0,   # CLDC Math.log/cos in interpreted double
+        mem_op=150.0,
+        invocation=40_000.0,  # JVM method call + GC pressure
+        loop_iteration=120.0,
+    ),
+    cpu_budget_fraction=0.7,
+    radio=WIFI_RADIO,
+    os_overhead_factor=1.35,
+)
+
+IPHONE = Platform(
+    name="iphone",
+    description="iPhone (1st gen, jailbroken): 412 MHz ARM1176, GCC; "
+    "power governor throttles the clock (paper: 3x slower than Gumstix)",
+    clock_hz=412_000_000.0,
+    dvfs_throttle=0.33,
+    cycle_costs=CycleCosts(
+        int_op=1.2,
+        float_op=40.0,       # soft-float ABI despite VFP hardware
+        trans_op=1_300.0,
+        mem_op=1.5,
+        invocation=80.0,
+        loop_iteration=1.5,
+    ),
+    cpu_budget_fraction=0.8,
+    radio=WIFI_RADIO,
+    os_overhead_factor=1.2,
+)
+
+GUMSTIX = Platform(
+    name="gumstix",
+    description="Gumstix: 400 MHz XScale PXA255, ARM Linux, GCC soft-float",
+    clock_hz=400_000_000.0,
+    cycle_costs=CycleCosts(
+        int_op=1.2,
+        float_op=35.0,
+        trans_op=1_200.0,
+        mem_op=1.5,
+        invocation=80.0,
+        loop_iteration=1.5,
+    ),
+    cpu_budget_fraction=0.8,
+    radio=WIFI_RADIO,
+    os_overhead_factor=1.3,  # paper: predicted 11.5 % CPU, measured 15 %
+)
+
+VOXNET = Platform(
+    name="voxnet",
+    description="VoxNet acoustic node: 520 MHz XScale PXA270, embedded Linux",
+    clock_hz=520_000_000.0,
+    cycle_costs=CycleCosts(
+        int_op=1.2,
+        float_op=35.0,
+        trans_op=1_200.0,
+        mem_op=1.5,
+        invocation=80.0,
+        loop_iteration=1.5,
+    ),
+    cpu_budget_fraction=0.8,
+    radio=WIFI_RADIO,
+    os_overhead_factor=1.25,
+)
+
+MERAKI_MINI = Platform(
+    name="meraki",
+    description="Meraki Mini: low-end MIPS @ 180 MHz, soft-float, OpenWrt; "
+    "~15x TMote CPU but >=10x the radio bandwidth (WiFi)",
+    clock_hz=180_000_000.0,
+    cycle_costs=CycleCosts(
+        int_op=1.5,
+        float_op=900.0,      # particularly slow soft-float on this MIPS core
+        trans_op=18_000.0,
+        mem_op=2.0,
+        invocation=200.0,
+        loop_iteration=2.0,
+    ),
+    cpu_budget_fraction=0.8,
+    radio=WIFI_RADIO,
+    os_overhead_factor=1.3,
+)
+
+#: "Scheme" in Fig. 5(b): the graph interpreted inside the WaveScript
+#: compiler's Scheme runtime on the server-class machine.
+SCHEME_PC = Platform(
+    name="scheme",
+    description="Server PC (3.2 GHz Xeon) executing the graph in Scheme "
+    "(interpreted, as during platform-independent profiling)",
+    clock_hz=3_200_000_000.0,
+    cycle_costs=CycleCosts(
+        int_op=8.0,
+        float_op=15.0,
+        trans_op=100.0,
+        mem_op=8.0,
+        invocation=200.0,
+        loop_iteration=8.0,
+    ),
+    cpu_budget_fraction=0.9,
+    radio=None,
+    os_overhead_factor=1.0,
+)
+
+SERVER = Platform(
+    name="server",
+    description="Backend server (3.2 GHz Xeon, native code): modeled as "
+    "having infinite capacity relative to embedded nodes (paper Section 4)",
+    clock_hz=3_200_000_000.0,
+    cycle_costs=CycleCosts(
+        int_op=1.0,
+        float_op=1.0,
+        trans_op=25.0,
+        mem_op=1.0,
+        invocation=10.0,
+        loop_iteration=1.0,
+    ),
+    cpu_budget_fraction=1.0,
+    radio=None,
+    os_overhead_factor=1.0,
+    is_server=True,
+)
+
+#: All modeled platforms, keyed by name.
+PLATFORMS: dict[str, Platform] = {
+    p.name: p
+    for p in (
+        TMOTE_SKY,
+        NOKIA_N80,
+        IPHONE,
+        GUMSTIX,
+        VOXNET,
+        MERAKI_MINI,
+        SCHEME_PC,
+        SERVER,
+    )
+}
+
+#: The embedded platforms of Figure 5(b), in the paper's legend order.
+FIG5B_PLATFORMS = ("tmote", "n80", "iphone", "voxnet", "scheme")
+
+
+def get_platform(name: str) -> Platform:
+    """Look up a platform by name, with a helpful error."""
+    try:
+        return PLATFORMS[name]
+    except KeyError:
+        known = ", ".join(sorted(PLATFORMS))
+        raise KeyError(f"unknown platform {name!r}; known: {known}") from None

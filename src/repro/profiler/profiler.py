@@ -1,0 +1,260 @@
+"""The profiler: execute a graph on sample data, produce platform profiles.
+
+This reproduces the two-stage profiling of paper Section 3:
+
+1. a *platform-independent* pass (the paper executes the graph inside the
+   Scheme compiler) that measures element rates and serialized sizes on
+   every edge — here, one run of the reference executor;
+2. a *platform-specific* costing pass (the paper runs instrumented code on
+   real hardware or MSPsim) — here, pricing the recorded primitive work
+   with each platform's cycle-cost model.
+
+One :class:`Measurement` can be turned into a :class:`GraphProfile` for any
+number of platforms without re-executing the graph.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..dataflow.execute import ExecutionStats, Executor
+from ..dataflow.graph import Edge, GraphError, StreamGraph, WorkCounts
+from ..platforms.base import Platform
+from .records import EdgeProfile, GraphProfile, OperatorProfile
+
+
+@dataclass
+class Measurement:
+    """Platform-independent measurements from one profiling run."""
+
+    graph: StreamGraph
+    stats: ExecutionStats
+    duration: float  # virtual seconds covered by the sample traces
+    #: per-edge peak payload bytes within any single bucket, divided by
+    #: the bucket width (bytes/s); empty if peak tracking was disabled.
+    edge_peak_bytes_per_sec: dict[Edge, float] = field(default_factory=dict)
+    #: per-operator peak primitive work per bucket (WorkCounts); empty if
+    #: peak tracking was disabled.
+    operator_peak_counts: dict[str, WorkCounts] = field(default_factory=dict)
+
+    def on(self, platform: Platform) -> GraphProfile:
+        """Cost this measurement on ``platform``."""
+        operators: dict[str, OperatorProfile] = {}
+        for name, op_stats in self.stats.operators.items():
+            seconds = platform.seconds_for(op_stats.counts)
+            peak_counts = self.operator_peak_counts.get(name)
+            if peak_counts is not None:
+                peak_utilization = platform.seconds_for(peak_counts)
+            else:
+                peak_utilization = seconds / self.duration
+            operators[name] = OperatorProfile(
+                name=name,
+                invocations=op_stats.invocations,
+                inputs=op_stats.inputs,
+                outputs=op_stats.outputs,
+                counts=op_stats.counts,
+                seconds=seconds,
+                utilization=seconds / self.duration,
+                peak_utilization=peak_utilization,
+            )
+
+        edges: dict[Edge, EdgeProfile] = {}
+        for edge, traffic in self.stats.edge_traffic.items():
+            elements_per_sec = traffic.elements / self.duration
+            bytes_per_sec = traffic.bytes / self.duration
+            mean_element_bytes = (
+                traffic.bytes / traffic.elements if traffic.elements else 0.0
+            )
+            if platform.radio is not None:
+                packets_per_element = platform.radio.packets_for(
+                    int(round(mean_element_bytes))
+                )
+                packets_per_sec = elements_per_sec * packets_per_element
+                on_air = platform.radio.on_air_bytes_per_sec(
+                    elements_per_sec, int(round(mean_element_bytes))
+                )
+            else:
+                packets_per_element = 1 if mean_element_bytes else 0
+                packets_per_sec = elements_per_sec
+                on_air = bytes_per_sec
+            edges[edge] = EdgeProfile(
+                edge=edge,
+                elements=traffic.elements,
+                bytes=traffic.bytes,
+                elements_per_sec=elements_per_sec,
+                bytes_per_sec=bytes_per_sec,
+                peak_bytes_per_sec=self.edge_peak_bytes_per_sec.get(
+                    edge, bytes_per_sec
+                ),
+                mean_element_bytes=mean_element_bytes,
+                packets_per_element=packets_per_element,
+                packets_per_sec=packets_per_sec,
+                on_air_bytes_per_sec=on_air,
+            )
+        return GraphProfile(
+            graph=self.graph,
+            platform=platform,
+            duration=self.duration,
+            operators=operators,
+            edges=edges,
+        )
+
+
+class Profiler:
+    """Runs a graph on programmer-supplied sample data (paper Section 3).
+
+    Args:
+        bucket_seconds: width of the virtual-time buckets used for peak
+            load tracking.
+        track_peak: record per-bucket peaks (disable for very large
+            graphs where only mean load matters).
+    """
+
+    def __init__(self, bucket_seconds: float = 1.0, track_peak: bool = True):
+        if bucket_seconds <= 0:
+            raise ValueError("bucket_seconds must be positive")
+        self.bucket_seconds = bucket_seconds
+        self.track_peak = track_peak
+
+    def measure(
+        self,
+        graph: StreamGraph,
+        source_data: dict[str, list[Any]],
+        source_rates: dict[str, float],
+    ) -> Measurement:
+        """Execute ``graph`` on sample traces.
+
+        Args:
+            graph: the stream graph to profile.
+            source_data: per-source sample input traces.
+            source_rates: per-source element rates (elements/second) — the
+                real-time rates the deployed sensors would produce.
+        """
+        missing = set(source_data) - set(graph.sources)
+        if missing:
+            raise GraphError(f"not source operators: {sorted(missing)}")
+        if set(source_data) != set(source_rates):
+            raise ValueError("source_data and source_rates keys must match")
+        for name, rate in source_rates.items():
+            if rate <= 0:
+                raise ValueError(f"source {name!r} has non-positive rate")
+        if not source_data or all(not v for v in source_data.values()):
+            raise ValueError("sample traces are empty")
+
+        executor = Executor(graph)
+        duration = max(
+            len(items) / source_rates[name]
+            for name, items in source_data.items()
+        )
+
+        edge_peaks: dict[Edge, float] = {}
+        op_peaks: dict[str, WorkCounts] = {}
+
+        # Merge-by-virtual-time so simultaneous sensors interleave the way
+        # they would in a deployment.
+        heap: list[tuple[float, int, str]] = []
+        positions: dict[str, int] = {}
+        for order, (name, items) in enumerate(sorted(source_data.items())):
+            if items:
+                heapq.heappush(heap, (0.0, order, name))
+                positions[name] = 0
+
+        bucket_edge_bytes: dict[Edge, int] = {}
+        bucket_op_counts: dict[str, WorkCounts] = {}
+        prev_edge_bytes = {e: 0 for e in graph.edges}
+        prev_op_counts = {
+            n: WorkCounts() for n in graph.operators
+        }
+        current_bucket = 0
+
+        def flush_bucket() -> None:
+            for edge, delta in bucket_edge_bytes.items():
+                rate = delta / self.bucket_seconds
+                if rate > edge_peaks.get(edge, 0.0):
+                    edge_peaks[edge] = rate
+            for name, counts in bucket_op_counts.items():
+                best = op_peaks.get(name)
+                if best is None or counts.total > best.total:
+                    op_peaks[name] = counts
+            bucket_edge_bytes.clear()
+            bucket_op_counts.clear()
+
+        while heap:
+            timestamp, order, name = heapq.heappop(heap)
+            if self.track_peak:
+                bucket = int(timestamp / self.bucket_seconds)
+                if bucket != current_bucket:
+                    flush_bucket()
+                    current_bucket = bucket
+            index = positions[name]
+            executor.push(name, source_data[name][index])
+            if self.track_peak:
+                for edge in graph.edges:
+                    total = executor.stats.edge_traffic[edge].bytes
+                    delta = total - prev_edge_bytes[edge]
+                    if delta:
+                        bucket_edge_bytes[edge] = (
+                            bucket_edge_bytes.get(edge, 0) + delta
+                        )
+                        prev_edge_bytes[edge] = total
+                for op_name, op_stats in executor.stats.operators.items():
+                    prev = prev_op_counts[op_name]
+                    delta_counts = WorkCounts(
+                        int_ops=op_stats.counts.int_ops - prev.int_ops,
+                        float_ops=op_stats.counts.float_ops - prev.float_ops,
+                        trans_ops=op_stats.counts.trans_ops - prev.trans_ops,
+                        mem_ops=op_stats.counts.mem_ops - prev.mem_ops,
+                        invocations=op_stats.counts.invocations
+                        - prev.invocations,
+                        loop_iterations=op_stats.counts.loop_iterations
+                        - prev.loop_iterations,
+                    )
+                    if delta_counts.total:
+                        bucket_op_counts.setdefault(
+                            op_name, WorkCounts()
+                        ).merge(delta_counts)
+                        prev_op_counts[op_name] = WorkCounts(
+                            **{
+                                field_: getattr(op_stats.counts, field_)
+                                for field_ in (
+                                    "int_ops",
+                                    "float_ops",
+                                    "trans_ops",
+                                    "mem_ops",
+                                    "invocations",
+                                    "loop_iterations",
+                                )
+                            }
+                        )
+            positions[name] = index + 1
+            if positions[name] < len(source_data[name]):
+                next_time = positions[name] / source_rates[name]
+                heapq.heappush(heap, (next_time, order, name))
+
+        if self.track_peak:
+            flush_bucket()
+
+        # Peak operator counts -> peak utilization requires the bucket width.
+        scaled_op_peaks = {
+            name: counts.scaled(1.0 / self.bucket_seconds)
+            for name, counts in op_peaks.items()
+        }
+        return Measurement(
+            graph=graph,
+            stats=executor.stats,
+            duration=duration,
+            edge_peak_bytes_per_sec=edge_peaks,
+            operator_peak_counts=scaled_op_peaks,
+        )
+
+    def profile(
+        self,
+        graph: StreamGraph,
+        source_data: dict[str, list[Any]],
+        source_rates: dict[str, float],
+        platform: Platform,
+    ) -> GraphProfile:
+        """Measure and cost in one call (single-platform convenience)."""
+        return self.measure(graph, source_data, source_rates).on(platform)

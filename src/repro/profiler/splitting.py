@@ -1,0 +1,155 @@
+"""Operator/task splitting support (paper Section 3 and 5.2).
+
+On TinyOS, tasks "must be neither too short nor too long": a long-running
+work function starves system tasks (radio!), so the compiler inserts extra
+yield points to split it.  The paper's insight is that full instruction
+traces are too expensive — it is sufficient to "time stamp the beginning
+and end of each for or while loop, and count loop iterations", because
+most time is spent in loops doing repeated identical work.
+
+This module implements that planning step: given an operator's loop-level
+timing profile, compute where to yield so that no slice exceeds a task
+duration budget.  The TinyOS-like runtime (``repro.runtime.tasks``) uses
+these plans to bound task lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dataflow.graph import WorkCounts
+from ..platforms.base import Platform
+
+
+@dataclass(frozen=True)
+class LoopRecord:
+    """Timing of one loop inside an operator's work function.
+
+    Attributes:
+        loop_id: stable identifier of the loop within the operator.
+        iterations: iterations executed per work-function invocation.
+        seconds_per_iteration: measured (or modeled) time per iteration.
+    """
+
+    loop_id: str
+    iterations: int
+    seconds_per_iteration: float
+
+    @property
+    def seconds(self) -> float:
+        return self.iterations * self.seconds_per_iteration
+
+
+@dataclass(frozen=True)
+class YieldPoint:
+    """Yield after ``iteration`` iterations of loop ``loop_id``."""
+
+    loop_id: str
+    iteration: int
+
+
+@dataclass(frozen=True)
+class SplitPlan:
+    """How to slice one operator invocation into bounded tasks."""
+
+    operator: str
+    slices: int
+    yield_points: tuple[YieldPoint, ...]
+    slice_seconds: float
+
+    @property
+    def is_split(self) -> bool:
+        return self.slices > 1
+
+
+def loop_records_from_counts(
+    operator: str,
+    counts: WorkCounts,
+    invocations: int,
+    platform: Platform,
+) -> list[LoopRecord]:
+    """Approximate a loop profile from aggregate primitive-work counts.
+
+    Without per-loop timestamps we treat the operator's loop iterations as
+    one uniform loop whose body carries the non-overhead work — exactly the
+    "loops generally perform identical computations repeatedly"
+    simplification the paper leans on.
+    """
+    if invocations <= 0:
+        return []
+    per_invocation = counts.scaled(1.0 / invocations)
+    iterations = max(1, int(round(per_invocation.loop_iterations)))
+    body = WorkCounts(
+        int_ops=per_invocation.int_ops,
+        float_ops=per_invocation.float_ops,
+        trans_ops=per_invocation.trans_ops,
+        mem_ops=per_invocation.mem_ops,
+        loop_iterations=per_invocation.loop_iterations,
+    )
+    seconds = platform.seconds_for(body)
+    return [
+        LoopRecord(
+            loop_id=f"{operator}.loop0",
+            iterations=iterations,
+            seconds_per_iteration=seconds / iterations,
+        )
+    ]
+
+
+def plan_split(
+    operator: str,
+    loops: list[LoopRecord],
+    max_task_seconds: float,
+) -> SplitPlan:
+    """Choose yield points so no slice exceeds ``max_task_seconds``.
+
+    Walks the loops in order, accumulating time; whenever the running
+    slice would exceed the budget, inserts a yield at the current loop
+    iteration.  Work outside loops is charged to the first slice (it
+    cannot be split without instruction-level tracing).
+    """
+    if max_task_seconds <= 0:
+        raise ValueError("max_task_seconds must be positive")
+    total = sum(record.seconds for record in loops)
+    if total <= max_task_seconds or not loops:
+        return SplitPlan(
+            operator=operator,
+            slices=1,
+            yield_points=(),
+            slice_seconds=total,
+        )
+
+    yields: list[YieldPoint] = []
+    elapsed_in_slice = 0.0
+    longest_slice = 0.0
+    for record in loops:
+        if record.seconds_per_iteration <= 0:
+            continue
+        for iteration in range(1, record.iterations + 1):
+            elapsed_in_slice += record.seconds_per_iteration
+            if elapsed_in_slice >= max_task_seconds and not (
+                iteration == record.iterations and record is loops[-1]
+            ):
+                yields.append(
+                    YieldPoint(loop_id=record.loop_id, iteration=iteration)
+                )
+                longest_slice = max(longest_slice, elapsed_in_slice)
+                elapsed_in_slice = 0.0
+    longest_slice = max(longest_slice, elapsed_in_slice)
+    return SplitPlan(
+        operator=operator,
+        slices=len(yields) + 1,
+        yield_points=tuple(yields),
+        slice_seconds=longest_slice,
+    )
+
+
+def plan_splits_for_partition(
+    operator_loops: dict[str, list[LoopRecord]],
+    max_task_seconds: float,
+) -> dict[str, SplitPlan]:
+    """Plan task splitting for every operator in a node partition."""
+    return {
+        name: plan_split(name, loops, max_task_seconds)
+        for name, loops in operator_loops.items()
+    }

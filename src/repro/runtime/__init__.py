@@ -1,0 +1,42 @@
+"""Deployed-execution simulation: marshalling, TinyOS-like tasking,
+node/server runtimes, and the testbed deployment driver."""
+
+from .deployment import Deployment, DeploymentPrediction, DeploymentRunStats
+from .marshal import (
+    MarshalError,
+    Packet,
+    Reassembler,
+    fragment,
+    pack,
+    packets_needed,
+    unpack,
+)
+from .node import BoundedExecutor, NodeRuntime, NodeStats
+from .server import ServerRuntime
+from .tasks import (
+    SchedulerStats,
+    Task,
+    TaskScheduler,
+    simulate_node_duty,
+)
+
+__all__ = [
+    "BoundedExecutor",
+    "Deployment",
+    "DeploymentPrediction",
+    "DeploymentRunStats",
+    "MarshalError",
+    "NodeRuntime",
+    "NodeStats",
+    "Packet",
+    "Reassembler",
+    "SchedulerStats",
+    "ServerRuntime",
+    "Task",
+    "TaskScheduler",
+    "fragment",
+    "pack",
+    "packets_needed",
+    "simulate_node_duty",
+    "unpack",
+]

@@ -1,0 +1,241 @@
+"""Element marshalling and packetization.
+
+When the partitioner cuts an edge, the code generators emit "communication
+code for cut edges (e.g., code to marshal and unmarshal data structures)"
+(paper §3).  This module is that code path for the simulated deployment:
+a tagged binary encoding for stream elements, fragmentation into
+radio-payload-sized chunks, and reassembly at the basestation.
+
+Wire conventions follow the embedded backends: floats travel as 32-bit,
+ints as 32-bit two's complement, numpy arrays as dtype-tagged raw bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+_TAG_FLOAT = b"F"
+_TAG_INT = b"I"
+_TAG_BOOL = b"B"
+_TAG_NONE = b"N"
+_TAG_TUPLE = b"T"
+_TAG_ARRAY = b"A"
+_TAG_BYTES = b"R"
+
+#: numpy dtypes supported on the wire, by single-byte code.
+_DTYPE_CODES = {
+    "h": np.dtype(np.int16),
+    "i": np.dtype(np.int32),
+    "f": np.dtype(np.float32),
+    "d": np.dtype(np.float64),
+    "b": np.dtype(np.int8),
+    "H": np.dtype(np.uint16),
+}
+_CODE_FOR_DTYPE = {dtype: code for code, dtype in _DTYPE_CODES.items()}
+
+
+class MarshalError(Exception):
+    """Raised for unsupported values or corrupt wire data."""
+
+
+def pack(value: Any) -> bytes:
+    """Serialize one stream element to bytes."""
+    if value is None:
+        return _TAG_NONE
+    if isinstance(value, (bool, np.bool_)):
+        return _TAG_BOOL + (b"\x01" if value else b"\x00")
+    if isinstance(value, (int, np.integer)):
+        return _TAG_INT + struct.pack("<i", int(value))
+    if isinstance(value, (float, np.floating)):
+        return _TAG_FLOAT + struct.pack("<f", float(value))
+    if isinstance(value, np.ndarray):
+        dtype = value.dtype
+        if dtype == np.float64:
+            # Embedded wire format is single precision.
+            value = value.astype(np.float32)
+            dtype = value.dtype
+        code = _CODE_FOR_DTYPE.get(dtype)
+        if code is None:
+            raise MarshalError(f"unsupported array dtype {dtype}")
+        flat = np.ascontiguousarray(value).reshape(-1)
+        return (
+            _TAG_ARRAY
+            + code.encode("ascii")
+            + struct.pack("<I", flat.size)
+            + flat.tobytes()
+        )
+    if isinstance(value, (bytes, bytearray)):
+        return _TAG_BYTES + struct.pack("<I", len(value)) + bytes(value)
+    if isinstance(value, (tuple, list)):
+        body = b"".join(pack(v) for v in value)
+        return _TAG_TUPLE + struct.pack("<I", len(value)) + body
+    raise MarshalError(f"cannot marshal value of type {type(value)!r}")
+
+
+def unpack(data: bytes) -> Any:
+    """Deserialize one stream element (inverse of :func:`pack`)."""
+    value, offset = _unpack_at(data, 0)
+    if offset != len(data):
+        raise MarshalError(f"{len(data) - offset} trailing bytes after value")
+    return value
+
+
+def _unpack_at(data: bytes, offset: int) -> tuple[Any, int]:
+    if offset >= len(data):
+        raise MarshalError("truncated data: missing tag")
+    tag = data[offset:offset + 1]
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_BOOL:
+        return data[offset] != 0, offset + 1
+    if tag == _TAG_INT:
+        (value,) = struct.unpack_from("<i", data, offset)
+        return value, offset + 4
+    if tag == _TAG_FLOAT:
+        (value,) = struct.unpack_from("<f", data, offset)
+        return value, offset + 4
+    if tag == _TAG_ARRAY:
+        code = data[offset:offset + 1].decode("ascii")
+        dtype = _DTYPE_CODES.get(code)
+        if dtype is None:
+            raise MarshalError(f"unknown dtype code {code!r}")
+        (count,) = struct.unpack_from("<I", data, offset + 1)
+        start = offset + 5
+        end = start + count * dtype.itemsize
+        if end > len(data):
+            raise MarshalError("truncated array payload")
+        array = np.frombuffer(data[start:end], dtype=dtype).copy()
+        return array, end
+    if tag == _TAG_BYTES:
+        (count,) = struct.unpack_from("<I", data, offset)
+        start = offset + 4
+        end = start + count
+        if end > len(data):
+            raise MarshalError("truncated bytes payload")
+        return data[start:end], end
+    if tag == _TAG_TUPLE:
+        (count,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = _unpack_at(data, offset)
+            items.append(item)
+        return tuple(items), offset
+    raise MarshalError(f"unknown tag {tag!r}")
+
+
+# ---------------------------------------------------------------------------
+# Packetization
+# ---------------------------------------------------------------------------
+
+#: Fragment header: element sequence number, fragment index, fragment count.
+_FRAG_HEADER = struct.Struct("<IHH")
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One radio packet carrying a fragment of a marshalled element."""
+
+    node_id: int
+    edge_key: str          # which cut edge this element travels on
+    seq: int               # per (node, edge) element sequence number
+    frag_index: int
+    frag_count: int
+    chunk: bytes
+    timestamp: float = 0.0
+
+    @property
+    def payload_bytes(self) -> int:
+        return _FRAG_HEADER.size + len(self.chunk)
+
+
+def fragment(
+    node_id: int,
+    edge_key: str,
+    seq: int,
+    data: bytes,
+    payload_size: int,
+    timestamp: float = 0.0,
+) -> list[Packet]:
+    """Split a marshalled element into payload-sized packets."""
+    chunk_size = payload_size - _FRAG_HEADER.size
+    if chunk_size <= 0:
+        raise MarshalError(
+            f"payload size {payload_size} too small for fragment header"
+        )
+    chunks = [data[i:i + chunk_size] for i in range(0, len(data), chunk_size)]
+    if not chunks:
+        chunks = [b""]
+    return [
+        Packet(
+            node_id=node_id,
+            edge_key=edge_key,
+            seq=seq,
+            frag_index=index,
+            frag_count=len(chunks),
+            chunk=chunk,
+            timestamp=timestamp,
+        )
+        for index, chunk in enumerate(chunks)
+    ]
+
+
+def packets_needed(element_bytes: int, payload_size: int) -> int:
+    """How many packets a serialized element of a given size needs."""
+    chunk_size = payload_size - _FRAG_HEADER.size
+    if chunk_size <= 0:
+        raise MarshalError(
+            f"payload size {payload_size} too small for fragment header"
+        )
+    if element_bytes <= 0:
+        return 1
+    return -(-element_bytes // chunk_size)
+
+
+class Reassembler:
+    """Reassembles fragmented elements at the basestation.
+
+    Incomplete elements (lost fragments) are discarded when a newer
+    sequence number arrives on the same (node, edge) — mirroring a
+    bounded reassembly buffer.
+    """
+
+    def __init__(self) -> None:
+        self._pending: dict[tuple[int, str, int], dict[int, bytes]] = {}
+        self._expected: dict[tuple[int, str, int], int] = {}
+        self.completed = 0
+        self.discarded = 0
+
+    def add(self, packet: Packet) -> Any | None:
+        """Feed one packet; returns the element when fully reassembled."""
+        key = (packet.node_id, packet.edge_key, packet.seq)
+        # Drop stale partial elements from older sequence numbers.
+        stale = [
+            k
+            for k in self._pending
+            if k[0] == packet.node_id
+            and k[1] == packet.edge_key
+            and k[2] < packet.seq
+        ]
+        for k in stale:
+            del self._pending[k]
+            del self._expected[k]
+            self.discarded += 1
+
+        fragments = self._pending.setdefault(key, {})
+        fragments[packet.frag_index] = packet.chunk
+        self._expected[key] = packet.frag_count
+        if len(fragments) == packet.frag_count:
+            data = b"".join(
+                fragments[i] for i in range(packet.frag_count)
+            )
+            del self._pending[key]
+            del self._expected[key]
+            self.completed += 1
+            return unpack(data)
+        return None

@@ -1,0 +1,107 @@
+"""Server-side runtime with per-node state tables (paper §2.1.1).
+
+Stateful operators relocated from the node partition to the server keep
+one state instance *per physical node*: "The state of the operator is
+duplicated in a table indexed by node ID.  Thus, a single server operator
+can emulate many instances running within the network."
+
+Operators that were declared in the server namespace keep a single shared
+state instance regardless of which node's data flows through them — the
+serial execution semantics of the server partition.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..dataflow.graph import (
+    Edge,
+    Namespace,
+    OperatorContext,
+    StreamGraph,
+    WorkCounts,
+)
+from .marshal import Packet, Reassembler
+
+
+class ServerRuntime:
+    """Executes the server partition over streams arriving from N nodes."""
+
+    def __init__(self, graph: StreamGraph, server_set: frozenset[str]) -> None:
+        self.graph = graph
+        self.server_set = server_set
+        self._reassembler = Reassembler()
+        # Replicated (per-node) state for node-namespace operators placed
+        # on the server; shared state for server-namespace operators.
+        self._shared_state: dict[str, Any] = {}
+        self._node_state: dict[tuple[int, str], Any] = {}
+        self.counts: dict[str, WorkCounts] = {
+            name: WorkCounts() for name in server_set
+        }
+        self.elements_received = 0
+        self._edge_by_key: dict[str, Edge] = {
+            f"{e.src}->{e.dst}:{e.dst_port}": e for e in graph.edges
+        }
+
+    # -- state tables ------------------------------------------------------
+
+    def _state_for(self, name: str, node_id: int) -> Any:
+        op = self.graph.operators[name]
+        if op.namespace is Namespace.NODE:
+            key = (node_id, name)
+            if key not in self._node_state:
+                self._node_state[key] = op.new_state()
+            return self._node_state[key]
+        if name not in self._shared_state:
+            self._shared_state[name] = op.new_state()
+        return self._shared_state[name]
+
+    def node_state_table_size(self, name: str) -> int:
+        """How many per-node state instances operator ``name`` holds."""
+        return sum(1 for node_id, op in self._node_state if op == name)
+
+    def sink_values(self, name: str) -> list[Any]:
+        op = self.graph.operators[name]
+        if not op.is_sink:
+            raise ValueError(f"{name!r} is not a sink")
+        state = self._shared_state.get(name)
+        return list(state) if state is not None else []
+
+    # -- ingestion ----------------------------------------------------------
+
+    def receive_packet(self, packet: Packet) -> None:
+        """Feed one radio packet; runs the graph when an element completes."""
+        value = self._reassembler.add(packet)
+        if value is None:
+            return
+        edge = self._edge_by_key.get(packet.edge_key)
+        if edge is None:
+            raise ValueError(f"packet for unknown edge {packet.edge_key!r}")
+        self.receive_element(edge, value, node_id=packet.node_id)
+
+    def receive_element(self, edge: Edge, value: Any, node_id: int) -> None:
+        """Deliver an element that crossed the cut on ``edge``."""
+        if edge.dst not in self.server_set:
+            raise ValueError(
+                f"edge {edge!r} does not terminate in the server partition"
+            )
+        self.elements_received += 1
+        self._invoke(edge.dst, edge.dst_port, value, node_id)
+
+    # -- execution ----------------------------------------------------------
+
+    def _invoke(self, name: str, port: int, item: Any, node_id: int) -> None:
+        op = self.graph.operators[name]
+        counts = self.counts[name]
+        counts.add(invocations=1.0)
+        emitted: list[Any] = []
+        state = self._state_for(name, node_id)
+        ctx = OperatorContext(state, emitted.append, counts)
+        if op.work is not None:
+            op.work(ctx, port, item)
+        for value in emitted:
+            for edge in self.graph.out_edges(name):
+                if edge.dst in self.server_set:
+                    self._invoke(edge.dst, edge.dst_port, value, node_id)
+                # Edges leaving the server partition would violate the
+                # single-crossing restriction; validated upstream.

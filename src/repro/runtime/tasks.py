@@ -1,0 +1,211 @@
+"""A TinyOS-like cooperative task scheduler (paper §5.2).
+
+TinyOS runs "a single, non-preemptive task at a time"; Wishbone maps each
+operator onto a task and relies on CPS-converted yield points to keep
+individual tasks short so system tasks (the radio stack!) are not starved.
+This module simulates that execution model for one node:
+
+* a FIFO task queue, run to completion one task at a time;
+* application work arrives as *jobs* (one graph traversal per input
+  element) whose total duration may be split into bounded slices using a
+  :class:`~repro.profiler.splitting.SplitPlan`;
+* radio-service tasks are interleaved; their queueing delay is the
+  health metric task splitting exists to protect.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Task:
+    """One non-preemptive task execution.
+
+    ``on_complete`` models the CPS continuation: when a split operator's
+    slice finishes, it re-posts the next slice at the *tail* of the queue,
+    which is what lets pending system tasks run in between (§5.2).
+    """
+
+    name: str
+    duration: float
+    kind: str = "app"  # "app" or "system"
+    on_complete: Callable[[], None] | None = None
+
+
+@dataclass
+class SchedulerStats:
+    """What happened during a scheduler run."""
+
+    tasks_run: int = 0
+    app_seconds: float = 0.0
+    system_seconds: float = 0.0
+    max_task_seconds: float = 0.0
+    max_system_latency: float = 0.0   # worst radio-service queueing delay
+    total_system_latency: float = 0.0
+    system_tasks: int = 0
+
+    @property
+    def mean_system_latency(self) -> float:
+        if self.system_tasks == 0:
+            return 0.0
+        return self.total_system_latency / self.system_tasks
+
+
+@dataclass
+class _Pending:
+    task: Task
+    enqueued_at: float
+
+
+@dataclass
+class TaskScheduler:
+    """Single-core, run-to-completion scheduler with a FIFO queue."""
+
+    time: float = 0.0
+    stats: SchedulerStats = field(default_factory=SchedulerStats)
+    _queue: deque[_Pending] = field(default_factory=deque)
+
+    def post(self, task: Task, enqueued_at: float | None = None) -> None:
+        """Enqueue a task (TinyOS ``post``).
+
+        ``enqueued_at`` defaults to the current time; interrupt-driven
+        posts (radio events) pass the interrupt time explicitly so their
+        queueing latency is measured from when the hardware asked, even
+        if a long application task was monopolising the CPU.
+        """
+        self._queue.append(
+            _Pending(
+                task=task,
+                enqueued_at=self.time if enqueued_at is None else enqueued_at,
+            )
+        )
+
+    def post_job(
+        self, name: str, total_seconds: float, slices: int = 1
+    ) -> None:
+        """Enqueue an application job as ``slices`` chained tasks.
+
+        Each slice re-posts the next one when it completes (the CPS yield
+        of §5.2), so system tasks that arrived in the meantime get the
+        CPU between slices instead of waiting out the whole job.
+        """
+        if slices < 1:
+            raise ValueError("slices must be >= 1")
+        slice_seconds = total_seconds / slices
+
+        def make_task(index: int) -> Task:
+            def continuation() -> None:
+                if index + 1 < slices:
+                    self.post(make_task(index + 1))
+
+            return Task(
+                name=f"{name}[{index}]",
+                duration=slice_seconds,
+                on_complete=continuation,
+            )
+
+        self.post(make_task(0))
+
+    @property
+    def idle(self) -> bool:
+        return not self._queue
+
+    @property
+    def backlog_seconds(self) -> float:
+        return sum(p.task.duration for p in self._queue)
+
+    def run_one(self) -> Task | None:
+        """Run the next queued task to completion."""
+        if not self._queue:
+            return None
+        pending = self._queue.popleft()
+        task = pending.task
+        latency = max(0.0, self.time - pending.enqueued_at)
+        self.time += task.duration
+        stats = self.stats
+        stats.tasks_run += 1
+        stats.max_task_seconds = max(stats.max_task_seconds, task.duration)
+        if task.kind == "system":
+            stats.system_seconds += task.duration
+            stats.system_tasks += 1
+            stats.total_system_latency += latency
+            stats.max_system_latency = max(stats.max_system_latency, latency)
+        else:
+            stats.app_seconds += task.duration
+        if task.on_complete is not None:
+            task.on_complete()
+        return task
+
+    def run_until(self, deadline: float) -> None:
+        """Run queued tasks until the queue empties or time passes deadline."""
+        while self._queue and self.time < deadline:
+            self.run_one()
+        if not self._queue and self.time < deadline:
+            self.time = deadline
+
+    def drain(self) -> None:
+        """Run everything currently queued."""
+        while self._queue:
+            self.run_one()
+
+
+def simulate_node_duty(
+    event_period: float,
+    work_per_event: float,
+    n_events: int,
+    slices: int = 1,
+    radio_period: float = 0.05,
+    radio_task_seconds: float = 0.001,
+    buffer_depth: int = 1,
+) -> tuple[int, SchedulerStats]:
+    """Simulate periodic sensor events through the scheduler.
+
+    Sources buffer one traversal's worth of data ("the runtime buffers
+    data at the source operators until the current graph traversal
+    finishes", §5.2); arrivals beyond ``buffer_depth`` outstanding jobs
+    are missed input events.  Radio-service interrupts fire every
+    ``radio_period`` and enqueue a system task *at interrupt time* — its
+    queueing delay behind long application tasks is exactly the health
+    problem task splitting addresses.
+
+    Returns (events processed, scheduler stats).
+    """
+    scheduler = TaskScheduler()
+    processed = 0
+    busy_until = 0.0
+    horizon = n_events * event_period
+
+    # Merge sensor arrivals and radio interrupts in time order.
+    events: list[tuple[float, int, str, int]] = []
+    for k in range(n_events):
+        events.append((k * event_period, 0, "sensor", k))
+    tick = 0
+    t = 0.0
+    while t <= horizon:
+        events.append((t, 1, "radio", tick))
+        tick += 1
+        t += radio_period
+    events.sort()
+
+    for when, _, kind, index in events:
+        scheduler.run_until(when)
+        if kind == "radio":
+            scheduler.post(
+                Task(name=f"radio{index}", duration=radio_task_seconds,
+                     kind="system"),
+                enqueued_at=when,
+            )
+            continue
+        backlog_jobs = max(0.0, (busy_until - when) / max(
+            work_per_event, 1e-12
+        ))
+        if backlog_jobs >= buffer_depth:
+            continue  # missed input event: ADC buffer overflowed
+        processed += 1
+        scheduler.post_job(f"event{index}", work_per_event, slices=slices)
+        busy_until = max(busy_until, when) + work_per_event
+    scheduler.drain()
+    return processed, scheduler.stats

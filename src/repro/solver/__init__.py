@@ -1,0 +1,31 @@
+"""MILP solving substrate (lp_solve stand-in).
+
+Public pieces:
+  * :class:`LinearProgram` — declarative model (variables + constraints);
+  * :func:`solve_lp` — dense two-phase simplex written from scratch;
+  * :class:`BranchAndBound` / :func:`solve_milp` — our MILP solver with
+    incumbent-history tracking (find-vs-prove times, Figure 6);
+  * :func:`solve_lp_scipy` / :func:`solve_milp_scipy` — HiGHS cross-checks.
+"""
+
+from .branch_bound import BranchAndBound, solve_milp
+from .model import INF, Constraint, LinearProgram, StandardArrays, Variable
+from .scipy_backend import solve_lp_scipy, solve_milp_scipy
+from .simplex import solve_lp
+from .solution import IncumbentEvent, Solution, SolveStatus
+
+__all__ = [
+    "INF",
+    "BranchAndBound",
+    "Constraint",
+    "IncumbentEvent",
+    "LinearProgram",
+    "Solution",
+    "SolveStatus",
+    "StandardArrays",
+    "Variable",
+    "solve_lp",
+    "solve_lp_scipy",
+    "solve_milp",
+    "solve_milp_scipy",
+]

@@ -1,0 +1,300 @@
+"""Branch-and-bound MILP solver, from scratch.
+
+This is the reproduction of lp_solve's role in the paper: a branch-and-bound
+search over LP relaxations that *discovers* good integer solutions early and
+*proves* optimality later.  Both timestamps are recorded, which is what lets
+``benchmarks/bench_fig6.py`` regenerate the two CDF curves of Figure 6.
+
+Design notes:
+  * best-first search on the relaxation bound (ties broken FIFO);
+  * branching on the most fractional integer variable;
+  * a cheap rounding heuristic probes every node's relaxation for an
+    integer-feasible neighbour, so incumbents appear long before the
+    bound closes (the find-vs-prove gap the paper plots);
+  * the LP engine is pluggable: ``"scipy"`` (HiGHS, default — fast on the
+    1300-variable EEG instances) or ``"simplex"`` (our own dense tableau,
+    fully self-contained).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .model import INF, LinearProgram, StandardArrays
+from .scipy_backend import solve_lp_scipy
+from .simplex import solve_lp
+from .solution import IncumbentEvent, Solution, SolveStatus
+
+_INT_TOL = 1e-6
+
+
+@dataclass(order=True)
+class _Node:
+    bound: float
+    order: int
+    # bounds overrides: variable index -> (lb, ub)
+    var_bounds: dict[int, tuple[float, float]] = field(compare=False)
+    depth: int = field(compare=False, default=0)
+
+
+class BranchAndBound:
+    """Best-first branch and bound over LP relaxations.
+
+    Args:
+        lp_engine: ``"scipy"`` for HiGHS relaxations, ``"simplex"`` for the
+            built-in dense tableau simplex.
+        gap_tolerance: relative gap at which a solve is declared optimal.
+        node_limit: maximum number of explored nodes.
+        time_limit: wall-clock limit in seconds (``None`` = unlimited).
+    """
+
+    def __init__(
+        self,
+        lp_engine: str = "scipy",
+        gap_tolerance: float = 1e-6,
+        node_limit: int = 200_000,
+        time_limit: float | None = None,
+    ) -> None:
+        if lp_engine not in ("scipy", "simplex"):
+            raise ValueError(f"unknown lp engine {lp_engine!r}")
+        self.lp_engine = lp_engine
+        self.gap_tolerance = gap_tolerance
+        self.node_limit = node_limit
+        self.time_limit = time_limit
+
+    # -- helpers -----------------------------------------------------------
+
+    def _solve_relaxation(self, arrays: StandardArrays) -> Solution:
+        if self.lp_engine == "scipy":
+            return solve_lp_scipy(arrays)
+        return solve_lp(arrays)
+
+    @staticmethod
+    def _with_bounds(
+        base: StandardArrays, var_bounds: dict[int, tuple[float, float]]
+    ) -> StandardArrays:
+        if not var_bounds:
+            return base
+        bounds = list(base.bounds)
+        for idx, pair in var_bounds.items():
+            bounds[idx] = pair
+        return StandardArrays(
+            c=base.c,
+            a_ub=base.a_ub,
+            b_ub=base.b_ub,
+            a_eq=base.a_eq,
+            b_eq=base.b_eq,
+            bounds=bounds,
+            integrality=base.integrality,
+            names=base.names,
+        )
+
+    @staticmethod
+    def _fractionality(x: np.ndarray, int_indices: np.ndarray) -> tuple[int, float]:
+        """Return (most fractional integer index, its fractionality)."""
+        best_idx, best_frac = -1, 0.0
+        for idx in int_indices:
+            frac = abs(x[idx] - round(x[idx]))
+            distance = min(frac, 1.0 - frac) if frac > 0.5 else frac
+            distance = abs(x[idx] - math.floor(x[idx]) - 0.5)
+            score = 0.5 - distance  # 0.5 == exactly half-integral
+            if frac > _INT_TOL and (1 - frac) > _INT_TOL and score > best_frac:
+                best_idx, best_frac = int(idx), score
+        return best_idx, best_frac
+
+    @staticmethod
+    def _check_integral(x: np.ndarray, int_indices: np.ndarray) -> bool:
+        fractional = np.abs(x[int_indices] - np.round(x[int_indices]))
+        return bool(np.all(fractional <= _INT_TOL))
+
+    @staticmethod
+    def _feasible(arrays: StandardArrays, x: np.ndarray, tol: float = 1e-6) -> bool:
+        for j, (lb, ub) in enumerate(arrays.bounds):
+            if x[j] < lb - tol or x[j] > ub + tol:
+                return False
+        if arrays.a_ub.size and np.any(arrays.a_ub @ x > arrays.b_ub + tol):
+            return False
+        if arrays.a_eq.size and np.any(np.abs(arrays.a_eq @ x - arrays.b_eq) > tol):
+            return False
+        return True
+
+    def _round_heuristic(
+        self, arrays: StandardArrays, x: np.ndarray, int_indices: np.ndarray
+    ) -> np.ndarray | None:
+        """Round integer variables and test feasibility of the result."""
+        candidate = x.copy()
+        candidate[int_indices] = np.round(candidate[int_indices])
+        if self._feasible(arrays, candidate):
+            return candidate
+        # Second attempt: push fractional vars down (cheaper on budgeted
+        # knapsack-style rows, which is what the CPU constraint is).
+        candidate = x.copy()
+        candidate[int_indices] = np.floor(candidate[int_indices] + _INT_TOL)
+        if self._feasible(arrays, candidate):
+            return candidate
+        return None
+
+    # -- main entry ---------------------------------------------------------
+
+    def solve(self, program: LinearProgram | StandardArrays) -> Solution:
+        arrays = (
+            program.to_arrays() if isinstance(program, LinearProgram) else program
+        )
+        start = time.perf_counter()
+        int_indices = np.flatnonzero(arrays.integrality)
+        total_iterations = 0
+
+        root = self._solve_relaxation(arrays)
+        total_iterations += root.iterations
+        if root.status == SolveStatus.INFEASIBLE:
+            return Solution(
+                status=SolveStatus.INFEASIBLE,
+                prove_elapsed=time.perf_counter() - start,
+                nodes_explored=1,
+                iterations=total_iterations,
+            )
+        if root.status == SolveStatus.UNBOUNDED:
+            return Solution(
+                status=SolveStatus.UNBOUNDED,
+                prove_elapsed=time.perf_counter() - start,
+                nodes_explored=1,
+                iterations=total_iterations,
+            )
+        if root.status != SolveStatus.OPTIMAL:
+            return Solution(status=SolveStatus.LIMIT, nodes_explored=1)
+
+        counter = itertools.count()
+        heap: list[_Node] = [
+            _Node(bound=root.objective, order=next(counter), var_bounds={})
+        ]
+        incumbent_x: np.ndarray | None = None
+        incumbent_obj = INF
+        incumbents: list[IncumbentEvent] = []
+        nodes_explored = 0
+        best_bound = root.objective
+
+        def record_incumbent(x: np.ndarray, obj: float) -> None:
+            nonlocal incumbent_x, incumbent_obj
+            if obj < incumbent_obj - 1e-12:
+                incumbent_x = x.copy()
+                incumbent_obj = obj
+                incumbents.append(
+                    IncumbentEvent(
+                        elapsed=time.perf_counter() - start,
+                        objective=obj,
+                        node_count=nodes_explored,
+                    )
+                )
+
+        while heap:
+            if nodes_explored >= self.node_limit:
+                break
+            if (
+                self.time_limit is not None
+                and time.perf_counter() - start > self.time_limit
+            ):
+                break
+            node = heapq.heappop(heap)
+            best_bound = node.bound
+            if node.bound >= incumbent_obj - self.gap_tolerance * max(
+                1.0, abs(incumbent_obj)
+            ):
+                # Bound can no longer improve on the incumbent: proven.
+                best_bound = incumbent_obj
+                break
+            nodes_explored += 1
+
+            relax = self._solve_relaxation(
+                self._with_bounds(arrays, node.var_bounds)
+            )
+            total_iterations += relax.iterations
+            if relax.status != SolveStatus.OPTIMAL:
+                continue  # infeasible subtree
+            if relax.objective >= incumbent_obj - self.gap_tolerance * max(
+                1.0, abs(incumbent_obj)
+            ):
+                continue  # pruned by bound
+
+            x = np.array([relax.values[name] for name in arrays.names])
+            if self._check_integral(x, int_indices):
+                record_incumbent(x, relax.objective)
+                continue
+
+            rounded = self._round_heuristic(arrays, x, int_indices)
+            if rounded is not None:
+                record_incumbent(rounded, float(arrays.c @ rounded))
+
+            branch_idx, _ = self._fractionality(x, int_indices)
+            if branch_idx < 0:
+                record_incumbent(x, relax.objective)
+                continue
+            value = x[branch_idx]
+            lb, ub = arrays.bounds[branch_idx]
+            if branch_idx in node.var_bounds:
+                lb, ub = node.var_bounds[branch_idx]
+            floor_val, ceil_val = math.floor(value), math.ceil(value)
+            down = dict(node.var_bounds)
+            down[branch_idx] = (lb, float(floor_val))
+            up = dict(node.var_bounds)
+            up[branch_idx] = (float(ceil_val), ub)
+            for child in (down, up):
+                heapq.heappush(
+                    heap,
+                    _Node(
+                        bound=relax.objective,
+                        order=next(counter),
+                        var_bounds=child,
+                        depth=node.depth + 1,
+                    ),
+                )
+
+        elapsed = time.perf_counter() - start
+        if incumbent_x is None:
+            status = SolveStatus.INFEASIBLE if not heap else SolveStatus.LIMIT
+            return Solution(
+                status=status,
+                prove_elapsed=elapsed,
+                nodes_explored=nodes_explored,
+                iterations=total_iterations,
+            )
+
+        if heap and heap[0].bound < incumbent_obj - self.gap_tolerance * max(
+            1.0, abs(incumbent_obj)
+        ):
+            status = SolveStatus.FEASIBLE
+            bound = heap[0].bound
+        else:
+            status = SolveStatus.OPTIMAL
+            bound = incumbent_obj
+
+        values = {
+            name: float(v) for name, v in zip(arrays.names, incumbent_x)
+        }
+        return Solution(
+            status=status,
+            objective=incumbent_obj,
+            values=values,
+            bound=bound,
+            incumbents=incumbents,
+            discover_elapsed=incumbents[-1].elapsed if incumbents else elapsed,
+            prove_elapsed=elapsed,
+            nodes_explored=nodes_explored,
+            iterations=total_iterations,
+        )
+
+
+def solve_milp(
+    program: LinearProgram | StandardArrays,
+    lp_engine: str = "scipy",
+    time_limit: float | None = None,
+) -> Solution:
+    """Convenience wrapper: solve a MILP with default B&B settings."""
+    return BranchAndBound(lp_engine=lp_engine, time_limit=time_limit).solve(
+        program
+    )

@@ -1,0 +1,117 @@
+"""scipy (HiGHS) backends.
+
+These wrap :func:`scipy.optimize.linprog` and :func:`scipy.optimize.milp`
+behind the same :class:`~repro.solver.solution.Solution` interface as our
+own simplex and branch-and-bound implementations.  They serve two roles:
+
+* a *fast LP engine* for the branch-and-bound relaxations on large graphs
+  (the full EEG application produces LPs with >1300 variables), and
+* an *independent cross-check* in the test suite — our solvers must agree
+  with HiGHS on every randomly generated instance.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from scipy import optimize, sparse
+
+from .model import INF, LinearProgram, StandardArrays
+from .solution import IncumbentEvent, Solution, SolveStatus
+
+
+def _as_arrays(program: LinearProgram | StandardArrays) -> StandardArrays:
+    if isinstance(program, LinearProgram):
+        return program.to_arrays()
+    return program
+
+
+def solve_lp_scipy(program: LinearProgram | StandardArrays) -> Solution:
+    """Solve the LP relaxation with HiGHS (integrality dropped)."""
+    arrays = _as_arrays(program)
+    bounds = [
+        (lb if lb != -INF else None, ub if ub != INF else None)
+        for lb, ub in arrays.bounds
+    ]
+    result = optimize.linprog(
+        arrays.c,
+        A_ub=arrays.a_ub if arrays.a_ub.size else None,
+        b_ub=arrays.b_ub if arrays.b_ub.size else None,
+        A_eq=arrays.a_eq if arrays.a_eq.size else None,
+        b_eq=arrays.b_eq if arrays.b_eq.size else None,
+        bounds=bounds,
+        method="highs",
+    )
+    if result.status == 2:
+        return Solution(status=SolveStatus.INFEASIBLE)
+    if result.status == 3:
+        return Solution(status=SolveStatus.UNBOUNDED)
+    if not result.success:
+        return Solution(status=SolveStatus.LIMIT)
+    values = {name: float(v) for name, v in zip(arrays.names, result.x)}
+    return Solution(
+        status=SolveStatus.OPTIMAL,
+        objective=float(result.fun),
+        values=values,
+        bound=float(result.fun),
+        iterations=int(getattr(result, "nit", 0) or 0),
+    )
+
+
+def solve_milp_scipy(
+    program: LinearProgram | StandardArrays,
+    time_limit: float | None = None,
+) -> Solution:
+    """Solve the MILP exactly with HiGHS branch and cut."""
+    arrays = _as_arrays(program)
+    start = time.perf_counter()
+
+    constraints = []
+    if arrays.a_ub.size:
+        constraints.append(
+            optimize.LinearConstraint(
+                sparse.csr_matrix(arrays.a_ub),
+                -np.inf * np.ones(len(arrays.b_ub)),
+                arrays.b_ub,
+            )
+        )
+    if arrays.a_eq.size:
+        constraints.append(
+            optimize.LinearConstraint(
+                sparse.csr_matrix(arrays.a_eq), arrays.b_eq, arrays.b_eq
+            )
+        )
+    lower = np.array([lb for lb, _ in arrays.bounds])
+    upper = np.array([ub for _, ub in arrays.bounds])
+    options = {}
+    if time_limit is not None:
+        options["time_limit"] = time_limit
+    result = optimize.milp(
+        arrays.c,
+        constraints=constraints,
+        bounds=optimize.Bounds(lower, upper),
+        integrality=arrays.integrality,
+        options=options,
+    )
+    elapsed = time.perf_counter() - start
+    if result.status == 2:
+        return Solution(status=SolveStatus.INFEASIBLE, prove_elapsed=elapsed)
+    if result.status == 3:
+        return Solution(status=SolveStatus.UNBOUNDED, prove_elapsed=elapsed)
+    if result.x is None:
+        return Solution(status=SolveStatus.LIMIT, prove_elapsed=elapsed)
+    values = {name: float(v) for name, v in zip(arrays.names, result.x)}
+    objective = float(result.fun)
+    status = SolveStatus.OPTIMAL if result.status == 0 else SolveStatus.FEASIBLE
+    return Solution(
+        status=status,
+        objective=objective,
+        values=values,
+        bound=float(result.mip_dual_bound)
+        if result.mip_dual_bound is not None
+        else objective,
+        incumbents=[IncumbentEvent(elapsed, objective, 0)],
+        discover_elapsed=elapsed,
+        prove_elapsed=elapsed,
+    )

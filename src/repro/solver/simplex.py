@@ -1,0 +1,293 @@
+"""Dense two-phase tableau simplex, written from scratch.
+
+This is the self-contained LP engine behind the branch-and-bound solver
+(``repro.solver.branch_bound``), standing in for the Simplex core of the
+lp_solve library the paper uses.  It handles general bounds by rewriting to
+standard form (``min c@x, A@x = b, x >= 0``) and uses Bland's rule to
+guarantee termination.
+
+It is dense and O(m*n) per pivot, which is fine for the graph-partitioning
+LPs Wishbone produces (hundreds to a few thousand variables); callers who
+need more speed can ask branch and bound to use the scipy/HiGHS engine
+instead (``repro.solver.scipy_backend``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .model import INF, LinearProgram, StandardArrays
+from .solution import Solution, SolveStatus
+
+_TOL = 1e-9
+
+
+@dataclass
+class _StandardForm:
+    """min c@x, A@x = b, x >= 0, plus the recipe to map x back."""
+
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+    # original variable j maps to: x_orig[j] = sign[j] * x_std[col[j]] + shift[j]
+    col: np.ndarray
+    sign: np.ndarray
+    shift: np.ndarray
+    num_structural: int  # columns representing original vars (before slacks)
+
+
+def _to_standard_form(arrays: StandardArrays) -> _StandardForm:
+    """Rewrite a bounded, mixed-sense LP into equality standard form.
+
+    Bounds handling per variable:
+      * finite lb:        x = lb + y          (y >= 0)
+      * lb=-inf, ub fin.: x = ub - y          (y >= 0)
+      * free:             x = y+ - y-         (two columns)
+    Finite upper bounds that remain after shifting become extra ``<=`` rows.
+    """
+    n = len(arrays.bounds)
+    col = np.zeros(n, dtype=int)
+    sign = np.ones(n)
+    shift = np.zeros(n)
+    extra_ub_rows: list[tuple[int, float]] = []  # (std column, rhs)
+
+    next_col = 0
+    free_pairs: list[int] = []  # original index of free vars (need second col)
+    for j, (lb, ub) in enumerate(arrays.bounds):
+        if lb == -INF and ub == INF:
+            col[j] = next_col
+            sign[j] = 1.0
+            shift[j] = 0.0
+            free_pairs.append(j)
+            next_col += 1
+        elif lb == -INF:
+            # x = ub - y
+            col[j] = next_col
+            sign[j] = -1.0
+            shift[j] = ub
+            next_col += 1
+        else:
+            # x = lb + y, optionally y <= ub - lb
+            col[j] = next_col
+            sign[j] = 1.0
+            shift[j] = lb
+            if ub != INF:
+                extra_ub_rows.append((next_col, ub - lb))
+            next_col += 1
+
+    num_free = len(free_pairs)
+    num_structural = next_col + num_free
+
+    def expand_matrix(mat: np.ndarray) -> np.ndarray:
+        """Map original-variable columns onto standard-form columns."""
+        if mat.shape[0] == 0:
+            return np.zeros((0, num_structural))
+        out = np.zeros((mat.shape[0], num_structural))
+        for j in range(n):
+            out[:, col[j]] += sign[j] * mat[:, j]
+        for k, j in enumerate(free_pairs):
+            out[:, next_col + k] = -mat[:, j]  # the y- column
+        return out
+
+    def shift_rhs(mat: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        if mat.shape[0] == 0:
+            return rhs
+        return rhs - mat @ shift
+
+    a_ub = expand_matrix(arrays.a_ub)
+    b_ub = shift_rhs(arrays.a_ub, arrays.b_ub)
+    a_eq = expand_matrix(arrays.a_eq)
+    b_eq = shift_rhs(arrays.a_eq, arrays.b_eq)
+
+    if extra_ub_rows:
+        rows = np.zeros((len(extra_ub_rows), num_structural))
+        rhs = np.zeros(len(extra_ub_rows))
+        for i, (c_idx, bound) in enumerate(extra_ub_rows):
+            rows[i, c_idx] = 1.0
+            rhs[i] = bound
+        a_ub = np.vstack([a_ub, rows]) if a_ub.size else rows
+        b_ub = np.concatenate([b_ub, rhs]) if b_ub.size else rhs
+
+    # Slacks for <= rows.
+    m_ub = a_ub.shape[0]
+    m_eq = a_eq.shape[0]
+    total_cols = num_structural + m_ub
+    a = np.zeros((m_ub + m_eq, total_cols))
+    b = np.zeros(m_ub + m_eq)
+    if m_ub:
+        a[:m_ub, :num_structural] = a_ub
+        a[:m_ub, num_structural:num_structural + m_ub] = np.eye(m_ub)
+        b[:m_ub] = b_ub
+    if m_eq:
+        a[m_ub:, :num_structural] = a_eq
+        b[m_ub:] = b_eq
+
+    c = np.zeros(total_cols)
+    for j in range(n):
+        c[col[j]] += sign[j] * arrays.c[j]
+    for k, j in enumerate(free_pairs):
+        c[next_col + k] = -arrays.c[j]
+
+    # Standard form wants b >= 0.
+    neg = b < 0
+    a[neg] *= -1.0
+    b[neg] *= -1.0
+
+    return _StandardForm(a=a, b=b, c=c, col=col, sign=sign, shift=shift,
+                         num_structural=num_structural)
+
+
+def _pivot(tableau: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
+    tableau[row] /= tableau[row, col]
+    pivot_col = tableau[:, col].copy()
+    pivot_col[row] = 0.0
+    tableau -= np.outer(pivot_col, tableau[row])
+    basis[row] = col
+
+
+def _simplex_iterate(
+    tableau: np.ndarray,
+    basis: np.ndarray,
+    num_cols: int,
+    max_iters: int,
+) -> tuple[str, int]:
+    """Run primal simplex on a tableau; returns (status, iterations).
+
+    The last tableau row holds reduced costs; the last column holds the rhs.
+    Bland's rule (least-index entering and leaving) prevents cycling.
+    """
+    iters = 0
+    m = tableau.shape[0] - 1
+    while iters < max_iters:
+        reduced = tableau[-1, :num_cols]
+        entering = -1
+        for j in range(num_cols):
+            if reduced[j] < -_TOL:
+                entering = j
+                break
+        if entering < 0:
+            return "optimal", iters
+
+        column = tableau[:m, entering]
+        best_ratio = INF
+        leaving = -1
+        for i in range(m):
+            if column[i] > _TOL:
+                ratio = tableau[i, -1] / column[i]
+                if ratio < best_ratio - _TOL or (
+                    abs(ratio - best_ratio) <= _TOL
+                    and (leaving < 0 or basis[i] < basis[leaving])
+                ):
+                    best_ratio = ratio
+                    leaving = i
+        if leaving < 0:
+            return "unbounded", iters
+        _pivot(tableau, basis, leaving, entering)
+        iters += 1
+    return "iteration_limit", iters
+
+
+def solve_lp(
+    program: LinearProgram | StandardArrays,
+    max_iters: int = 50_000,
+) -> Solution:
+    """Solve an LP (integrality ignored) with two-phase dense simplex."""
+    if isinstance(program, LinearProgram):
+        arrays = program.to_arrays()
+        names = [v.name for v in program.variables]
+    else:
+        arrays = program
+        names = arrays.names
+
+    std = _to_standard_form(arrays)
+    m, n = std.a.shape
+
+    if m == 0:
+        # No constraints: optimum at zero (all standard vars at lower bound)
+        # unless some cost coefficient is negative -> unbounded.
+        if np.any(std.c < -_TOL):
+            return Solution(status=SolveStatus.UNBOUNDED)
+        x_std = np.zeros(n)
+        return _extract(arrays, std, names, x_std, iterations=0)
+
+    # Phase 1: artificial variables, minimize their sum.
+    tableau = np.zeros((m + 1, n + m + 1))
+    tableau[:m, :n] = std.a
+    tableau[:m, n:n + m] = np.eye(m)
+    tableau[:m, -1] = std.b
+    basis = np.arange(n, n + m)
+    # Price out: phase-1 reduced costs.
+    tableau[-1, :n] = -std.a.sum(axis=0)
+    tableau[-1, -1] = -std.b.sum()
+
+    status, iters1 = _simplex_iterate(tableau, basis, n + m, max_iters)
+    if status == "iteration_limit":
+        return Solution(status=SolveStatus.LIMIT, iterations=iters1)
+    if -tableau[-1, -1] > 1e-7:
+        return Solution(status=SolveStatus.INFEASIBLE, iterations=iters1)
+
+    # Drive any remaining artificial variables out of the basis.
+    for i in range(m):
+        if basis[i] >= n:
+            pivot_col = -1
+            for j in range(n):
+                if abs(tableau[i, j]) > _TOL:
+                    pivot_col = j
+                    break
+            if pivot_col >= 0:
+                _pivot(tableau, basis, i, pivot_col)
+            # else: redundant row; harmless to leave the artificial at zero.
+
+    # Phase 2: swap in the real objective, price out the basis.
+    tableau[-1, :] = 0.0
+    tableau[-1, :n] = std.c
+    for i in range(m):
+        if basis[i] < n and abs(tableau[-1, basis[i]]) > 0:
+            tableau[-1] -= tableau[-1, basis[i]] * tableau[i]
+    # Forbid re-entering artificials.
+    tableau[-1, n:n + m] = INF
+
+    status, iters2 = _simplex_iterate(tableau, basis, n, max_iters - iters1)
+    total_iters = iters1 + iters2
+    if status == "unbounded":
+        return Solution(status=SolveStatus.UNBOUNDED, iterations=total_iters)
+    if status == "iteration_limit":
+        return Solution(status=SolveStatus.LIMIT, iterations=total_iters)
+
+    x_std = np.zeros(n)
+    for i in range(m):
+        if basis[i] < n:
+            x_std[basis[i]] = tableau[i, -1]
+    return _extract(arrays, std, names, x_std, iterations=total_iters)
+
+
+def _extract(
+    arrays: StandardArrays,
+    std: _StandardForm,
+    names: list[str],
+    x_std: np.ndarray,
+    iterations: int,
+) -> Solution:
+    """Map a standard-form point back to original variables."""
+    n_orig = len(arrays.bounds)
+    x = np.zeros(n_orig)
+    free_seen = 0
+    next_col = int(std.col.max() + 1) if n_orig else 0
+    for j in range(n_orig):
+        lb, ub = arrays.bounds[j]
+        value = std.sign[j] * x_std[std.col[j]] + std.shift[j]
+        if lb == -INF and ub == INF:
+            value = x_std[std.col[j]] - x_std[next_col + free_seen]
+            free_seen += 1
+        x[j] = value
+    objective = float(arrays.c @ x)
+    values = {names[j]: float(x[j]) for j in range(n_orig)}
+    return Solution(
+        status=SolveStatus.OPTIMAL,
+        objective=objective,
+        values=values,
+        bound=objective,
+        iterations=iterations,
+    )

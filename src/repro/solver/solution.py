@@ -1,0 +1,76 @@
+"""Solver result types shared by every backend.
+
+The paper's Figure 6 distinguishes the time at which the branch-and-bound
+solver *discovers* the optimal solution from the (much later) time at which
+it *proves* optimality.  ``Solution`` therefore carries the full incumbent
+history, not just the final point.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class SolveStatus(enum.Enum):
+    """Terminal state of a solve call."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    FEASIBLE = "feasible"  # incumbent found, optimality not proven
+    LIMIT = "limit"  # node/time limit hit with no incumbent
+
+    @property
+    def has_solution(self) -> bool:
+        return self in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+
+@dataclass(frozen=True)
+class IncumbentEvent:
+    """A new best integer-feasible solution found during branch and bound."""
+
+    elapsed: float  # seconds since solve start
+    objective: float
+    node_count: int
+
+
+@dataclass
+class Solution:
+    """Outcome of solving a linear or mixed-integer program.
+
+    Attributes:
+        status: terminal solver state.
+        objective: objective value of the best solution (``None`` if none).
+        values: variable name -> value for the best solution.
+        bound: best proven lower bound on the (minimization) objective.
+        incumbents: history of improving solutions, in discovery order.
+        discover_elapsed: seconds until the final incumbent was found.
+        prove_elapsed: seconds until optimality was proven (or solve ended).
+        nodes_explored: number of branch-and-bound nodes processed.
+        iterations: simplex iterations (LP) or total across nodes (MILP).
+    """
+
+    status: SolveStatus
+    objective: float | None = None
+    values: dict[str, float] = field(default_factory=dict)
+    bound: float | None = None
+    incumbents: list[IncumbentEvent] = field(default_factory=list)
+    discover_elapsed: float = 0.0
+    prove_elapsed: float = 0.0
+    nodes_explored: int = 0
+    iterations: int = 0
+
+    @property
+    def gap(self) -> float:
+        """Relative optimality gap between incumbent and bound (0 = proven)."""
+        if self.objective is None or self.bound is None:
+            return float("inf")
+        denom = max(1.0, abs(self.objective))
+        return abs(self.objective - self.bound) / denom
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        return self.values.get(name, default)
+
+    def __bool__(self) -> bool:
+        return self.status.has_solution

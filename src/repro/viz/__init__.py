@@ -1,0 +1,15 @@
+"""Visualization: GraphViz dot emission, terminal tables, ASCII plots."""
+
+from .ascii import bar_chart, profile_table, series_table
+from .dot import graph_to_dot, write_dot
+from .plots import cdf_plot, line_plot
+
+__all__ = [
+    "bar_chart",
+    "cdf_plot",
+    "graph_to_dot",
+    "line_plot",
+    "profile_table",
+    "series_table",
+    "write_dot",
+]

@@ -1,0 +1,99 @@
+"""Terminal-friendly renderings of profiles and experiment series.
+
+The benchmark harnesses print the same rows/series the paper's figures
+plot; these helpers give them a consistent, readable format.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..profiler.records import GraphProfile
+
+
+def profile_table(
+    profile: GraphProfile,
+    order: Sequence[str],
+    per_event_divisor: float | None = None,
+) -> str:
+    """A Figure-7-style table: per-operator cost, cumulative cost, out-bw.
+
+    Args:
+        profile: the platform profile to render.
+        order: operator names in pipeline order.
+        per_event_divisor: events in the profiled trace; when given, CPU
+            is shown as microseconds per event instead of utilization.
+    """
+    rows = [
+        f"{'operator':<14} {'cpu':>14} {'cumulative':>14} {'out bandwidth':>16}"
+    ]
+    cumulative = 0.0
+    for name in order:
+        op = profile.operators[name]
+        if per_event_divisor:
+            cost = op.seconds / per_event_divisor * 1e6
+            cumulative += cost
+            cpu_text = f"{cost:>11.1f} us"
+            cum_text = f"{cumulative / 1000:>11.2f} ms"
+        else:
+            cost = op.utilization
+            cumulative += cost
+            cpu_text = f"{cost * 100:>11.2f} %"
+            cum_text = f"{cumulative * 100:>11.2f} %"
+        out_edges = [e for e in profile.graph.edges if e.src == name]
+        if out_edges:
+            bandwidth = profile.edges[out_edges[0]].bytes_per_sec
+            bw_text = f"{bandwidth:>12.0f} B/s"
+        else:
+            bw_text = f"{'-':>16}"
+        rows.append(f"{name:<14} {cpu_text:>14} {cum_text:>14} {bw_text:>16}")
+    return "\n".join(rows)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bars, scaled to the maximum value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    peak = max((abs(v) for v in values), default=0.0)
+    rows = []
+    for label, value in zip(labels, values):
+        filled = int(round(width * abs(value) / peak)) if peak else 0
+        bar = "#" * filled
+        rows.append(f"{label:<16} |{bar:<{width}}| {value:g}{unit}")
+    return "\n".join(rows)
+
+
+def series_table(
+    header: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Simple aligned table for printing figure series."""
+    widths = [len(str(h)) for h in header]
+    text_rows = []
+    for row in rows:
+        text_rows.append([_fmt(cell) for cell in row])
+        for i, cell in enumerate(text_rows[-1]):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header))
+    ]
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in text_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+        )
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,111 @@
+"""ASCII plots for terminal-rendered figures.
+
+The benchmark harnesses print the paper's figures as tables; for series
+with interesting *shape* (the Fig. 5(a) staircase, the Fig. 6 CDFs) an
+ASCII plot communicates more than rows of numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def line_plot(
+    series: dict[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+    log_x: bool = False,
+) -> str:
+    """Plot one or more (x, y) series as an ASCII scatter/line chart.
+
+    Each series gets its own marker character; axes are linear (or log-x)
+    with min/max annotations.
+    """
+    markers = "*o+x#@%&"
+    points = [
+        (x, y)
+        for values in series.values()
+        for x, y in values
+    ]
+    if not points:
+        return "(no data)"
+
+    def tx(x: float) -> float:
+        if log_x:
+            return math.log10(max(x, 1e-12))
+        return x
+
+    xs = [tx(x) for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in values:
+            column = int((tx(x) - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][column] = marker
+
+    lines = []
+    top_label = f"{y_hi:g}"
+    bottom_label = f"{y_lo:g}"
+    pad = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(pad)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(row)}|")
+    x_lo_text = f"{(10 ** x_lo if log_x else x_lo):g}"
+    x_hi_text = f"{(10 ** x_hi if log_x else x_hi):g}"
+    axis = " " * pad + " +" + "-" * width + "+"
+    lines.append(axis)
+    footer = (
+        " " * pad
+        + "  "
+        + x_lo_text
+        + x_hi_text.rjust(width - len(x_lo_text))
+    )
+    lines.append(footer)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}"
+        for i, name in enumerate(series)
+    )
+    label = f"   [{y_label} vs {x_label}]" if (x_label or y_label) else ""
+    lines.append(" " * pad + "  " + legend + label)
+    return "\n".join(lines)
+
+
+def cdf_plot(
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "seconds",
+    log_x: bool = True,
+) -> str:
+    """Plot empirical CDFs (like the paper's Figure 6)."""
+    cdf_series: dict[str, list[tuple[float, float]]] = {}
+    for name, values in series.items():
+        ordered = sorted(values)
+        n = len(ordered)
+        cdf_series[name] = [
+            (value, 100.0 * (index + 1) / n)
+            for index, value in enumerate(ordered)
+        ]
+    return line_plot(
+        cdf_series,
+        width=width,
+        height=height,
+        x_label=x_label,
+        y_label="percentile",
+        log_x=log_x,
+    )

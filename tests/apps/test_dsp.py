@@ -1,0 +1,113 @@
+"""DSP kernels: numerics against references, cost bills sane."""
+
+import numpy as np
+import pytest
+
+from repro.apps.dsp import (
+    apply_filterbank,
+    dct_ii_on_the_fly,
+    dct_ii_reference,
+    hamming_window,
+    log_energies,
+    mel_filterbank,
+    mel_inverse,
+    mel_scale,
+    power_spectrum,
+    preemphasis,
+)
+
+
+def test_hamming_window_shape_and_symmetry():
+    window = hamming_window(200)
+    assert window.shape == (200,)
+    assert window.dtype == np.float32
+    assert np.allclose(window, window[::-1], atol=1e-6)
+    assert 0.05 < window[0] < 0.09  # 0.54 - 0.46
+    assert window.max() == pytest.approx(1.0, abs=1e-3)
+
+
+def test_preemphasis_flattens_low_frequency():
+    t = np.arange(400)
+    low = np.sin(2 * np.pi * 0.005 * t) * 1000
+    out, cost = preemphasis(low)
+    assert np.std(out[1:]) < np.std(low) / 5
+    assert cost.float_ops == pytest.approx(800)
+
+
+def test_power_spectrum_identifies_tone():
+    sample_rate = 8000.0
+    n, fft_size = 200, 256
+    freq = 1000.0
+    t = np.arange(n) / sample_rate
+    tone = np.sin(2 * np.pi * freq * t)
+    power, cost = power_spectrum(tone, fft_size)
+    assert power.shape == (129,)
+    peak_bin = int(np.argmax(power[1:])) + 1
+    expected_bin = round(freq * fft_size / sample_rate)
+    assert abs(peak_bin - expected_bin) <= 1
+    assert cost.float_ops > 10_000  # 5 N log2 N
+
+
+def test_power_spectrum_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        power_spectrum(np.zeros(100), 200)
+
+
+def test_parseval_consistency():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=256)
+    power, _ = power_spectrum(x, 256)
+    # One-sided power sums to ~N * energy (doubling interior bins).
+    total = power[0] + power[-1] + 2 * power[1:-1].sum()
+    assert total == pytest.approx(256 * np.sum(x**2), rel=1e-5)
+
+
+def test_mel_scale_roundtrip():
+    for hz in (0.0, 300.0, 1000.0, 4000.0):
+        assert mel_inverse(mel_scale(hz)) == pytest.approx(hz, abs=1e-6)
+
+
+def test_mel_filterbank_structure():
+    bank = mel_filterbank(32, 256, 8000.0)
+    assert bank.shape == (32, 129)
+    assert np.all(bank >= 0)
+    assert np.all(bank.sum(axis=1) > 0), "every filter covers some bins"
+    # Centre frequencies increase.
+    centres = bank.argmax(axis=1)
+    assert all(a <= b for a, b in zip(centres, centres[1:]))
+
+
+def test_apply_filterbank_reduces_dimensions():
+    bank = mel_filterbank(32, 256, 8000.0)
+    power = np.ones(129, dtype=np.float32)
+    out, cost = apply_filterbank(power, bank)
+    assert out.shape == (32,)
+    assert cost.float_ops == pytest.approx(
+        2.0 * np.count_nonzero(bank)
+    )
+
+
+def test_log_energies_floors_zeros():
+    out, cost = log_energies(np.array([0.0, 1.0, np.e]))
+    assert np.isfinite(out).all()
+    assert out[1] == pytest.approx(0.0, abs=1e-6)
+    assert out[2] == pytest.approx(1.0, abs=1e-6)
+    assert cost.trans_ops == 3
+
+
+def test_dct_matches_reference():
+    rng = np.random.default_rng(1)
+    values = rng.normal(size=32)
+    fast, cost = dct_ii_on_the_fly(values, 13)
+    slow = dct_ii_reference(values, 13)
+    assert np.allclose(fast, slow, atol=1e-4)
+    assert cost.trans_ops == pytest.approx(13 * 32)
+
+
+def test_dct_matches_scipy():
+    scipy_dct = pytest.importorskip("scipy.fft").dct
+    rng = np.random.default_rng(2)
+    values = rng.normal(size=32)
+    ours, _ = dct_ii_on_the_fly(values, 13)
+    reference = scipy_dct(values, type=2)[:13] / 2.0
+    assert np.allclose(ours, reference, atol=1e-4)

@@ -1,0 +1,144 @@
+"""Speech application: audio synth, pipeline numerics, detection."""
+
+import numpy as np
+import pytest
+
+from repro.apps.speech import (
+    DEPLOYMENT_CUTPOINTS,
+    EnergyDetector,
+    FRAME_SAMPLES,
+    LinearMfccDetector,
+    PIPELINE_ORDER,
+    VIABLE_CUTPOINTS,
+    build_speech_pipeline,
+    cut_index,
+    detection_accuracy,
+    node_set_for_cut,
+    reference_mfccs,
+    synth_speech_audio,
+)
+from repro.dataflow import Executor, Namespace, run_graph
+
+
+def test_audio_geometry():
+    audio = synth_speech_audio(duration_s=2.0, seed=0)
+    assert audio.samples.dtype == np.int16
+    assert audio.n_frames == 80  # 2 s x 40 frames/s
+    frames = audio.frames()
+    assert all(len(f) == FRAME_SAMPLES for f in frames)
+    assert len(audio.frame_labels) == audio.n_frames
+
+
+def test_audio_speech_louder_than_silence():
+    audio = synth_speech_audio(duration_s=4.0, seed=1)
+    frames = audio.frames()
+    speech_energy = np.mean(
+        [np.mean(f.astype(float) ** 2) for f, lab in
+         zip(frames, audio.frame_labels) if lab]
+    )
+    silence_energy = np.mean(
+        [np.mean(f.astype(float) ** 2) for f, lab in
+         zip(frames, audio.frame_labels) if not lab]
+    )
+    assert speech_energy > 10 * silence_energy
+
+
+def test_pipeline_structure(speech_graph):
+    assert set(PIPELINE_ORDER) <= set(speech_graph.operators)
+    # One straight pipeline plus detector and sink.
+    assert len(speech_graph.operators) == len(PIPELINE_ORDER) + 2
+    for name in PIPELINE_ORDER:
+        op = speech_graph.operators[name]
+        assert op.namespace is Namespace.NODE
+    assert speech_graph.operators["detect"].namespace is Namespace.SERVER
+
+
+def test_pipeline_frame_sizes(speech_graph, speech_audio,
+                              speech_measurement):
+    """The Figure 7 byte counts: 400 -> ... -> 128 -> 128 -> 52."""
+    expected = {
+        "source": 400,
+        "preemph": 400,
+        "filtbank": 128,
+        "logs": 128,
+        "cepstrals": 52,
+    }
+    stats = speech_measurement.stats
+    for name, size in expected.items():
+        edge = [e for e in speech_graph.edges if e.src == name][0]
+        traffic = stats.edge_traffic[edge]
+        assert traffic.bytes / traffic.elements == pytest.approx(size)
+
+
+def test_pipeline_mfcc_matches_reference(speech_graph, speech_audio):
+    """The dataflow graph computes the same MFCCs as straight-line numpy."""
+    frames = speech_audio.frames()[:10]
+
+    # Capture cepstral outputs with a bounded executor.
+    from repro.runtime import BoundedExecutor
+
+    node_set = frozenset(PIPELINE_ORDER)
+    executor = BoundedExecutor(speech_graph, node_set)
+    outputs = []
+    for frame in frames:
+        for _, value in executor.push("source", frame):
+            outputs.append(np.asarray(value, dtype=np.float64))
+    pipeline_mfccs = np.stack(outputs)
+    reference = reference_mfccs(frames)
+    assert pipeline_mfccs.shape == reference.shape == (10, 13)
+    assert np.allclose(pipeline_mfccs, reference, rtol=1e-3, atol=1e-2)
+
+
+def test_energy_detector_beats_chance(speech_graph):
+    audio = synth_speech_audio(duration_s=6.0, seed=5)
+    executor = run_graph(
+        speech_graph, {"source": audio.frames()}
+    )
+    predictions = np.array(executor.sink_values("results"), dtype=bool)
+    accuracy = detection_accuracy(predictions, audio.frame_labels)
+    assert accuracy > 0.75
+
+
+def test_trained_detector_beats_energy_detector():
+    train = synth_speech_audio(duration_s=8.0, seed=6)
+    test = synth_speech_audio(duration_s=8.0, seed=7)
+    train_mfcc = reference_mfccs(train.frames())
+    test_mfcc = reference_mfccs(test.frames())
+
+    trained = LinearMfccDetector()
+    trained.train(train_mfcc, train.frame_labels)
+    trained_accuracy = detection_accuracy(
+        trained.detect(test_mfcc), test.frame_labels
+    )
+    energy_accuracy = detection_accuracy(
+        EnergyDetector().detect(list(test_mfcc)), test.frame_labels
+    )
+    assert trained_accuracy >= energy_accuracy - 0.05
+    assert trained_accuracy > 0.85
+
+
+def test_untrained_detector_raises():
+    with pytest.raises(RuntimeError):
+        LinearMfccDetector().detect(np.zeros((3, 13)))
+
+
+def test_detection_accuracy_validation():
+    with pytest.raises(ValueError):
+        detection_accuracy(np.array([True]), np.array([True, False]))
+    assert detection_accuracy(np.array([]), np.array([])) == 1.0
+
+
+def test_cut_helpers(speech_graph):
+    node_set = node_set_for_cut(speech_graph, "filtbank")
+    assert node_set == frozenset(PIPELINE_ORDER[:6])
+    assert cut_index("filtbank") == 4  # the famous cut 4
+    assert cut_index("cepstrals") == 6
+    with pytest.raises(ValueError):
+        node_set_for_cut(speech_graph, "bogus")
+
+
+def test_cutpoint_lists_consistent():
+    assert set(DEPLOYMENT_CUTPOINTS) <= set(PIPELINE_ORDER)
+    assert set(VIABLE_CUTPOINTS) <= set(DEPLOYMENT_CUTPOINTS)
+    assert DEPLOYMENT_CUTPOINTS[3] == "filtbank"
+    assert DEPLOYMENT_CUTPOINTS[5] == "cepstrals"

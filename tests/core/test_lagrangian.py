@@ -1,0 +1,96 @@
+"""Lagrangian/min-cut bound (the §7.1 termination aid)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PartitionProblem,
+    WeightedEdge,
+    brute_force_partition,
+    lagrangian_partition,
+    min_closure_node_set,
+)
+from repro.dataflow import Pinning
+
+
+def random_problem(seed, n=10, budget_frac=0.5):
+    rng = np.random.default_rng(seed)
+    names = [f"v{i}" for i in range(n)]
+    edges = []
+    for i in range(1, n):
+        parent = int(rng.integers(max(0, i - 3), i))
+        edges.append(
+            WeightedEdge(names[parent], names[i],
+                         float(rng.uniform(1, 50)))
+        )
+    cpu = {name: float(rng.uniform(0.1, 1.0)) for name in names}
+    return PartitionProblem(
+        vertices=names,
+        cpu=cpu,
+        edges=edges,
+        pins={names[0]: Pinning.NODE, names[-1]: Pinning.SERVER},
+        cpu_budget=sum(cpu.values()) * budget_frac,
+        net_budget=1e9,
+        alpha=0.1,
+        beta=1.0,
+    )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_closure_solves_unconstrained_problem_exactly(seed):
+    problem = random_problem(seed, budget_frac=100.0)  # budget slack
+    node_set, value = min_closure_node_set(problem)
+    brute = brute_force_partition(problem)
+    assert problem.respects_precedence(node_set)
+    assert problem.respects_pins(node_set)
+    assert value == pytest.approx(problem.objective(node_set), abs=1e-9)
+    assert value == pytest.approx(brute.objective, abs=1e-6)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_lagrangian_bound_is_valid(seed):
+    problem = random_problem(seed)
+    brute = brute_force_partition(problem)
+    lag = lagrangian_partition(problem)
+    if brute.feasible:
+        assert lag.lower_bound <= brute.objective + 1e-6
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_lagrangian_feasible_solution_is_feasible(seed):
+    problem = random_problem(seed)
+    lag = lagrangian_partition(problem)
+    if lag.best_node_set is not None:
+        assert problem.is_feasible(lag.best_node_set)
+        assert lag.best_objective == pytest.approx(
+            problem.objective(lag.best_node_set)
+        )
+        assert lag.best_objective >= lag.lower_bound - 1e-6
+
+
+def test_multiplier_stays_nonnegative():
+    problem = random_problem(3)
+    lag = lagrangian_partition(problem, iterations=20)
+    assert all(m >= 0.0 for m in lag.multipliers)
+
+
+def test_unconstrained_terminates_immediately():
+    problem = random_problem(2, budget_frac=100.0)
+    lag = lagrangian_partition(problem)
+    assert lag.iterations <= 2
+    assert lag.gap == pytest.approx(0.0, abs=1e-6)
+
+
+def test_closure_respects_forced_pins():
+    problem = PartitionProblem(
+        vertices=["s", "a", "t"],
+        cpu={"s": 0.0, "a": 10.0, "t": 0.0},
+        edges=[WeightedEdge("s", "a", 5.0), WeightedEdge("a", "t", 1.0)],
+        pins={"s": Pinning.NODE, "a": Pinning.NODE, "t": Pinning.SERVER},
+        cpu_budget=100.0,
+        net_budget=1e9,
+        alpha=1.0,  # CPU expensive, but "a" is pinned anyway
+        beta=1.0,
+    )
+    node_set, _ = min_closure_node_set(problem)
+    assert "a" in node_set and "t" not in node_set

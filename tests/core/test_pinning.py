@@ -1,0 +1,159 @@
+"""Movable/pinned classification and propagation (paper §2.1.1-2.1.2)."""
+
+import pytest
+
+from repro.core import (
+    InfeasiblePartition,
+    RelocationMode,
+    base_pinnings,
+    compute_pinnings,
+    movable_operators,
+    node_candidate_operators,
+    propagate_pinnings,
+)
+from repro.dataflow import GraphBuilder, Namespace, Operator, Pinning, StreamGraph
+
+
+def build_graph(stateful_node_op=False, loss_tolerant=False):
+    builder = GraphBuilder()
+    with builder.node():
+        stream = builder.source("src")
+        if stateful_node_op:
+            stream = builder.iterate(
+                "nf",
+                stream,
+                lambda ctx, port, item: ctx.emit(item),
+                make_state=dict,
+                loss_tolerant=loss_tolerant,
+            )
+        else:
+            stream = builder.fmap("nf", stream, lambda x: x)
+    server_side = builder.fmap("sf", stream, lambda x: x)
+    builder.sink("sink", server_side)
+    return builder.build()
+
+
+def test_sources_pinned_to_node():
+    pins = base_pinnings(build_graph())
+    assert pins["src"] is Pinning.NODE
+
+
+def test_sinks_pinned_to_server():
+    pins = base_pinnings(build_graph())
+    assert pins["sink"] is Pinning.SERVER
+
+
+def test_stateless_ops_movable_in_both_namespaces():
+    pins = base_pinnings(build_graph())
+    assert pins["nf"] is Pinning.MOVABLE
+    assert pins["sf"] is Pinning.MOVABLE
+
+
+def test_stateful_node_op_pinned_in_conservative_mode():
+    graph = build_graph(stateful_node_op=True)
+    conservative = base_pinnings(graph, RelocationMode.CONSERVATIVE)
+    permissive = base_pinnings(graph, RelocationMode.PERMISSIVE)
+    assert conservative["nf"] is Pinning.NODE
+    assert permissive["nf"] is Pinning.MOVABLE
+
+
+def test_loss_tolerant_stateful_movable_even_conservatively():
+    graph = build_graph(stateful_node_op=True, loss_tolerant=True)
+    pins = base_pinnings(graph, RelocationMode.CONSERVATIVE)
+    assert pins["nf"] is Pinning.MOVABLE
+
+
+def test_stateful_server_op_pinned():
+    builder = GraphBuilder()
+    with builder.node():
+        stream = builder.source("src")
+    stateful = builder.iterate(
+        "acc", stream, lambda ctx, port, item: ctx.emit(item),
+        make_state=dict,
+    )
+    builder.sink("sink", stateful)
+    pins = base_pinnings(builder.build())
+    assert pins["acc"] is Pinning.SERVER
+
+
+def test_side_effect_ops_pinned_to_namespace():
+    builder = GraphBuilder()
+    with builder.node():
+        stream = builder.source("src")
+        led = builder.iterate(
+            "led", stream, lambda ctx, port, item: ctx.emit(item),
+            side_effects=True,
+        )
+    builder.sink("sink", led)
+    pins = base_pinnings(builder.build())
+    assert pins["led"] is Pinning.NODE
+
+
+def test_propagation_pins_ancestors_of_node_pinned():
+    builder = GraphBuilder()
+    with builder.node():
+        stream = builder.source("src")
+        a = builder.fmap("a", stream, lambda x: x)
+        led = builder.iterate(
+            "led", a, lambda ctx, port, item: ctx.emit(item),
+            side_effects=True,
+        )
+    builder.sink("sink", led)
+    graph = builder.build()
+    pins = compute_pinnings(graph)
+    assert pins["a"] is Pinning.NODE  # upstream of a node-pinned op
+
+
+def test_propagation_pins_descendants_of_server_pinned():
+    graph = build_graph()
+    pins = dict(base_pinnings(graph))
+    pins["nf"] = Pinning.SERVER
+    propagated = propagate_pinnings(graph, pins)
+    assert propagated["sf"] is Pinning.SERVER
+
+
+def test_conflicting_pins_raise():
+    graph = StreamGraph()
+    graph.add_operator(
+        Operator(name="src", is_source=True, namespace=Namespace.NODE,
+                 side_effects=True)
+    )
+    graph.add_operator(
+        Operator(name="mid", work=lambda c, p, i: None,
+                 namespace=Namespace.NODE)
+    )
+    graph.add_operator(
+        Operator(name="act", work=lambda c, p, i: None,
+                 namespace=Namespace.NODE, side_effects=True)
+    )
+    graph.add_edge("src", "mid")
+    graph.add_edge("mid", "act")
+    pins = {
+        "src": Pinning.NODE,
+        "mid": Pinning.SERVER,  # forced conflict
+        "act": Pinning.NODE,
+    }
+    with pytest.raises(InfeasiblePartition):
+        propagate_pinnings(graph, pins)
+
+
+def test_no_propagation_when_single_crossing_disabled():
+    builder = GraphBuilder()
+    with builder.node():
+        stream = builder.source("src")
+        a = builder.fmap("a", stream, lambda x: x)
+        led = builder.iterate(
+            "led", a, lambda ctx, port, item: ctx.emit(item),
+            side_effects=True,
+        )
+    builder.sink("sink", led)
+    graph = builder.build()
+    pins = compute_pinnings(graph, single_crossing=False)
+    assert pins["a"] is Pinning.MOVABLE
+
+
+def test_movable_and_candidate_sets():
+    graph = build_graph()
+    pins = compute_pinnings(graph)
+    assert movable_operators(pins) == {"nf", "sf"}
+    assert node_candidate_operators(pins) == {"src", "nf", "sf"}

@@ -1,0 +1,145 @@
+"""§4.1 preprocessing: merge non-data-reducing operators downstream."""
+
+import pytest
+
+from repro.core import (
+    PartitionProblem,
+    WeightedEdge,
+    brute_force_partition,
+    preprocess,
+)
+from repro.dataflow import Pinning
+
+
+def make_problem(vertices, cpu, edges, pins=None, cpu_budget=10.0):
+    return PartitionProblem(
+        vertices=vertices,
+        cpu=cpu,
+        edges=[WeightedEdge(*e) for e in edges],
+        pins=pins or {},
+        cpu_budget=cpu_budget,
+        net_budget=1e9,
+    )
+
+
+def test_neutral_operator_merged_downstream():
+    problem = make_problem(
+        ["s", "neutral", "reduce", "t"],
+        {"s": 0.0, "neutral": 1.0, "reduce": 1.0, "t": 0.0},
+        [("s", "neutral", 100.0), ("neutral", "reduce", 100.0),
+         ("reduce", "t", 10.0)],
+        pins={"s": Pinning.NODE, "t": Pinning.SERVER},
+    )
+    reduced = preprocess(problem)
+    # "neutral" must be merged into "reduce".
+    assert len(reduced.problem.vertices) == 3
+    cluster = reduced.cluster_of["neutral"]
+    assert cluster == reduced.cluster_of["reduce"]
+    assert reduced.problem.cpu[cluster] == pytest.approx(2.0)
+
+
+def test_expanding_operator_merged_downstream():
+    problem = make_problem(
+        ["s", "expand", "reduce", "t"],
+        {"s": 0.0, "expand": 1.0, "reduce": 1.0, "t": 0.0},
+        [("s", "expand", 100.0), ("expand", "reduce", 200.0),
+         ("reduce", "t", 10.0)],
+        pins={"s": Pinning.NODE, "t": Pinning.SERVER},
+    )
+    reduced = preprocess(problem)
+    assert reduced.cluster_of["expand"] == reduced.cluster_of["reduce"]
+
+
+def test_reducing_operator_not_merged():
+    problem = make_problem(
+        ["s", "reduce", "t"],
+        {"s": 0.0, "reduce": 1.0, "t": 0.0},
+        [("s", "reduce", 100.0), ("reduce", "t", 10.0)],
+        pins={"s": Pinning.NODE, "t": Pinning.SERVER},
+    )
+    reduced = preprocess(problem)
+    assert len(reduced.problem.vertices) == 3  # nothing merged
+
+
+def test_node_pinned_vertex_never_merged():
+    # Even a data-neutral vertex must stay separate if pinned to the node:
+    # the cut can't move upstream of it.
+    problem = make_problem(
+        ["s", "pinned", "t"],
+        {"s": 0.0, "pinned": 1.0, "t": 0.0},
+        [("s", "pinned", 100.0), ("pinned", "t", 100.0)],
+        pins={"s": Pinning.NODE, "pinned": Pinning.NODE,
+              "t": Pinning.SERVER},
+    )
+    reduced = preprocess(problem)
+    assert reduced.cluster_of["pinned"] == "pinned"
+    assert len(reduced.problem.vertices) == 3
+
+
+def test_sources_keep_their_cut():
+    problem = make_problem(
+        ["s", "a", "t"],
+        {"s": 0.0, "a": 1.0, "t": 0.0},
+        [("s", "a", 100.0), ("a", "t", 10.0)],
+        pins={"s": Pinning.NODE, "t": Pinning.SERVER},
+    )
+    reduced = preprocess(problem)
+    assert reduced.cluster_of["s"] == "s"
+
+
+def test_fan_out_vertex_not_merged():
+    problem = make_problem(
+        ["s", "split", "l", "r", "t"],
+        {"s": 0.0, "split": 1.0, "l": 1.0, "r": 1.0, "t": 0.0},
+        [("s", "split", 100.0), ("split", "l", 100.0),
+         ("split", "r", 100.0), ("l", "t", 10.0), ("r", "t", 10.0)],
+        pins={"s": Pinning.NODE, "t": Pinning.SERVER},
+    )
+    reduced = preprocess(problem)
+    assert reduced.cluster_of["split"] == "split"
+
+
+def test_zip_merged_when_output_not_smaller():
+    problem = make_problem(
+        ["s1", "s2", "zip", "reduce", "t"],
+        {"s1": 0.0, "s2": 0.0, "zip": 1.0, "reduce": 1.0, "t": 0.0},
+        [("s1", "zip", 50.0), ("s2", "zip", 50.0),
+         ("zip", "reduce", 100.0), ("reduce", "t", 5.0)],
+        pins={"s1": Pinning.NODE, "s2": Pinning.NODE, "t": Pinning.SERVER},
+    )
+    reduced = preprocess(problem)
+    assert reduced.cluster_of["zip"] == reduced.cluster_of["reduce"]
+
+
+def test_expand_returns_original_vertices():
+    problem = make_problem(
+        ["s", "neutral", "reduce", "t"],
+        {"s": 0.0, "neutral": 1.0, "reduce": 1.0, "t": 0.0},
+        [("s", "neutral", 100.0), ("neutral", "reduce", 100.0),
+         ("reduce", "t", 10.0)],
+        pins={"s": Pinning.NODE, "t": Pinning.SERVER},
+    )
+    reduced = preprocess(problem)
+    cluster = reduced.cluster_of["reduce"]
+    expanded = reduced.expand({cluster})
+    assert expanded == {"neutral", "reduce"}
+
+
+def test_preprocessing_preserves_optimum_on_pipeline():
+    problem = make_problem(
+        ["s", "a", "b", "c", "d", "t"],
+        {"s": 0.0, "a": 1.0, "b": 2.0, "c": 1.5, "d": 0.5, "t": 0.0},
+        [("s", "a", 100.0), ("a", "b", 100.0), ("b", "c", 60.0),
+         ("c", "d", 60.0), ("d", "t", 5.0)],
+        pins={"s": Pinning.NODE, "t": Pinning.SERVER},
+        cpu_budget=4.0,
+    )
+    reduced = preprocess(problem)
+    assert len(reduced.problem.vertices) < len(problem.vertices)
+    raw = brute_force_partition(problem)
+    clustered = brute_force_partition(reduced.problem)
+    assert clustered.objective == pytest.approx(raw.objective)
+    # Expanded solution must be feasible and equally good on the original.
+    expanded = reduced.expand(clustered.node_set)
+    assert problem.is_feasible(expanded)
+    assert problem.objective(expanded) == pytest.approx(raw.objective)

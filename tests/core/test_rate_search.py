@@ -1,0 +1,89 @@
+"""§4.3 rate search: binary search over the input data rate."""
+
+import pytest
+
+from repro.core import (
+    PartitionObjective,
+    RateSearch,
+    RelocationMode,
+    Wishbone,
+    max_feasible_rate,
+)
+
+
+def make_partitioner(**kwargs):
+    return Wishbone(
+        objective=PartitionObjective(alpha=0.0, beta=1.0),
+        mode=RelocationMode.PERMISSIVE,
+        **kwargs,
+    )
+
+
+def test_feasible_at_target_short_circuits(server_speech_profile):
+    search = RateSearch(make_partitioner())
+    outcome = search.search(server_speech_profile)
+    assert outcome.feasible_at_full_rate
+    assert outcome.rate_factor == pytest.approx(1.0)
+    assert outcome.probes == 1
+
+
+def test_overloaded_platform_finds_reduced_rate(tmote_speech_profile):
+    outcome = max_feasible_rate(
+        make_partitioner(), tmote_speech_profile
+    )
+    assert not outcome.feasible_at_full_rate
+    assert 0.05 < outcome.rate_factor < 0.2
+    assert outcome.result is not None
+    assert outcome.result.feasible
+
+
+def test_found_rate_is_maximal(tmote_speech_profile):
+    partitioner = make_partitioner()
+    outcome = RateSearch(partitioner, tolerance=0.01).search(
+        tmote_speech_profile
+    )
+    # Just above the found rate (beyond tolerance) must be infeasible.
+    above = outcome.rate_factor * 1.05
+    assert partitioner.try_partition(
+        tmote_speech_profile.scaled(above)
+    ) is None
+    # The found rate itself must be feasible.
+    assert partitioner.try_partition(
+        tmote_speech_profile.scaled(outcome.rate_factor)
+    ) is not None
+
+
+def test_feasibility_monotone_in_rate(tmote_speech_profile):
+    """The property §4.3's binary search relies on."""
+    partitioner = make_partitioner()
+    statuses = [
+        partitioner.try_partition(tmote_speech_profile.scaled(factor))
+        is not None
+        for factor in (0.01, 0.05, 0.1, 0.2, 0.5, 1.0)
+    ]
+    # Once infeasible, stays infeasible.
+    first_failure = statuses.index(False) if False in statuses else None
+    if first_failure is not None:
+        assert all(not s for s in statuses[first_failure:])
+
+
+def test_nothing_fits_returns_zero(tmote_speech_profile):
+    # A zero network budget is infeasible at every rate: the cut always
+    # carries some bytes, no matter how far the input rate is scaled down.
+    partitioner = make_partitioner(net_budget=0.0)
+    outcome = RateSearch(partitioner, max_probes=25).search(
+        tmote_speech_profile
+    )
+    assert outcome.rate_factor == 0.0
+    assert outcome.result is None
+
+
+def test_bad_tolerance_rejected():
+    with pytest.raises(ValueError):
+        RateSearch(make_partitioner(), tolerance=0.0)
+
+
+def test_probe_budget_respected(tmote_speech_profile):
+    search = RateSearch(make_partitioner(), max_probes=5)
+    outcome = search.search(tmote_speech_profile)
+    assert outcome.probes <= 5

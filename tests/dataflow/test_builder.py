@@ -1,0 +1,111 @@
+"""GraphBuilder: namespaces, naming, wiring rules."""
+
+import pytest
+
+from repro.dataflow import GraphBuilder, GraphError, Namespace
+
+
+def passthrough(ctx, port, item):
+    ctx.emit(item)
+
+
+def test_source_requires_node_namespace():
+    builder = GraphBuilder()
+    with pytest.raises(ValueError, match="Node namespace"):
+        builder.source("mic")
+
+
+def test_sink_requires_server_namespace():
+    builder = GraphBuilder()
+    with builder.node():
+        stream = builder.source("mic")
+        with pytest.raises(ValueError, match="server namespace"):
+            builder.sink("out", stream)
+
+
+def test_namespace_nesting_restores():
+    builder = GraphBuilder()
+    assert builder.current_namespace is Namespace.SERVER
+    with builder.node():
+        assert builder.current_namespace is Namespace.NODE
+    assert builder.current_namespace is Namespace.SERVER
+
+
+def test_operators_tagged_with_namespace():
+    builder = GraphBuilder()
+    with builder.node():
+        stream = builder.source("mic")
+        stream = builder.iterate("f", stream, passthrough)
+    stream = builder.iterate("g", stream, passthrough)
+    builder.sink("out", stream)
+    graph = builder.build()
+    assert graph.operators["f"].namespace is Namespace.NODE
+    assert graph.operators["g"].namespace is Namespace.SERVER
+
+
+def test_auto_unique_names():
+    builder = GraphBuilder()
+    with builder.node():
+        stream = builder.source("mic")
+        builder.iterate("f", stream, passthrough)
+        second = builder.iterate("f", stream, passthrough)
+    assert second.operator_name == "f.1"
+
+
+def test_cross_builder_stream_rejected():
+    b1, b2 = GraphBuilder(), GraphBuilder()
+    with b1.node():
+        stream = b1.source("mic")
+    with b2.node():
+        with pytest.raises(ValueError, match="different builder"):
+            b2.iterate("f", stream, passthrough)
+
+
+def test_merge_requires_inputs():
+    builder = GraphBuilder()
+    with pytest.raises(ValueError, match="at least one"):
+        builder.merge("z", [], passthrough)
+
+
+def test_build_validates():
+    builder = GraphBuilder()
+    with builder.node():
+        builder.source("mic")
+    # No sink: structurally invalid.
+    with pytest.raises(GraphError):
+        builder.build()
+
+
+def test_fmap_and_filter_work():
+    from repro.dataflow import run_graph
+
+    builder = GraphBuilder()
+    with builder.node():
+        stream = builder.source("numbers")
+        doubled = builder.fmap("double", stream, lambda x: 2 * x)
+        evens = builder.sfilter("evens", doubled, lambda x: x % 4 == 0)
+    builder.sink("out", evens)
+    graph = builder.build()
+    executor = run_graph(graph, {"numbers": [1, 2, 3, 4]})
+    assert executor.sink_values("out") == [4, 8]
+
+
+def test_stateful_iterate_state_persists():
+    from repro.dataflow import run_graph
+
+    builder = GraphBuilder()
+    with builder.node():
+        stream = builder.source("numbers")
+
+        def accumulate(ctx, port, item):
+            ctx.state["sum"] += item
+            ctx.emit(ctx.state["sum"])
+
+        totals = builder.iterate(
+            "running", stream, accumulate, make_state=lambda: {"sum": 0}
+        )
+    builder.sink("out", totals)
+    graph = builder.build()
+    executor = run_graph(graph, {"numbers": [1, 2, 3]})
+    assert executor.sink_values("out") == [1, 3, 6]
+    assert graph.operators["running"].stateful

@@ -1,0 +1,153 @@
+"""The operator combinator library: numerics and streaming semantics."""
+
+import numpy as np
+import pytest
+
+from repro.dataflow import GraphBuilder, run_graph
+from repro.dataflow.operators import (
+    add_streams,
+    constant_cost_map,
+    decimate,
+    fir_filter,
+    fir_filter_block,
+    get_even,
+    get_odd,
+    rewindow,
+    zip_n,
+)
+
+
+def build_and_run(wire, source_items, source="src"):
+    """Wire a single-source graph through ``wire`` and run it."""
+    builder = GraphBuilder()
+    with builder.node():
+        stream = builder.source(source)
+        out = wire(builder, stream)
+    builder.sink("out", out)
+    graph = builder.build()
+    executor = run_graph(graph, {source: source_items})
+    return executor.sink_values("out")
+
+
+def test_fir_filter_matches_convolution():
+    coefficients = np.array([0.5, 0.25, 0.125, 0.0625])
+    samples = np.arange(1, 21, dtype=float)
+    outputs = build_and_run(
+        lambda b, s: fir_filter(b, "fir", s, coefficients),
+        list(samples),
+    )
+    # Streaming alignment: y[n] = sum_i c[i] * x[n - (taps-1) + i], with
+    # zero history before the stream starts.
+    padded = np.concatenate([np.zeros(3), samples])
+    expected = [
+        float(np.dot(coefficients, padded[n:n + 4])) for n in range(20)
+    ]
+    assert outputs == pytest.approx(expected)
+
+
+def test_fir_block_equals_scalar_fir_across_blocks():
+    coefficients = np.array([0.3, -0.2, 0.1, 0.05])
+    rng = np.random.default_rng(0)
+    samples = rng.normal(size=32)
+
+    scalar = build_and_run(
+        lambda b, s: fir_filter(b, "fir", s, coefficients), list(samples)
+    )
+    blocks = [samples[:10], samples[10:17], samples[17:]]
+    block_out = build_and_run(
+        lambda b, s: fir_filter_block(b, "fir", s, coefficients), blocks
+    )
+    flattened = np.concatenate(block_out)
+    assert flattened == pytest.approx(np.array(scalar))
+
+
+def test_get_even_odd_partition_block():
+    block = np.arange(10)
+    evens = build_and_run(lambda b, s: get_even(b, "e", s), [block])
+    odds = build_and_run(lambda b, s: get_odd(b, "o", s), [block])
+    assert list(evens[0]) == [0, 2, 4, 6, 8]
+    assert list(odds[0]) == [1, 3, 5, 7, 9]
+
+
+def test_add_streams_aligns_two_branches():
+    def wire(builder, stream):
+        even = get_even(builder, "e", stream)
+        odd = get_odd(builder, "o", stream)
+        return add_streams(builder, "sum", even, odd)
+
+    outputs = build_and_run(wire, [np.arange(8.0)])
+    assert list(outputs[0]) == [1.0, 5.0, 9.0, 13.0]  # 0+1, 2+3, ...
+
+
+def test_zip_n_waits_for_all_inputs():
+    builder = GraphBuilder()
+    with builder.node():
+        a = builder.source("a")
+        b = builder.source("b")
+        zipped = zip_n(builder, "z", [a, b])
+    builder.sink("out", zipped)
+    graph = builder.build()
+    executor = run_graph(graph, {"a": [1, 2, 3], "b": [10, 20]})
+    assert executor.sink_values("out") == [(1, 10), (2, 20)]
+
+
+def test_rewindow_tiling():
+    outputs = build_and_run(
+        lambda b, s: rewindow(b, "w", s, window=4),
+        [np.arange(6.0), np.arange(6.0, 10.0)],
+    )
+    assert [list(w) for w in outputs] == [
+        [0, 1, 2, 3],
+        [4, 5, 6, 7],
+    ]
+
+
+def test_rewindow_overlap():
+    outputs = build_and_run(
+        lambda b, s: rewindow(b, "w", s, window=4, hop=2),
+        [np.arange(8.0)],
+    )
+    assert [list(w) for w in outputs] == [
+        [0, 1, 2, 3],
+        [2, 3, 4, 5],
+        [4, 5, 6, 7],
+    ]
+
+
+def test_rewindow_rejects_bad_geometry():
+    builder = GraphBuilder()
+    with builder.node():
+        stream = builder.source("src")
+        with pytest.raises(ValueError):
+            rewindow(builder, "w", stream, window=0)
+
+
+def test_decimate_keeps_every_nth():
+    outputs = build_and_run(
+        lambda b, s: decimate(b, "d", s, factor=3), list(range(10))
+    )
+    assert outputs == [0, 3, 6, 9]
+
+
+def test_decimate_rejects_bad_factor():
+    builder = GraphBuilder()
+    with builder.node():
+        stream = builder.source("src")
+        with pytest.raises(ValueError):
+            decimate(builder, "d", stream, factor=0)
+
+
+def test_constant_cost_map_reports_work():
+    builder = GraphBuilder()
+    with builder.node():
+        stream = builder.source("src")
+        mapped = constant_cost_map(
+            builder, "m", stream, lambda x: x + 1, float_ops_per_item=7.0
+        )
+    builder.sink("out", mapped)
+    graph = builder.build()
+    executor = run_graph(graph, {"src": [1, 2, 3]})
+    assert executor.sink_values("out") == [2, 3, 4]
+    assert executor.stats.operators["m"].counts.float_ops == pytest.approx(
+        21.0
+    )

@@ -1,0 +1,119 @@
+"""Property-based tests of the dataflow operator library."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow import GraphBuilder, run_graph
+from repro.dataflow.operators import (
+    decimate,
+    fir_filter_block,
+    get_even,
+    get_odd,
+    rewindow,
+    zip_n,
+)
+
+
+def _run(wire, items, source="src"):
+    builder = GraphBuilder()
+    with builder.node():
+        stream = builder.source(source)
+        out = wire(builder, stream)
+    builder.sink("out", out)
+    graph = builder.build()
+    return run_graph(graph, {source: items}).sink_values("out")
+
+
+block_lists = st.lists(
+    st.integers(min_value=1, max_value=40).map(
+        lambda n: np.arange(n, dtype=float)
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+@given(block_lists)
+@settings(max_examples=40, deadline=None)
+def test_even_odd_partition_is_complete(blocks):
+    """Every sample lands in exactly one of the even/odd streams."""
+    evens = _run(lambda b, s: get_even(b, "e", s), blocks)
+    odds = _run(lambda b, s: get_odd(b, "o", s), blocks)
+    for block, even, odd in zip(blocks, evens, odds):
+        merged = np.empty(len(block))
+        merged[0::2] = even
+        merged[1::2] = odd
+        assert np.array_equal(merged, block)
+
+
+@given(
+    block_lists,
+    st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=40, deadline=None)
+def test_block_fir_is_blocking_invariant(blocks, taps):
+    """Splitting the input into different blocks never changes output."""
+    rng = np.random.default_rng(taps)
+    coefficients = rng.normal(size=taps)
+    whole = np.concatenate(blocks)
+    one_shot = _run(
+        lambda b, s: fir_filter_block(b, "f", s, coefficients), [whole]
+    )
+    blockwise = _run(
+        lambda b, s: fir_filter_block(b, "f", s, coefficients), blocks
+    )
+    assert np.allclose(np.concatenate(blockwise), one_shot[0], atol=1e-9)
+
+
+@given(
+    st.integers(min_value=1, max_value=30),
+    st.integers(min_value=1, max_value=10),
+    st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=40, deadline=None)
+def test_rewindow_tiling_covers_stream(total, window, hop):
+    if hop > window:
+        hop = window  # gaps would drop samples by design; test tiling
+    samples = np.arange(total, dtype=float)
+    outputs = _run(
+        lambda b, s: rewindow(b, "w", s, window=window, hop=hop),
+        [samples],
+    )
+    expected = max(0, (total - window) // hop + 1)
+    assert len(outputs) == expected
+    for index, out in enumerate(outputs):
+        start = index * hop
+        assert np.array_equal(out, samples[start:start + window])
+
+
+@given(
+    st.lists(st.integers(), min_size=0, max_size=30),
+    st.integers(min_value=1, max_value=7),
+)
+@settings(max_examples=40, deadline=None)
+def test_decimate_keeps_every_nth(items, factor):
+    outputs = _run(
+        lambda b, s: decimate(b, "d", s, factor=factor), list(items)
+    )
+    assert outputs == list(items)[::factor]
+
+
+@given(
+    st.lists(st.integers(), min_size=0, max_size=10),
+    st.lists(st.integers(), min_size=0, max_size=10),
+)
+@settings(max_examples=40, deadline=None)
+def test_zip_emits_min_length(a, b):
+    builder = GraphBuilder()
+    with builder.node():
+        sa = builder.source("a")
+        sb = builder.source("b")
+        zipped = zip_n(builder, "z", [sa, sb])
+    builder.sink("out", zipped)
+    graph = builder.build()
+    if not a and not b:
+        return  # run_graph needs at least one element somewhere
+    outputs = run_graph(graph, {"a": list(a), "b": list(b)}).sink_values(
+        "out"
+    )
+    assert outputs == list(zip(a, b))

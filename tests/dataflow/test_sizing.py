@@ -1,0 +1,42 @@
+"""Serialized element size estimation."""
+
+import numpy as np
+import pytest
+
+from repro.dataflow import element_size
+
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [
+        (0, 4),
+        (3.14, 4),
+        (True, 1),
+        (None, 0),
+        (np.int16(5), 2),
+        (np.int8(5), 1),
+        (np.float64(2.0), 4),  # embedded wire format is single precision
+        (b"abcd", 4),
+        ((1, 2.0), 8),
+        ([1, 1, 1], 12),
+        ({"a": 1.0, "b": 2}, 8),
+    ],
+)
+def test_scalar_sizes(value, expected):
+    assert element_size(value) == expected
+
+
+def test_array_sizes_follow_dtype():
+    assert element_size(np.zeros(200, np.int16)) == 400
+    assert element_size(np.zeros(32, np.float32)) == 128
+    assert element_size(np.zeros(13, np.float32)) == 52
+
+
+def test_nested_tuple():
+    value = ((1.0, 2.0), (3.0,))
+    assert element_size(value) == 12
+
+
+def test_unsupported_type_raises():
+    with pytest.raises(TypeError):
+        element_size(object())

@@ -1,0 +1,131 @@
+"""Structural validation rules."""
+
+import pytest
+
+from repro.dataflow import (
+    GraphBuilder,
+    GraphError,
+    Namespace,
+    Operator,
+    StreamGraph,
+    crosses_network_once,
+    validate_graph,
+)
+
+
+def valid_graph():
+    builder = GraphBuilder()
+    with builder.node():
+        stream = builder.source("src")
+        stream = builder.fmap("f", stream, lambda x: x)
+    out = builder.fmap("g", stream, lambda x: x)
+    builder.sink("sink", out)
+    return builder.build()
+
+
+def test_valid_graph_passes():
+    validate_graph(valid_graph())  # no exception
+
+
+def test_empty_graph_rejected():
+    with pytest.raises(GraphError, match="no operators"):
+        validate_graph(StreamGraph())
+
+
+def test_missing_source_rejected():
+    graph = StreamGraph()
+    graph.add_operator(
+        Operator(
+            name="sink",
+            work=lambda c, p, i: None,
+            is_sink=True,
+            namespace=Namespace.SERVER,
+        )
+    )
+    with pytest.raises(GraphError, match="no source"):
+        validate_graph(graph)
+
+
+def test_missing_sink_rejected():
+    graph = StreamGraph()
+    graph.add_operator(
+        Operator(name="src", is_source=True, namespace=Namespace.NODE)
+    )
+    with pytest.raises(GraphError, match="no sink"):
+        validate_graph(graph)
+
+
+def test_dangling_operator_rejected():
+    graph = valid_graph()
+    graph.add_operator(
+        Operator(name="orphan", work=lambda c, p, i: None)
+    )
+    with pytest.raises(GraphError, match="no inputs"):
+        validate_graph(graph)
+
+
+def test_server_to_node_namespace_edge_rejected():
+    graph = StreamGraph()
+    graph.add_operator(
+        Operator(name="src", is_source=True, namespace=Namespace.NODE)
+    )
+    graph.add_operator(
+        Operator(
+            name="server_op",
+            work=lambda c, p, i: None,
+            namespace=Namespace.SERVER,
+        )
+    )
+    graph.add_operator(
+        Operator(
+            name="node_op",
+            work=lambda c, p, i: None,
+            namespace=Namespace.NODE,
+        )
+    )
+    graph.add_operator(
+        Operator(
+            name="sink",
+            work=lambda c, p, i: None,
+            is_sink=True,
+            namespace=Namespace.SERVER,
+        )
+    )
+    graph.add_edge("src", "server_op")
+    graph.add_edge("server_op", "node_op")
+    graph.add_edge("node_op", "sink")
+    with pytest.raises(GraphError, match="one-way"):
+        validate_graph(graph)
+
+
+def test_non_contiguous_ports_rejected():
+    graph = StreamGraph()
+    graph.add_operator(
+        Operator(name="src", is_source=True, namespace=Namespace.NODE)
+    )
+    graph.add_operator(
+        Operator(
+            name="zip",
+            work=lambda c, p, i: None,
+        )
+    )
+    graph.add_operator(
+        Operator(
+            name="sink",
+            work=lambda c, p, i: None,
+            is_sink=True,
+            namespace=Namespace.SERVER,
+        )
+    )
+    graph.add_edge("src", "zip", dst_port=1)  # port 0 missing
+    graph.add_edge("zip", "sink")
+    with pytest.raises(GraphError, match="ports"):
+        validate_graph(graph)
+
+
+def test_crosses_network_once():
+    graph = valid_graph()
+    assert crosses_network_once(graph, {"src", "f"})
+    assert crosses_network_once(graph, {"src"})
+    # Putting g on the node but f on the server crosses twice.
+    assert not crosses_network_once(graph, {"src", "g"})

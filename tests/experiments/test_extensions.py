@@ -1,0 +1,55 @@
+"""§9 extension experiments: aggregation, mixed networks, three tiers."""
+
+import pytest
+
+from repro.core.three_tier import Tier
+from repro.experiments import extensions
+
+
+def test_aggregation_sweep_shapes():
+    rows = extensions.aggregation_sweep(node_counts=(1, 5, 20))
+    # In-network: flat; centralised: linear in N.
+    on_node = [r.reduce_on_node_pps for r in rows]
+    on_server = [r.reduce_on_server_pps for r in rows]
+    assert on_node[0] == pytest.approx(on_node[-1], rel=1e-6)
+    assert on_server[-1] == pytest.approx(20 * on_server[0], rel=1e-2)
+    # At scale, aggregation preserves goodput.
+    assert rows[-1].goodput_on_node > rows[-1].goodput_on_server
+
+
+def test_mixed_network_partitions_differ_by_type():
+    rows = extensions.mixed_network_partitions(("tmote", "meraki"))
+    by_platform = {r.platform: r for r in rows}
+    assert by_platform["tmote"].cut_after == "filtbank"
+    assert by_platform["meraki"].cut_after == "source"
+    assert by_platform["meraki"].rate_factor == pytest.approx(1.0)
+    assert by_platform["tmote"].rate_factor < 0.2
+
+
+def test_speech_three_tier_layering():
+    report = extensions.speech_three_tier()
+    # Sources stay on the mote; the sink on the server.
+    assert report.assignment["source"] is Tier.MOTE
+    assert report.assignment["results"] is Tier.SERVER
+    # All three tiers are actually used.
+    tiers_used = set(report.assignment.values())
+    assert tiers_used == {Tier.MOTE, Tier.MICRO, Tier.SERVER}
+    # The float-heavy cepstral stage is off the mote.
+    assert report.assignment["cepstrals"] is not Tier.MOTE
+    # Budgets respected.
+    assert report.loads["mote_cpu"] <= (
+        report.problem.mote_cpu_budget + 1e-9
+    )
+    assert report.loads["micro_cpu"] <= (
+        report.problem.micro_cpu_budget + 1e-9
+    )
+    assert report.loads["mote_net"] <= report.problem.mote_net_budget
+
+
+def test_three_tier_tiers_monotone_along_pipeline():
+    report = extensions.speech_three_tier()
+    level = {Tier.MOTE: 2, Tier.MICRO: 1, Tier.SERVER: 0}
+    from repro.apps.speech import PIPELINE_ORDER
+
+    levels = [level[report.assignment[op]] for op in PIPELINE_ORDER]
+    assert levels == sorted(levels, reverse=True)

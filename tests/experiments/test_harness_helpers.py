@@ -1,0 +1,63 @@
+"""Helper functions of the experiment harnesses."""
+
+import pytest
+
+from repro.experiments import fig5a, fig5b, fig7
+from repro.experiments.common import (
+    eeg_profile,
+    speech_measurement,
+    speech_profile,
+)
+
+
+def test_speech_measurement_cached():
+    first = speech_measurement()
+    second = speech_measurement()
+    assert first is second  # lru_cache
+
+
+def test_speech_profile_platform_costing():
+    tmote = speech_profile("tmote")
+    server = speech_profile("server")
+    assert tmote.operators["fft"].seconds > server.operators["fft"].seconds
+    assert tmote.platform.name == "tmote"
+
+
+def test_eeg_profile_small_channels():
+    profile = eeg_profile("tmote", n_channels=1)
+    assert any(name.startswith("ch00.") for name in profile.operators)
+
+
+def test_fig5a_series_helper():
+    points = [
+        fig5a.Fig5aPoint("tmote", 2.0, 10, 0.5, 1.0),
+        fig5a.Fig5aPoint("tmote", 1.0, 20, 0.2, 2.0),
+        fig5a.Fig5aPoint("n80", 1.0, 30, 0.1, 3.0),
+    ]
+    series = fig5a.series(points, "tmote")
+    assert series == [(1.0, 20), (2.0, 10)]
+
+
+def test_fig5b_platform_rates_helper():
+    bars = [
+        fig5b.Fig5bBar("filtbank", 6, "tmote", 0.1, False),
+        fig5b.Fig5bBar("filtbank", 6, "n80", 0.2, False),
+        fig5b.Fig5bBar("source", 1, "tmote", 100.0, True),
+    ]
+    rates = fig5b.platform_rates(bars, "filtbank")
+    assert rates == {"tmote": 0.1, "n80": 0.2}
+
+
+def test_fig7_cumulative_lookup():
+    rows = fig7.run()
+    assert fig7.cumulative_ms_at(rows, "source") < fig7.cumulative_ms_at(
+        rows, "cepstrals"
+    )
+    with pytest.raises(KeyError):
+        fig7.cumulative_ms_at(rows, "bogus")
+
+
+def test_fig5a_partitioner_configuration():
+    wishbone = fig5a.partitioner()
+    assert wishbone.cpu_budget == 1.0
+    assert wishbone.net_budget == float("inf")

@@ -1,0 +1,111 @@
+"""Topology, testbed channel model, and the §7.3.1 network profiler."""
+
+import pytest
+
+from repro.network import NetworkProfiler, RoutingTree, Testbed
+from repro.platforms import get_platform
+
+
+def test_star_topology_root_load():
+    tree = RoutingTree.star(20)
+    assert tree.root_link_load(2.0) == pytest.approx(40.0)
+    assert tree.root_link_load({0: 1.0, 1: 3.0}) == pytest.approx(4.0)
+
+
+def test_line_topology_forwarding_concentrates_at_head():
+    tree = RoutingTree.line(4)
+    load = tree.forwarding_load(1.0)
+    assert load[0] == pytest.approx(4.0)  # relays everyone
+    assert load[3] == pytest.approx(1.0)  # leaf sends only its own
+
+
+def test_topology_validation():
+    with pytest.raises(ValueError):
+        RoutingTree(n_nodes=0)
+    with pytest.raises(ValueError):
+        RoutingTree(n_nodes=2, parent={0: 7})
+
+
+def test_testbed_requires_radio():
+    with pytest.raises(ValueError, match="radio"):
+        Testbed(get_platform("server"), n_nodes=1)
+
+
+def test_testbed_topology_size_mismatch():
+    with pytest.raises(ValueError, match="size"):
+        Testbed(get_platform("tmote"), n_nodes=5,
+                topology=RoutingTree.star(4))
+
+
+def test_channel_report_below_knee():
+    testbed = Testbed(get_platform("tmote"), n_nodes=1)
+    report = testbed.channel_report(10.0)
+    assert report.delivery_fraction == pytest.approx(0.92)
+    assert report.delivered_pps == pytest.approx(9.2)
+    assert not report.saturated
+
+
+def test_channel_report_collapse_with_many_nodes():
+    """20 nodes share the root link: the same per-node rate congests."""
+    single = Testbed(get_platform("tmote"), n_nodes=1)
+    network = Testbed(get_platform("tmote"), n_nodes=20)
+    per_node = 10.0
+    assert single.channel_report(per_node).delivery_fraction > 0.9
+    report = network.channel_report(per_node)
+    assert report.delivery_fraction < 0.01
+    assert report.saturated
+
+
+def test_per_node_capacity_scales_inversely_with_size():
+    single = Testbed(get_platform("tmote"), n_nodes=1)
+    network = Testbed(get_platform("tmote"), n_nodes=20)
+    target = 0.9
+    assert single.per_node_capacity_pps(target) == pytest.approx(
+        20.0 * network.per_node_capacity_pps(target)
+    )
+
+
+def test_profiler_finds_target_reception_rate():
+    testbed = Testbed(get_platform("tmote"), n_nodes=1)
+    profile = NetworkProfiler(testbed).profile(target_reception=0.9)
+    assert profile.max_send_pps > 0
+    # At the returned rate the target is met ...
+    at_rate = testbed.channel_report(profile.max_send_pps)
+    assert at_rate.delivery_fraction >= 0.9 - 1e-6
+    # ... and 20% above it, it is not.
+    above = testbed.channel_report(profile.max_send_pps * 1.2)
+    assert above.delivery_fraction < 0.9
+
+
+def test_profiler_ramp_is_recorded_and_monotone():
+    testbed = Testbed(get_platform("tmote"), n_nodes=4)
+    profile = NetworkProfiler(testbed).profile(target_reception=0.9)
+    rates = [p.per_node_pps for p in profile.ramp]
+    assert rates == sorted(rates)
+    deliveries = [p.reception_fraction for p in profile.ramp]
+    assert all(
+        a >= b - 1e-12 for a, b in zip(deliveries, deliveries[1:])
+    )
+
+
+def test_profiler_bytes_consistent_with_pps():
+    testbed = Testbed(get_platform("tmote"), n_nodes=1)
+    profile = NetworkProfiler(testbed).profile(target_reception=0.9)
+    assert profile.max_send_bytes_per_sec == pytest.approx(
+        profile.max_send_pps * testbed.radio.payload_bytes
+    )
+
+
+def test_profiler_input_validation():
+    testbed = Testbed(get_platform("tmote"), n_nodes=1)
+    with pytest.raises(ValueError):
+        NetworkProfiler(testbed, growth=1.0)
+    with pytest.raises(ValueError):
+        NetworkProfiler(testbed).profile(target_reception=0.0)
+
+
+def test_target_above_baseline_returns_knee():
+    testbed = Testbed(get_platform("tmote"), n_nodes=1)
+    profile = NetworkProfiler(testbed).profile(target_reception=0.99)
+    # Baseline delivery is 0.92 < 0.99: nothing meets the target.
+    assert profile.max_send_pps == 0.0

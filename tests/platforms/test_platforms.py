@@ -1,0 +1,136 @@
+"""Platform cost models and radio behaviour."""
+
+import math
+
+import pytest
+
+from repro.dataflow import WorkCounts
+from repro.platforms import (
+    PLATFORMS,
+    TMOTE_RADIO,
+    WIFI_RADIO,
+    CycleCosts,
+    Platform,
+    RadioSpec,
+    get_platform,
+)
+
+
+def test_cycle_costs_weighted_sum():
+    costs = CycleCosts(int_op=1, float_op=10, trans_op=100, mem_op=2,
+                       invocation=5, loop_iteration=1)
+    counts = WorkCounts(int_ops=3, float_ops=2, trans_ops=1, mem_ops=4,
+                        invocations=2, loop_iterations=6)
+    assert costs.cycles(counts) == 3 + 20 + 100 + 8 + 10 + 6
+
+
+def test_seconds_scale_with_clock_and_throttle():
+    base = Platform(
+        name="p", description="", clock_hz=1e6,
+        cycle_costs=CycleCosts(float_op=10.0),
+    )
+    throttled = Platform(
+        name="q", description="", clock_hz=1e6,
+        cycle_costs=CycleCosts(float_op=10.0), dvfs_throttle=0.5,
+    )
+    counts = WorkCounts(float_ops=100)
+    assert base.seconds_for(counts) == pytest.approx(1e-3)
+    assert throttled.seconds_for(counts) == pytest.approx(2e-3)
+
+
+def test_deployed_seconds_include_os_overhead():
+    platform = get_platform("gumstix")
+    counts = WorkCounts(float_ops=1000)
+    assert platform.deployed_seconds_for(counts) == pytest.approx(
+        platform.seconds_for(counts) * platform.os_overhead_factor
+    )
+
+
+def test_all_expected_platforms_present():
+    for name in ("tmote", "n80", "iphone", "gumstix", "voxnet", "meraki",
+                 "scheme", "server"):
+        assert name in PLATFORMS
+
+
+def test_get_platform_error_lists_names():
+    with pytest.raises(KeyError, match="tmote"):
+        get_platform("palm-pilot")
+
+
+def test_server_flag():
+    assert get_platform("server").is_server
+    assert not get_platform("tmote").is_server
+
+
+def test_tmote_float_penalty_exceeds_server():
+    tmote = get_platform("tmote").cycle_costs
+    server = get_platform("server").cycle_costs
+    assert tmote.float_op / tmote.int_op > 10
+    assert (
+        tmote.trans_op / tmote.float_op
+        > server.trans_op / server.float_op
+    ), "the mote's libm penalty must dominate (Fig. 8)"
+
+
+def test_radio_packets_for():
+    assert TMOTE_RADIO.packets_for(0) == 0
+    assert TMOTE_RADIO.packets_for(1) == 1
+    assert TMOTE_RADIO.packets_for(28) == 1
+    assert TMOTE_RADIO.packets_for(29) == 2
+    assert TMOTE_RADIO.packets_for(400) == math.ceil(400 / 28)
+
+
+def test_radio_delivery_flat_then_collapsing():
+    base = TMOTE_RADIO.base_delivery
+    assert TMOTE_RADIO.delivery_fraction(0.0) == pytest.approx(base)
+    assert TMOTE_RADIO.delivery_fraction(
+        TMOTE_RADIO.saturation_pps
+    ) == pytest.approx(base)
+    past_knee = TMOTE_RADIO.delivery_fraction(
+        2.0 * TMOTE_RADIO.saturation_pps
+    )
+    assert past_knee < base / 5
+    far_past = TMOTE_RADIO.delivery_fraction(
+        10.0 * TMOTE_RADIO.saturation_pps
+    )
+    assert far_past < 1e-6, "reception driven to ~zero (paper §7.3)"
+
+
+def test_radio_delivery_monotone_nonincreasing():
+    rates = [1.0 * i for i in range(1, 200)]
+    deliveries = [TMOTE_RADIO.delivery_fraction(r) for r in rates]
+    assert all(a >= b - 1e-12 for a, b in zip(deliveries, deliveries[1:]))
+
+
+def test_goodput_never_exceeds_offered():
+    for offered in (1.0, 10.0, 45.0, 100.0, 1000.0):
+        assert TMOTE_RADIO.goodput_pps(offered) <= offered
+
+
+def test_stream_oriented_on_air_cost():
+    # TCP-style transport pays bytes + header, not MTU padding.
+    cost = WIFI_RADIO.on_air_bytes_per_sec(10.0, 52)
+    assert cost == pytest.approx(10.0 * (52 + WIFI_RADIO.header_bytes))
+    packet_cost = TMOTE_RADIO.on_air_bytes_per_sec(10.0, 52)
+    assert packet_cost == pytest.approx(10.0 * 2 * 28)
+
+
+def test_meraki_cpu_and_bandwidth_ratios():
+    """§7.3.1: Meraki ~15x TMote CPU, >=10x bandwidth."""
+    counts = WorkCounts(float_ops=10_000, trans_ops=400, mem_ops=5_000)
+    tmote, meraki = get_platform("tmote"), get_platform("meraki")
+    cpu_ratio = tmote.seconds_for(counts) / meraki.seconds_for(counts)
+    assert 8 < cpu_ratio < 40
+    assert meraki.radio is not None and tmote.radio is not None
+    bandwidth_ratio = (
+        meraki.radio.goodput_capacity_bytes
+        / tmote.radio.goodput_capacity_bytes
+    )
+    assert bandwidth_ratio >= 10
+
+
+def test_radio_spec_validation_fields():
+    spec = RadioSpec(payload_bytes=28, saturation_pps=45.0)
+    assert spec.goodput_capacity_bytes == pytest.approx(
+        45.0 * 0.92 * 28
+    )

@@ -1,0 +1,165 @@
+"""Profiler: rates, utilizations, peaks, multi-source interleaving."""
+
+import numpy as np
+import pytest
+
+from repro.dataflow import GraphBuilder
+from repro.platforms import get_platform
+from repro.profiler import Profiler
+
+
+def simple_graph():
+    builder = GraphBuilder()
+    with builder.node():
+        stream = builder.source("src", output_size=100)
+
+        def work(ctx, port, item):
+            ctx.count(float_ops=50.0)
+            ctx.emit(item)
+
+        out = builder.iterate("f", stream, work)
+    builder.sink("sink", out)
+    return builder.build()
+
+
+def test_edge_rates_from_source_rate():
+    graph = simple_graph()
+    profile = Profiler().profile(
+        graph, {"src": [1.0] * 10}, {"src": 5.0}, get_platform("server")
+    )
+    src_edge = [e for e in graph.edges if e.src == "src"][0]
+    edge = profile.edges[src_edge]
+    assert profile.duration == pytest.approx(2.0)
+    assert edge.elements_per_sec == pytest.approx(5.0)
+    assert edge.bytes_per_sec == pytest.approx(500.0)
+
+
+def test_utilization_uses_platform_costs():
+    graph = simple_graph()
+    platform = get_platform("tmote")
+    profile = Profiler().profile(
+        graph, {"src": [1.0] * 10}, {"src": 5.0}, platform
+    )
+    op = profile.operators["f"]
+    # 10 invocations x 50 float ops; plus invocation overhead.
+    expected_cycles = (
+        500 * platform.cycle_costs.float_op
+        + 10 * platform.cycle_costs.invocation
+    )
+    assert op.seconds == pytest.approx(
+        expected_cycles / platform.effective_hz
+    )
+    assert op.utilization == pytest.approx(op.seconds / 2.0)
+
+
+def test_measurement_reusable_across_platforms():
+    graph = simple_graph()
+    measurement = Profiler().measure(graph, {"src": [1.0] * 4}, {"src": 2.0})
+    fast = measurement.on(get_platform("server"))
+    slow = measurement.on(get_platform("tmote"))
+    assert slow.operators["f"].seconds > fast.operators["f"].seconds
+
+
+def test_scaled_profile_is_linear():
+    graph = simple_graph()
+    profile = Profiler().profile(
+        graph, {"src": [1.0] * 10}, {"src": 5.0}, get_platform("tmote")
+    )
+    doubled = profile.scaled(2.0)
+    assert doubled.rate_factor == pytest.approx(2.0)
+    for name in profile.operators:
+        assert doubled.operators[name].utilization == pytest.approx(
+            2.0 * profile.operators[name].utilization
+        )
+    for edge in profile.edges:
+        assert doubled.edges[edge].bytes_per_sec == pytest.approx(
+            2.0 * profile.edges[edge].bytes_per_sec
+        )
+
+
+def test_scaled_rejects_negative():
+    graph = simple_graph()
+    profile = Profiler().profile(
+        graph, {"src": [1.0]}, {"src": 1.0}, get_platform("server")
+    )
+    with pytest.raises(ValueError):
+        profile.scaled(-1.0)
+
+
+def test_peak_at_least_mean():
+    builder = GraphBuilder()
+    with builder.node():
+        stream = builder.source("src")
+
+        def bursty(ctx, port, item):
+            ctx.count(float_ops=1000.0 if item else 1.0)
+            if item:
+                ctx.emit(np.zeros(100, np.float32))
+
+        out = builder.iterate("f", stream, bursty)
+    builder.sink("sink", out)
+    graph = builder.build()
+    # One busy second then nine idle ones.
+    items = [1] * 4 + [0] * 36
+    profile = Profiler(bucket_seconds=1.0).profile(
+        graph, {"src": items}, {"src": 4.0}, get_platform("tmote")
+    )
+    op = profile.operators["f"]
+    assert op.peak_utilization >= op.utilization * 2
+    f_edge = [e for e in graph.edges if e.src == "f"][0]
+    edge = profile.edges[f_edge]
+    assert edge.peak_bytes_per_sec >= edge.bytes_per_sec * 2
+
+
+def test_multi_source_interleaving_by_rate():
+    builder = GraphBuilder()
+    order = []
+    with builder.node():
+        fast = builder.source("fast")
+        slow = builder.source("slow")
+
+        def tag(which):
+            def work(ctx, port, item):
+                order.append(which)
+                ctx.emit(item)
+
+            return work
+
+        a = builder.iterate("fa", fast, tag("fast"))
+        b = builder.iterate("fb", slow, tag("slow"))
+    builder.sink("oa", a)
+    builder.sink("ob", b)
+    graph = builder.build()
+    Profiler().measure(
+        graph,
+        {"fast": [1, 2, 3, 4], "slow": [1, 2]},
+        {"fast": 4.0, "slow": 2.0},
+    )
+    # fast emits at t=0,.25,.5,.75; slow at t=0,.5
+    assert order.count("fast") == 4 and order.count("slow") == 2
+    assert order.index("slow") <= 2
+
+
+def test_input_validation():
+    graph = simple_graph()
+    profiler = Profiler()
+    with pytest.raises(Exception):
+        profiler.measure(graph, {"nope": [1]}, {"nope": 1.0})
+    with pytest.raises(ValueError, match="match"):
+        profiler.measure(graph, {"src": [1]}, {})
+    with pytest.raises(ValueError, match="rate"):
+        profiler.measure(graph, {"src": [1]}, {"src": 0.0})
+    with pytest.raises(ValueError, match="empty"):
+        profiler.measure(graph, {"src": []}, {"src": 1.0})
+    with pytest.raises(ValueError):
+        Profiler(bucket_seconds=0.0)
+
+
+def test_restricted_to_subset():
+    graph = simple_graph()
+    profile = Profiler().profile(
+        graph, {"src": [1.0] * 4}, {"src": 2.0}, get_platform("server")
+    )
+    sub = profile.restricted_to({"f"})
+    assert set(sub.operators) == {"f"}
+    assert len(sub.edges) == len(profile.edges)

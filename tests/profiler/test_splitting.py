@@ -1,0 +1,89 @@
+"""Task-splitting planner (paper §3, §5.2)."""
+
+import pytest
+
+from repro.dataflow import WorkCounts
+from repro.platforms import get_platform
+from repro.profiler import (
+    LoopRecord,
+    loop_records_from_counts,
+    plan_split,
+    plan_splits_for_partition,
+)
+
+
+def test_no_split_under_budget():
+    loops = [LoopRecord("op.loop0", iterations=10,
+                        seconds_per_iteration=0.001)]
+    plan = plan_split("op", loops, max_task_seconds=0.05)
+    assert not plan.is_split
+    assert plan.slices == 1
+    assert plan.yield_points == ()
+
+
+def test_split_bounds_slice_length():
+    loops = [LoopRecord("op.loop0", iterations=100,
+                        seconds_per_iteration=0.002)]
+    plan = plan_split("op", loops, max_task_seconds=0.05)
+    assert plan.is_split
+    assert plan.slices >= 4  # 200 ms of work in <= 50 ms slices
+    assert plan.slice_seconds <= 0.05 + 0.002
+
+
+def test_yield_points_reference_loops():
+    loops = [
+        LoopRecord("op.loopA", iterations=30, seconds_per_iteration=0.004),
+        LoopRecord("op.loopB", iterations=30, seconds_per_iteration=0.001),
+    ]
+    plan = plan_split("op", loops, max_task_seconds=0.06)
+    assert plan.is_split
+    assert all(
+        y.loop_id in ("op.loopA", "op.loopB") for y in plan.yield_points
+    )
+
+
+def test_empty_loops_single_slice():
+    plan = plan_split("op", [], max_task_seconds=0.01)
+    assert plan.slices == 1
+
+
+def test_bad_budget_rejected():
+    with pytest.raises(ValueError):
+        plan_split("op", [], max_task_seconds=0.0)
+
+
+def test_records_from_counts_roundtrip():
+    platform = get_platform("tmote")
+    counts = WorkCounts(float_ops=10_000, loop_iterations=200,
+                        invocations=10)
+    records = loop_records_from_counts("fft", counts, invocations=10,
+                                       platform=platform)
+    assert len(records) == 1
+    record = records[0]
+    assert record.iterations == 20  # 200 loop iterations / 10 invocations
+    # Per-invocation loop body time should roughly match the work model.
+    per_invocation = counts.scaled(0.1)
+    body = WorkCounts(
+        float_ops=per_invocation.float_ops,
+        loop_iterations=per_invocation.loop_iterations,
+    )
+    assert record.seconds == pytest.approx(
+        platform.seconds_for(body), rel=0.01
+    )
+
+
+def test_zero_invocations_no_records():
+    platform = get_platform("tmote")
+    assert loop_records_from_counts(
+        "idle", WorkCounts(), invocations=0, platform=platform
+    ) == []
+
+
+def test_plan_splits_for_partition():
+    loops = {
+        "cheap": [LoopRecord("cheap.l", 10, 0.0001)],
+        "costly": [LoopRecord("costly.l", 100, 0.005)],
+    }
+    plans = plan_splits_for_partition(loops, max_task_seconds=0.05)
+    assert not plans["cheap"].is_split
+    assert plans["costly"].is_split

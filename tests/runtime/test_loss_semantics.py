@@ -1,0 +1,148 @@
+"""§2.1.1's relocation-risk story, demonstrated.
+
+"Relocating an operator to the server means putting potential data loss
+upstream of it that was not there previously.  Stateless operators are
+insensitive to this kind of loss [...] but stateful operators may
+perform erratically in the face of unexpected missing data."
+
+These tests build a two-branch even/odd pipeline whose recombining add
+operator is stateful, then inject element loss on the cut edges and show:
+
+* stateless relocated operators produce correct (just fewer) results;
+* the stateful add desynchronises its branches — exactly why
+  conservative mode refuses the relocation and permissive mode is an
+  explicit opt-in.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RelocationMode, base_pinnings
+from repro.dataflow import GraphBuilder, Pinning
+from repro.dataflow.operators import add_streams, get_even, get_odd
+from repro.runtime import BoundedExecutor, ServerRuntime
+
+
+def split_add_graph():
+    """source -> (even, odd) -> stateful add -> sink."""
+    builder = GraphBuilder("splitadd")
+    with builder.node():
+        stream = builder.source("src")
+        even = get_even(builder, "even", stream)
+        odd = get_odd(builder, "odd", stream)
+        total = add_streams(builder, "add", even, odd)
+    builder.sink("out", total)
+    return builder.build()
+
+
+def run_with_loss(graph, node_set, blocks, lost_indices):
+    """Route boundary elements to the server, dropping some of them."""
+    node = BoundedExecutor(graph, frozenset(node_set))
+    server = ServerRuntime(
+        graph, frozenset(graph.operators) - frozenset(node_set)
+    )
+    crossing_count = 0
+    for block in blocks:
+        for edge, value in node.push("src", block):
+            if crossing_count not in lost_indices:
+                server.receive_element(edge, value, node_id=0)
+            crossing_count += 1
+    return server
+
+
+def test_conservative_mode_pins_the_stateful_add():
+    graph = split_add_graph()
+    pins = base_pinnings(graph, RelocationMode.CONSERVATIVE)
+    assert pins["add"] is Pinning.NODE
+    assert base_pinnings(graph, RelocationMode.PERMISSIVE)[
+        "add"
+    ] is Pinning.MOVABLE
+
+
+def test_stateless_relocation_tolerates_loss():
+    """Cut after add: the lossy link is downstream of all state."""
+    graph = split_add_graph()
+    blocks = [np.arange(8.0) + 10 * k for k in range(4)]
+    server = run_with_loss(
+        graph,
+        node_set={"src", "even", "odd", "add"},
+        blocks=blocks,
+        lost_indices={1},  # lose one *result* block
+    )
+    outputs = server.sink_values("out")
+    # Three correct sums survive; nothing is corrupted.
+    expected = [list(b[0::2] + b[1::2]) for b in blocks]
+    assert [list(np.asarray(o)) for o in outputs] == [
+        expected[0], expected[2], expected[3]
+    ]
+
+
+def test_stateful_relocation_desynchronises_under_loss():
+    """Cut before add (permissive relocation): losing one branch's
+    element pairs later evens with earlier odds — silent corruption."""
+    graph = split_add_graph()
+    blocks = [np.arange(8.0) + 10 * k for k in range(4)]
+    # Each block crosses twice (even, odd).  Lose block 1's even half.
+    server = run_with_loss(
+        graph,
+        node_set={"src", "even", "odd"},
+        blocks=blocks,
+        lost_indices={2},
+    )
+    outputs = [np.asarray(o) for o in server.sink_values("out")]
+    expected = [b[0::2] + b[1::2] for b in blocks]
+    # Fewer outputs than blocks...
+    assert len(outputs) == 3
+    # ...and from the loss point on, results are WRONG: block 2's evens
+    # are summed with block 1's odds.
+    assert np.allclose(outputs[0], expected[0])
+    assert not np.allclose(outputs[1], expected[1])
+    assert not any(
+        np.allclose(outputs[1], e) for e in expected
+    ), "the desynchronised sum matches no correct window"
+
+
+def test_lossless_relocation_is_correct():
+    """With no loss, permissive relocation is exact (the §2.1.1 upside)."""
+    graph = split_add_graph()
+    blocks = [np.arange(8.0) + 10 * k for k in range(3)]
+    server = run_with_loss(
+        graph,
+        node_set={"src", "even", "odd"},
+        blocks=blocks,
+        lost_indices=set(),
+    )
+    outputs = [np.asarray(o) for o in server.sink_values("out")]
+    expected = [b[0::2] + b[1::2] for b in blocks]
+    assert len(outputs) == 3
+    for out, exp in zip(outputs, expected):
+        assert np.allclose(out, exp)
+
+
+def test_per_node_state_isolation_under_loss():
+    """Loss on one node's stream must not corrupt another node's state."""
+    graph = split_add_graph()
+    node_set = frozenset({"src", "even", "odd"})
+    server = ServerRuntime(
+        graph, frozenset(graph.operators) - node_set
+    )
+    node_a = BoundedExecutor(graph, node_set)
+    node_b = BoundedExecutor(graph, node_set)
+    blocks = [np.arange(8.0) + 10 * k for k in range(3)]
+    crossing = 0
+    for block in blocks:
+        for edge, value in node_a.push("src", block):
+            if crossing != 2:  # drop node A's second-block even half
+                server.receive_element(edge, value, node_id=0)
+            crossing += 1
+        for edge, value in node_b.push("src", block):
+            server.receive_element(edge, value, node_id=1)
+    outputs = server.sink_values("out")
+    expected = [b[0::2] + b[1::2] for b in blocks]
+    # Node B contributed 3 correct sums regardless of node A's loss.
+    correct = sum(
+        1
+        for out in outputs
+        if any(np.allclose(np.asarray(out), e) for e in expected)
+    )
+    assert correct >= 3

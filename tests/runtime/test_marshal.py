@@ -1,0 +1,155 @@
+"""Marshalling, fragmentation, and reassembly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime import (
+    MarshalError,
+    Reassembler,
+    fragment,
+    pack,
+    packets_needed,
+    unpack,
+)
+
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        None,
+        True,
+        False,
+        0,
+        -12345,
+        3.25,
+        (1, 2.5, None),
+        ((1, 2), (3, (4.5,))),
+        b"raw-bytes",
+    ],
+)
+def test_scalar_roundtrip(value):
+    assert unpack(pack(value)) == value
+
+
+def test_array_roundtrip_preserves_dtype():
+    for dtype in (np.int16, np.int32, np.float32, np.int8, np.uint16):
+        array = np.arange(10).astype(dtype)
+        result = unpack(pack(array))
+        assert result.dtype == np.dtype(dtype)
+        assert np.array_equal(result, array)
+
+
+def test_float64_array_downcast_to_float32():
+    array = np.array([1.5, 2.5], dtype=np.float64)
+    result = unpack(pack(array))
+    assert result.dtype == np.float32
+    assert np.allclose(result, array)
+
+
+def test_unsupported_value_raises():
+    with pytest.raises(MarshalError):
+        pack(object())
+
+
+def test_trailing_garbage_detected():
+    with pytest.raises(MarshalError, match="trailing"):
+        unpack(pack(1) + b"x")
+
+
+def test_truncated_data_detected():
+    data = pack(np.arange(100, dtype=np.float32))
+    with pytest.raises(MarshalError):
+        unpack(data[:20])
+
+
+def test_fragmentation_sizes():
+    data = b"z" * 100
+    packets = fragment(0, "e", 0, data, payload_size=28)
+    chunk = 28 - 8  # fragment header
+    assert len(packets) == -(-100 // chunk)
+    assert all(p.payload_bytes <= 28 for p in packets)
+    assert b"".join(p.chunk for p in packets) == data
+
+
+def test_packets_needed_matches_fragment():
+    for size in (0, 1, 19, 20, 21, 100, 400):
+        data = b"z" * size
+        packets = fragment(0, "e", 0, data, payload_size=28)
+        assert packets_needed(size, 28) == len(packets)
+
+
+def test_payload_too_small_rejected():
+    with pytest.raises(MarshalError):
+        fragment(0, "e", 0, b"abc", payload_size=8)
+    with pytest.raises(MarshalError):
+        packets_needed(10, 4)
+
+
+def test_reassembly_roundtrip():
+    value = np.arange(200, dtype=np.int16)
+    packets = fragment(3, "edge", 7, pack(value), payload_size=28)
+    reassembler = Reassembler()
+    results = [reassembler.add(p) for p in packets]
+    assert all(r is None for r in results[:-1])
+    assert np.array_equal(results[-1], value)
+    assert reassembler.completed == 1
+
+
+def test_reassembly_interleaved_nodes():
+    a = fragment(0, "e", 0, pack((1, 2)), payload_size=28)
+    b = fragment(1, "e", 0, pack((3, 4)), payload_size=28)
+    reassembler = Reassembler()
+    outputs = []
+    for pa, pb in zip(a, b):
+        outputs.append(reassembler.add(pa))
+        outputs.append(reassembler.add(pb))
+    completed = [o for o in outputs if o is not None]
+    assert completed == [(1, 2), (3, 4)]
+
+
+def test_lost_fragment_discards_element():
+    value = np.arange(100, dtype=np.float32)
+    packets = fragment(0, "e", 0, pack(value), payload_size=28)
+    reassembler = Reassembler()
+    for packet in packets[:-2]:  # drop the tail
+        assert reassembler.add(packet) is None
+    # Next element flushes the stale partial one.
+    next_packets = fragment(0, "e", 1, pack(1), payload_size=28)
+    result = reassembler.add(next_packets[0])
+    assert result == 1
+    assert reassembler.discarded == 1
+
+
+@given(
+    st.recursive(
+        st.one_of(
+            st.none(),
+            st.booleans(),
+            st.integers(min_value=-(2**31), max_value=2**31 - 1),
+            st.floats(width=32, allow_nan=False, allow_infinity=False),
+            st.binary(max_size=64),
+        ),
+        lambda children: st.tuples(children, children),
+        max_leaves=8,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_roundtrip_property(value):
+    assert unpack(pack(value)) == value
+
+
+@given(
+    st.integers(min_value=0, max_value=600),
+    st.integers(min_value=12, max_value=200),
+)
+@settings(max_examples=60, deadline=None)
+def test_fragment_reassemble_property(size, payload):
+    data = bytes(range(256)) * (size // 256 + 1)
+    data = data[:size]
+    packets = fragment(0, "e", 0, pack(data), payload_size=payload)
+    reassembler = Reassembler()
+    result = None
+    for packet in packets:
+        result = reassembler.add(packet)
+    assert result == data

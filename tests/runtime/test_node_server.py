@@ -1,0 +1,153 @@
+"""Node-side bounded executor, node runtime, and server state tables."""
+
+import numpy as np
+import pytest
+
+from repro.dataflow import GraphBuilder
+from repro.platforms import get_platform
+from repro.runtime import BoundedExecutor, NodeRuntime, ServerRuntime
+from repro.runtime.marshal import fragment, pack
+
+
+def two_stage_graph():
+    """source -> double (node candidate) -> accumulate (stateful) -> sink."""
+    builder = GraphBuilder()
+    with builder.node():
+        stream = builder.source("src")
+        doubled = builder.fmap("double", stream, lambda x: 2 * x)
+
+        def accumulate(ctx, port, item):
+            ctx.state["sum"] += item
+            ctx.emit(ctx.state["sum"])
+
+        totals = builder.iterate(
+            "acc", doubled, accumulate, make_state=lambda: {"sum": 0}
+        )
+    builder.sink("out", totals)
+    return builder.build()
+
+
+def test_bounded_executor_captures_boundary():
+    graph = two_stage_graph()
+    executor = BoundedExecutor(graph, frozenset({"src", "double"}))
+    boundary = executor.push("src", 21)
+    assert len(boundary) == 1
+    edge, value = boundary[0]
+    assert edge.src == "double" and edge.dst == "acc"
+    assert value == 42
+
+
+def test_bounded_executor_rejects_foreign_source():
+    graph = two_stage_graph()
+    executor = BoundedExecutor(graph, frozenset({"double"}))
+    with pytest.raises(ValueError, match="not in the node partition"):
+        executor.push("src", 1)
+
+
+def test_bounded_executor_counts_work():
+    graph = two_stage_graph()
+    executor = BoundedExecutor(graph, frozenset({"src", "double"}))
+    executor.push("src", 1)
+    executor.push("src", 2)
+    assert executor.counts["double"].invocations == 2
+
+
+def test_node_runtime_emits_packets():
+    graph = two_stage_graph()
+    runtime = NodeRuntime(
+        node_id=0,
+        graph=graph,
+        node_set=frozenset({"src", "double"}),
+        platform=get_platform("tmote"),
+        input_rate=10.0,
+    )
+    packets = runtime.offer_event("src", 5)
+    assert packets, "crossing the cut must produce packets"
+    assert runtime.stats.processed_events == 1
+    assert runtime.stats.elements_sent == 1
+
+
+def test_node_runtime_drops_under_overload():
+    builder = GraphBuilder()
+    with builder.node():
+        stream = builder.source("src")
+
+        def heavy(ctx, port, item):
+            ctx.count(trans_ops=2000.0)  # ~30 s on a TMote
+            ctx.emit(item)
+
+        out = builder.iterate("heavy", stream, heavy)
+    builder.sink("sink", out)
+    graph = builder.build()
+    runtime = NodeRuntime(
+        node_id=0,
+        graph=graph,
+        node_set=frozenset({"src", "heavy"}),
+        platform=get_platform("tmote"),
+        input_rate=40.0,
+        buffer_depth=1,
+    )
+    for k in range(200):
+        runtime.offer_event("src", k)
+    assert runtime.stats.dropped_events > 150
+    assert runtime.stats.input_fraction < 0.2
+
+
+def test_server_runtime_per_node_state_tables():
+    """§2.1.1: relocated stateful operators keep state per node id."""
+    graph = two_stage_graph()
+    server = ServerRuntime(
+        graph, frozenset({"acc", "out"})
+    )
+    edge = [e for e in graph.edges if e.dst == "acc"][0]
+    server.receive_element(edge, 10, node_id=0)
+    server.receive_element(edge, 1, node_id=1)
+    server.receive_element(edge, 10, node_id=0)
+    # Node 0's accumulator saw 10+10; node 1's saw only 1.
+    assert server.sink_values("out") == [10, 1, 20]
+
+
+def test_server_runtime_shared_state_for_server_namespace():
+    builder = GraphBuilder()
+    with builder.node():
+        stream = builder.source("src")
+
+    def count_all(ctx, port, item):
+        ctx.state["n"] += 1
+        ctx.emit(ctx.state["n"])
+
+    merged = builder.iterate(
+        "counter", stream, count_all, make_state=lambda: {"n": 0}
+    )
+    builder.sink("out", merged)
+    graph = builder.build()
+    server = ServerRuntime(graph, frozenset({"counter", "out"}))
+    edge = [e for e in graph.edges if e.dst == "counter"][0]
+    server.receive_element(edge, "x", node_id=0)
+    server.receive_element(edge, "x", node_id=1)
+    # One shared counter across nodes (server-namespace semantics).
+    assert server.sink_values("out") == [1, 2]
+
+
+def test_server_runtime_accepts_packets():
+    graph = two_stage_graph()
+    server = ServerRuntime(graph, frozenset({"acc", "out"}))
+    packets = fragment(
+        node_id=0,
+        edge_key="double->acc:0",
+        seq=0,
+        data=pack(7),
+        payload_size=28,
+    )
+    for packet in packets:
+        server.receive_packet(packet)
+    assert server.sink_values("out") == [7]
+    assert server.elements_received == 1
+
+
+def test_server_rejects_wrong_edge():
+    graph = two_stage_graph()
+    server = ServerRuntime(graph, frozenset({"out"}))
+    edge = [e for e in graph.edges if e.dst == "acc"][0]
+    with pytest.raises(ValueError, match="server partition"):
+        server.receive_element(edge, 1, node_id=0)

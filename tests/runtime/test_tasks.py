@@ -1,0 +1,97 @@
+"""TinyOS-like scheduler and task splitting effects."""
+
+import pytest
+
+from repro.runtime import Task, TaskScheduler, simulate_node_duty
+
+
+def test_fifo_order():
+    scheduler = TaskScheduler()
+    scheduler.post(Task("a", 0.1))
+    scheduler.post(Task("b", 0.2))
+    first = scheduler.run_one()
+    second = scheduler.run_one()
+    assert (first.name, second.name) == ("a", "b")
+    assert scheduler.time == pytest.approx(0.3)
+
+
+def test_post_job_splits_evenly():
+    scheduler = TaskScheduler()
+    scheduler.post_job("work", total_seconds=1.0, slices=4)
+    scheduler.drain()
+    assert scheduler.stats.tasks_run == 4
+    assert scheduler.stats.max_task_seconds == pytest.approx(0.25)
+    assert scheduler.stats.app_seconds == pytest.approx(1.0)
+
+
+def test_post_job_rejects_bad_slices():
+    with pytest.raises(ValueError):
+        TaskScheduler().post_job("w", 1.0, slices=0)
+
+
+def test_run_until_advances_idle_time():
+    scheduler = TaskScheduler()
+    scheduler.run_until(5.0)
+    assert scheduler.time == pytest.approx(5.0)
+    assert scheduler.idle
+
+
+def test_system_latency_tracked():
+    scheduler = TaskScheduler()
+    scheduler.post(Task("app", 0.5))
+    scheduler.post(Task("radio", 0.001, kind="system"))
+    scheduler.drain()
+    # The radio task waited behind the 500 ms app task.
+    assert scheduler.stats.max_system_latency == pytest.approx(0.5)
+    assert scheduler.stats.system_tasks == 1
+
+
+def test_splitting_reduces_radio_latency():
+    """The point of §5.2's yield insertion."""
+
+    def run(slices):
+        processed, stats = simulate_node_duty(
+            event_period=0.5,
+            work_per_event=0.4,
+            n_events=20,
+            slices=slices,
+            radio_period=0.05,
+        )
+        return processed, stats
+
+    whole_processed, whole_stats = run(slices=1)
+    split_processed, split_stats = run(slices=8)
+    assert split_stats.max_task_seconds < whole_stats.max_task_seconds
+    assert (
+        split_stats.max_system_latency
+        < whole_stats.max_system_latency
+    )
+    # Same total work either way.
+    assert split_processed == whole_processed
+
+
+def test_duty_simulation_drops_when_overloaded():
+    processed, _ = simulate_node_duty(
+        event_period=0.025,
+        work_per_event=0.25,  # 10x overload, like the filterbank cut
+        n_events=400,
+        buffer_depth=1,
+    )
+    fraction = processed / 400
+    assert 0.05 < fraction < 0.2  # ~10% of windows (paper §7.3.1)
+
+
+def test_duty_simulation_keeps_up_when_light():
+    processed, _ = simulate_node_duty(
+        event_period=0.025,
+        work_per_event=0.001,
+        n_events=100,
+    )
+    assert processed == 100
+
+
+def test_backlog_seconds():
+    scheduler = TaskScheduler()
+    scheduler.post(Task("a", 0.25))
+    scheduler.post(Task("b", 0.5))
+    assert scheduler.backlog_seconds == pytest.approx(0.75)

@@ -1,0 +1,147 @@
+"""Branch and bound against known MILPs and scipy's HiGHS."""
+
+import numpy as np
+import pytest
+
+from repro.solver import (
+    BranchAndBound,
+    LinearProgram,
+    SolveStatus,
+    solve_milp,
+    solve_milp_scipy,
+)
+
+
+def knapsack(values, weights, capacity):
+    lp = LinearProgram()
+    items = [
+        lp.add_binary(f"x{i}", objective=-float(v))
+        for i, v in enumerate(values)
+    ]
+    lp.add_constraint(
+        {items[i]: float(w) for i, w in enumerate(weights)}, "<=", capacity
+    )
+    return lp
+
+
+def test_small_knapsack():
+    lp = knapsack([5, 4, 3], [2, 3, 1], 5)
+    solution = solve_milp(lp)
+    assert solution.status is SolveStatus.OPTIMAL
+    assert solution.objective == pytest.approx(-9.0)
+
+
+def test_pure_lp_passthrough():
+    lp = LinearProgram()
+    x = lp.add_variable("x", ub=2.5, objective=-1.0)
+    lp.add_constraint({x: 1.0}, "<=", 2.0)
+    solution = solve_milp(lp)
+    assert solution.status is SolveStatus.OPTIMAL
+    assert solution.objective == pytest.approx(-2.0)
+
+
+def test_integer_rounding_not_enough():
+    # LP optimum x = 1.5; integer optimum x = 1.
+    lp = LinearProgram()
+    x = lp.add_variable("x", ub=10.0, integer=True, objective=-1.0)
+    lp.add_constraint({x: 2.0}, "<=", 3.0)
+    solution = solve_milp(lp)
+    assert solution.objective == pytest.approx(-1.0)
+    assert solution.values["x"] == pytest.approx(1.0)
+
+
+def test_infeasible_milp():
+    lp = LinearProgram()
+    x = lp.add_binary("x", objective=1.0)
+    lp.add_constraint({x: 1.0}, ">=", 2.0)
+    assert solve_milp(lp).status is SolveStatus.INFEASIBLE
+
+
+def test_incumbent_history_monotone():
+    rng = np.random.default_rng(5)
+    lp = knapsack(
+        rng.integers(1, 30, size=14).tolist(),
+        rng.integers(1, 12, size=14).tolist(),
+        30,
+    )
+    solution = solve_milp(lp)
+    objectives = [event.objective for event in solution.incumbents]
+    assert objectives == sorted(objectives, reverse=True)
+    assert solution.discover_elapsed <= solution.prove_elapsed + 1e-9
+
+
+def test_simplex_engine_matches_scipy_engine():
+    lp = knapsack([7, 2, 9, 4], [3, 1, 4, 2], 6)
+    a = solve_milp(lp, lp_engine="simplex")
+    b = solve_milp(lp, lp_engine="scipy")
+    assert a.objective == pytest.approx(b.objective)
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError, match="engine"):
+        BranchAndBound(lp_engine="cplex")
+
+
+def test_node_limit_degrades_gracefully():
+    rng = np.random.default_rng(11)
+    lp = knapsack(
+        rng.integers(1, 50, size=18).tolist(),
+        rng.integers(1, 20, size=18).tolist(),
+        60,
+    )
+    limited = BranchAndBound(node_limit=1).solve(lp)
+    # With a single node we may only have the root heuristic; either a
+    # feasible incumbent or a limit report is acceptable — never a crash.
+    assert limited.status in (
+        SolveStatus.OPTIMAL,
+        SolveStatus.FEASIBLE,
+        SolveStatus.LIMIT,
+    )
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_knapsacks_match_scipy(seed):
+    rng = np.random.default_rng(seed)
+    n = 12
+    lp = knapsack(
+        rng.integers(1, 40, size=n).tolist(),
+        rng.integers(1, 15, size=n).tolist(),
+        int(rng.integers(10, 50)),
+    )
+    ours = solve_milp(lp)
+    reference = solve_milp_scipy(lp)
+    assert ours.status is SolveStatus.OPTIMAL
+    assert ours.objective == pytest.approx(reference.objective, abs=1e-6)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_random_mixed_integer_match_scipy(seed):
+    rng = np.random.default_rng(100 + seed)
+    lp = LinearProgram()
+    variables = []
+    for i in range(8):
+        variables.append(
+            lp.add_variable(
+                f"v{i}",
+                ub=float(rng.uniform(1, 4)),
+                integer=bool(i % 2),
+                objective=float(rng.normal()),
+            )
+        )
+    for _ in range(5):
+        terms = {v: float(rng.uniform(-1, 2)) for v in variables}
+        lp.add_constraint(terms, "<=", float(rng.uniform(2, 6)))
+    ours = solve_milp(lp)
+    reference = solve_milp_scipy(lp)
+    assert ours.status == reference.status
+    if ours.status is SolveStatus.OPTIMAL:
+        assert ours.objective == pytest.approx(
+            reference.objective, abs=1e-5
+        )
+
+
+def test_gap_property():
+    lp = knapsack([5, 4, 3], [2, 3, 1], 5)
+    solution = solve_milp(lp)
+    assert solution.gap == pytest.approx(0.0, abs=1e-6)
+    assert bool(solution)

@@ -1,0 +1,90 @@
+"""Unit tests for the LinearProgram modelling layer."""
+
+import numpy as np
+import pytest
+
+from repro.solver import INF, LinearProgram
+
+
+def test_add_variable_assigns_indices():
+    lp = LinearProgram()
+    x = lp.add_variable("x")
+    y = lp.add_variable("y")
+    assert (x.index, y.index) == (0, 1)
+    assert lp.num_variables == 2
+
+
+def test_duplicate_variable_name_rejected():
+    lp = LinearProgram()
+    lp.add_variable("x")
+    with pytest.raises(ValueError, match="duplicate"):
+        lp.add_variable("x")
+
+
+def test_invalid_bounds_rejected():
+    lp = LinearProgram()
+    with pytest.raises(ValueError, match="lb"):
+        lp.add_variable("x", lb=2.0, ub=1.0)
+
+
+def test_bad_sense_rejected():
+    lp = LinearProgram()
+    x = lp.add_variable("x")
+    with pytest.raises(ValueError, match="sense"):
+        lp.add_constraint({x: 1.0}, "<", 1.0)
+
+
+def test_binary_helper():
+    lp = LinearProgram()
+    b = lp.add_binary("b")
+    assert b.integer and b.lb == 0.0 and b.ub == 1.0
+    assert lp.num_integer_variables == 1
+
+
+def test_objective_value_evaluates_named_point():
+    lp = LinearProgram()
+    lp.add_variable("x", objective=2.0)
+    lp.add_variable("y", objective=-1.0)
+    assert lp.objective_value({"x": 3.0, "y": 4.0}) == pytest.approx(2.0)
+
+
+def test_is_feasible_checks_bounds_and_constraints():
+    lp = LinearProgram()
+    x = lp.add_variable("x", lb=0.0, ub=5.0)
+    y = lp.add_variable("y", lb=0.0, ub=5.0)
+    lp.add_constraint({x: 1.0, y: 1.0}, "<=", 6.0)
+    lp.add_constraint({x: 1.0, y: -1.0}, "=", 0.0)
+    assert lp.is_feasible({"x": 3.0, "y": 3.0})
+    assert not lp.is_feasible({"x": 4.0, "y": 3.0})  # equality violated
+    assert not lp.is_feasible({"x": 6.0, "y": 6.0})  # bound violated
+
+
+def test_to_arrays_shapes_and_senses():
+    lp = LinearProgram()
+    x = lp.add_variable("x", objective=1.0)
+    y = lp.add_variable("y", lb=-1.0, ub=1.0, integer=True)
+    lp.add_constraint({x: 1.0}, "<=", 2.0)
+    lp.add_constraint({y: 1.0}, ">=", -1.0)
+    lp.add_constraint({x: 1.0, y: 1.0}, "=", 0.5)
+    arrays = lp.to_arrays()
+    assert arrays.a_ub.shape == (2, 2)  # >= flipped into <=
+    assert arrays.a_eq.shape == (1, 2)
+    assert arrays.b_ub[1] == pytest.approx(1.0)  # -(-1)
+    assert list(arrays.integrality) == [0, 1]
+    assert arrays.bounds[1] == (-1.0, 1.0)
+    assert arrays.names == ["x", "y"]
+    assert np.allclose(arrays.c, [1.0, 0.0])
+
+
+def test_zero_coefficients_dropped():
+    lp = LinearProgram()
+    x = lp.add_variable("x")
+    y = lp.add_variable("y")
+    con = lp.add_constraint({x: 0.0, y: 2.0}, "<=", 1.0)
+    assert con.coeffs == ((1, 2.0),)
+
+
+def test_unbounded_default_upper():
+    lp = LinearProgram()
+    x = lp.add_variable("x")
+    assert x.ub == INF

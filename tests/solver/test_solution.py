@@ -1,0 +1,47 @@
+"""Solution record semantics."""
+
+import pytest
+
+from repro.solver import IncumbentEvent, Solution, SolveStatus
+
+
+def test_status_has_solution():
+    assert SolveStatus.OPTIMAL.has_solution
+    assert SolveStatus.FEASIBLE.has_solution
+    assert not SolveStatus.INFEASIBLE.has_solution
+    assert not SolveStatus.UNBOUNDED.has_solution
+    assert not SolveStatus.LIMIT.has_solution
+
+
+def test_bool_conversion():
+    assert Solution(status=SolveStatus.OPTIMAL, objective=1.0)
+    assert not Solution(status=SolveStatus.INFEASIBLE)
+
+
+def test_gap_computation():
+    solution = Solution(
+        status=SolveStatus.FEASIBLE, objective=110.0, bound=100.0
+    )
+    assert solution.gap == pytest.approx(10.0 / 110.0)
+    proven = Solution(
+        status=SolveStatus.OPTIMAL, objective=100.0, bound=100.0
+    )
+    assert proven.gap == pytest.approx(0.0)
+    unknown = Solution(status=SolveStatus.LIMIT)
+    assert unknown.gap == float("inf")
+
+
+def test_value_accessor_default():
+    solution = Solution(
+        status=SolveStatus.OPTIMAL, objective=0.0, values={"x": 2.0}
+    )
+    assert solution.value("x") == 2.0
+    assert solution.value("missing") == 0.0
+    assert solution.value("missing", default=-1.0) == -1.0
+
+
+def test_incumbent_event_fields():
+    event = IncumbentEvent(elapsed=0.5, objective=42.0, node_count=7)
+    assert event.elapsed == 0.5
+    assert event.objective == 42.0
+    assert event.node_count == 7

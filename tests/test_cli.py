@@ -1,0 +1,57 @@
+"""The python -m repro command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_platforms_listing(capsys):
+    assert main(["platforms"]) == 0
+    out = capsys.readouterr().out
+    for name in ("tmote", "n80", "meraki", "server"):
+        assert name in out
+
+
+def test_speech_auto_rate(capsys):
+    assert main(["speech", "--platform", "tmote", "--rate", "auto"]) == 0
+    out = capsys.readouterr().out
+    assert "filtbank" in out
+    assert "node partition" in out
+    assert "goodput" in out
+
+
+def test_speech_fixed_rate_infeasible(capsys):
+    assert main(["speech", "--platform", "tmote", "--rate", "1.0"]) == 1
+    assert "infeasible" in capsys.readouterr().err
+
+
+def test_eeg_small(capsys):
+    assert main([
+        "eeg", "--platform", "tmote", "--channels", "2", "--rate", "1.0",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "node partition" in out
+
+
+def test_leak_with_fanin_and_dot(tmp_path, capsys):
+    dot_path = tmp_path / "leak.dot"
+    # The 32-tap FIR at 1 kHz nearly saturates the mote; run at half rate.
+    assert main([
+        "leak", "--platform", "tmote", "--rate", "0.5",
+        "--fanin", "20", "--nodes", "20", "--dot", str(dot_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "netAverage" in out
+    assert dot_path.exists()
+    assert "digraph" in dot_path.read_text()
+
+
+def test_server_platform_no_radio(capsys):
+    assert main(["speech", "--platform", "server", "--rate", "1.0"]) == 0
+    out = capsys.readouterr().out
+    assert "deployment" not in out  # no radio -> no testbed prediction
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["bogus"])

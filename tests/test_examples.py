@@ -1,0 +1,56 @@
+"""Every example script must run end to end (they are documentation)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None):
+    path = EXAMPLES / name
+    old_argv = sys.argv
+    sys.argv = [str(path)] + (argv or [])
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "node partition" in out
+    assert "digraph" in out
+
+
+def test_eeg_seizure(capsys):
+    run_example("eeg_seizure.py")
+    out = capsys.readouterr().out
+    assert "SVM trained" in out
+    assert "sensitivity 100%" in out
+
+
+def test_pipeline_leak(capsys):
+    run_example("pipeline_leak.py")
+    out = capsys.readouterr().out
+    assert "reduce in-network" in out
+    assert "first alarm" in out
+
+
+@pytest.mark.slow
+def test_speech_detection(capsys):
+    run_example("speech_detection.py")
+    out = capsys.readouterr().out
+    assert "filtbank" in out
+    assert "goodput" in out
+
+
+@pytest.mark.slow
+def test_platform_explorer(tmp_path, capsys):
+    run_example("platform_explorer.py", [str(tmp_path)])
+    out = capsys.readouterr().out
+    assert "Per-platform summary" in out
+    assert (tmp_path / "tmote.dot").exists()

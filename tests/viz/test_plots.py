@@ -1,0 +1,65 @@
+"""ASCII plotting helpers."""
+
+import pytest
+
+from repro.viz.plots import cdf_plot, line_plot
+
+
+def test_line_plot_contains_markers_and_legend():
+    chart = line_plot(
+        {"a": [(0, 0), (1, 1), (2, 4)], "b": [(0, 4), (2, 0)]},
+        width=20,
+        height=8,
+    )
+    assert "*" in chart and "o" in chart
+    assert "a" in chart and "b" in chart
+    assert chart.count("|") >= 16  # bordered rows
+
+
+def test_line_plot_empty():
+    assert line_plot({}) == "(no data)"
+
+
+def test_line_plot_log_x():
+    chart = line_plot(
+        {"s": [(0.001, 0), (1.0, 50), (1000.0, 100)]},
+        width=30,
+        height=6,
+        log_x=True,
+    )
+    lines = chart.splitlines()
+    # Log scaling spreads the three points across the width.
+    marked_columns = [
+        line.index("*") for line in lines if "*" in line
+    ]
+    assert max(marked_columns) - min(marked_columns) > 15
+
+
+def test_line_plot_axis_labels():
+    chart = line_plot(
+        {"s": [(0, 0), (10, 5)]},
+        x_label="rate",
+        y_label="ops",
+    )
+    assert "[ops vs rate]" in chart
+    assert "10" in chart
+
+
+def test_cdf_plot_monotone_percentiles():
+    chart = cdf_plot({"find": [0.01, 0.1, 1.0, 5.0]}, width=30, height=8)
+    assert "percentile" in chart
+    assert "find" in chart
+
+
+def test_cdf_plot_two_series():
+    chart = cdf_plot(
+        {"find": [0.01, 0.02, 0.05], "prove": [1.0, 2.0, 30.0]},
+        width=40,
+    )
+    assert "find" in chart and "prove" in chart
+
+
+def test_constant_series_no_crash():
+    chart = line_plot({"flat": [(0, 3), (1, 3), (2, 3)]}, width=10,
+                      height=4)
+    assert "*" in chart

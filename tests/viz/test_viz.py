@@ -1,0 +1,104 @@
+"""GraphViz emission and terminal tables."""
+
+import numpy as np
+import pytest
+
+from repro.apps.speech import PIPELINE_ORDER, node_set_for_cut
+from repro.viz import (
+    bar_chart,
+    graph_to_dot,
+    profile_table,
+    series_table,
+    write_dot,
+)
+
+
+def test_dot_contains_all_operators_and_edges(speech_graph):
+    dot = graph_to_dot(speech_graph)
+    assert dot.startswith("digraph")
+    for name in speech_graph.operators:
+        assert f'"{name}"' in dot
+    for edge in speech_graph.edges:
+        assert f'"{edge.src}" -> "{edge.dst}"' in dot
+
+
+def test_dot_partition_shapes(speech_graph):
+    node_set = node_set_for_cut(speech_graph, "filtbank")
+    dot = graph_to_dot(speech_graph, node_set=node_set)
+    for line in dot.splitlines():
+        if "->" in line:
+            continue  # edge lines also contain the operator names
+        if '"filtbank" [' in line:
+            assert "shape=box" in line
+        if '"logs" [' in line:
+            assert "shape=ellipse" in line
+
+
+def test_dot_marks_cut_edges(speech_graph):
+    node_set = node_set_for_cut(speech_graph, "filtbank")
+    dot = graph_to_dot(speech_graph, node_set=node_set)
+    cut_lines = [
+        line
+        for line in dot.splitlines()
+        if '"filtbank" -> "logs"' in line
+    ]
+    assert len(cut_lines) == 1
+    assert "color=red" in cut_lines[0]
+
+
+def test_dot_heat_colors_present(speech_graph, tmote_speech_profile):
+    dot = graph_to_dot(speech_graph, profile=tmote_speech_profile)
+    assert "fillcolor=" in dot
+    assert "% cpu" in dot
+    # The hottest operator (cepstrals) should be near the red end.
+    ceps_line = [
+        line for line in dot.splitlines() if '"cepstrals" [' in line
+    ][0]
+    hue = float(ceps_line.split('fillcolor="')[1].split()[0])
+    assert hue < 0.1  # red
+
+
+def test_dot_bandwidth_labels(speech_graph, tmote_speech_profile):
+    dot = graph_to_dot(speech_graph, profile=tmote_speech_profile)
+    assert "kB/s" in dot or "B/s" in dot
+
+
+def test_write_dot(tmp_path, speech_graph):
+    path = write_dot(speech_graph, tmp_path / "graph.dot", title="test")
+    text = path.read_text()
+    assert "digraph" in text and "label=" in text
+
+
+def test_profile_table_per_event(tmote_speech_profile):
+    table = profile_table(
+        tmote_speech_profile, PIPELINE_ORDER, per_event_divisor=80
+    )
+    assert "cepstrals" in table
+    assert "us" in table and "B/s" in table
+
+
+def test_profile_table_utilization(tmote_speech_profile):
+    table = profile_table(tmote_speech_profile, PIPELINE_ORDER)
+    assert "%" in table
+
+
+def test_bar_chart_scales():
+    chart = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+    lines = chart.splitlines()
+    assert lines[1].count("#") == 10
+    assert lines[0].count("#") == 5
+
+
+def test_bar_chart_validates():
+    with pytest.raises(ValueError):
+        bar_chart(["a"], [1.0, 2.0])
+
+
+def test_series_table_alignment():
+    table = series_table(
+        ["name", "value"],
+        [["x", 1.0], ["longer-name", 123456.0]],
+    )
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert "longer-name" in table
