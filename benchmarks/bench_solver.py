@@ -1,0 +1,228 @@
+"""Solver hot-path benchmark: node throughput and rate-sweep wall-clock.
+
+Measures the two paths this repo's headline figures depend on:
+
+1. ``branch_bound`` — our :class:`BranchAndBound` on the EEG (Figure 6)
+   instance at a binding rate factor, in two configurations:
+   ``tuned`` (warm-started persistent HiGHS, diving, reduced-cost fixing)
+   and ``plain`` (all tuning knobs off — the seed-equivalent search).
+   Reports nodes/sec, relaxations/sec, and simplex iterations/sec.
+
+2. ``rate_search`` — a full §4.3 :class:`RateSearch` sweep with the
+   incremental :class:`ScaledProbe` (formulate once, rescale per probe)
+   versus the full per-probe rebuild, on the speech and EEG applications.
+
+3. ``end_to_end`` — wall-clock of the Figure 6 sweep and the Figure 7
+   profiling run.
+
+Results are written as machine-readable JSON (default:
+``BENCH_solver.json`` in the current directory) so the perf trajectory is
+tracked PR over PR; CI runs ``--smoke`` and uploads the file as an
+artifact.
+
+Run:  PYTHONPATH=src python benchmarks/bench_solver.py [--smoke] [-o PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+
+from repro.core import (
+    PartitionObjective,
+    RateSearch,
+    RelocationMode,
+    Wishbone,
+)
+from repro.experiments import fig6, fig7
+from repro.experiments.common import eeg_profile, speech_profile
+from repro.solver import BranchAndBound
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def _eeg_partitioner(gap: float = 5e-3) -> Wishbone:
+    return Wishbone(
+        objective=PartitionObjective(alpha=0.0, beta=1.0),
+        mode=RelocationMode.PERMISSIVE,
+        cpu_budget=1.0,
+        net_budget=float("inf"),
+        gap_tolerance=gap,
+    )
+
+
+def bench_branch_bound(smoke: bool) -> dict:
+    """Node/relaxation throughput on the EEG instance, tuned vs plain."""
+    n_channels = 6 if smoke else 22
+    rate_factor = 30.0
+    profile = eeg_profile("tmote", n_channels=n_channels)
+    probe = _eeg_partitioner().prepare_probe(profile)
+    arrays = probe._arrays_at(rate_factor)
+
+    configs = {
+        "tuned": {},
+        "plain": {"dive": False, "reduced_cost_fixing": False,
+                  "warm_start": False},
+    }
+    out: dict = {
+        "instance": {
+            "application": "eeg",
+            "channels": n_channels,
+            "rate_factor": rate_factor,
+            "variables": arrays.num_variables,
+            "ub_rows": int(arrays.a_ub.shape[0]),
+        }
+    }
+    for name, kwargs in configs.items():
+        solver = BranchAndBound(gap_tolerance=5e-3, **kwargs)
+        solution, seconds = _timed(lambda: solver.solve(arrays))
+        nodes = max(solution.nodes_explored, 1)
+        out[name] = {
+            "status": solution.status.value,
+            "objective": solution.objective,
+            "nodes": solution.nodes_explored,
+            "simplex_iterations": solution.iterations,
+            "seconds": seconds,
+            "nodes_per_sec": nodes / seconds,
+            # one LP relaxation is solved per node (the root included)
+            "relaxations_per_sec": nodes / seconds,
+            "iterations_per_sec": solution.iterations / seconds,
+            "discover_seconds": solution.discover_elapsed,
+            "prove_seconds": solution.prove_elapsed,
+        }
+    out["node_throughput_speedup"] = (
+        out["tuned"]["nodes_per_sec"] / out["plain"]["nodes_per_sec"]
+    )
+    return out
+
+
+def bench_rate_search(smoke: bool) -> dict:
+    """Full §4.3 sweep: incremental probe cache vs per-probe rebuild."""
+    scenarios = [
+        ("speech", speech_profile("tmote"), _speech_partitioner(), 1.0),
+        (
+            "eeg",
+            eeg_profile("tmote", n_channels=6 if smoke else 22),
+            _eeg_partitioner(),
+            500.0,
+        ),
+    ]
+    out: dict = {}
+    for name, profile, partitioner, target in scenarios:
+        inc, inc_s = _timed(
+            lambda: RateSearch(partitioner, incremental=True).search(
+                profile, target_factor=target
+            )
+        )
+        full, full_s = _timed(
+            lambda: RateSearch(partitioner, incremental=False).search(
+                profile, target_factor=target
+            )
+        )
+        out[name] = {
+            "rate_factor": inc.rate_factor,
+            "probes": inc.probes,
+            "incremental_seconds": inc_s,
+            "full_rebuild_seconds": full_s,
+            "speedup": full_s / inc_s,
+            "results_match": (
+                abs(inc.rate_factor - full.rate_factor) < 1e-9
+                and (inc.result is None) == (full.result is None)
+                and (
+                    inc.result is None
+                    or inc.result.partition.node_set
+                    == full.result.partition.node_set
+                )
+            ),
+        }
+    return out
+
+
+def _speech_partitioner() -> Wishbone:
+    return Wishbone(
+        objective=PartitionObjective(alpha=0.0, beta=1.0),
+        mode=RelocationMode.PERMISSIVE,
+    )
+
+
+def bench_end_to_end(smoke: bool) -> dict:
+    """Wall-clock of the figure harnesses that hammer the solver."""
+    fig6_runs = 5 if smoke else 21
+    fig6_channels = 6 if smoke else 22
+    result6, fig6_s = _timed(
+        lambda: fig6.run(n_runs=fig6_runs, n_channels=fig6_channels)
+    )
+    _, fig7_s = _timed(fig7.run)
+    feasible = [s for s in result6.samples if s.feasible]
+    return {
+        "fig6": {
+            "runs": fig6_runs,
+            "channels": fig6_channels,
+            "seconds": fig6_s,
+            "feasible_runs": len(feasible),
+            "median_prove_seconds": result6.percentile("prove", 50.0)
+            if feasible
+            else None,
+        },
+        "fig7": {"seconds": fig7_s},
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced sizes for CI (6 EEG channels, short fig6 sweep)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_solver.json",
+        help="path of the JSON report (default: ./BENCH_solver.json)",
+    )
+    args = parser.parse_args()
+
+    report = {
+        "benchmark": "solver",
+        "smoke": args.smoke,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    total_start = time.perf_counter()
+    report["branch_bound"] = bench_branch_bound(args.smoke)
+    report["rate_search"] = bench_rate_search(args.smoke)
+    report["end_to_end"] = bench_end_to_end(args.smoke)
+    report["total_seconds"] = time.perf_counter() - total_start
+
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+
+    bb = report["branch_bound"]
+    rs = report["rate_search"]
+    print(f"wrote {args.output}")
+    print(
+        f"branch&bound: {bb['tuned']['nodes_per_sec']:.0f} nodes/s tuned vs "
+        f"{bb['plain']['nodes_per_sec']:.0f} plain "
+        f"({bb['node_throughput_speedup']:.1f}x)"
+    )
+    for name, row in rs.items():
+        print(
+            f"rate search [{name}]: {row['incremental_seconds']:.2f}s "
+            f"incremental vs {row['full_rebuild_seconds']:.2f}s rebuild "
+            f"({row['speedup']:.1f}x, results_match={row['results_match']})"
+        )
+    print(
+        f"fig6: {report['end_to_end']['fig6']['seconds']:.2f}s  "
+        f"fig7: {report['end_to_end']['fig7']['seconds']:.2f}s"
+    )
+
+
+if __name__ == "__main__":
+    main()

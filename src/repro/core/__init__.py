@@ -32,6 +32,7 @@ from .pinning import (
     propagate_pinnings,
 )
 from .preprocess import ReducedProblem, preprocess
+from .probe import ScaledProbe
 from .problem import PartitionProblem, WeightedEdge, problem_from_profile
 from .rate_search import RateSearch, RateSearchResult, max_feasible_rate
 from .three_tier import (
@@ -68,6 +69,7 @@ __all__ = [
     "ReducedProblem",
     "RelocationMode",
     "RestrictedIlp",
+    "ScaledProbe",
     "SolverBackend",
     "WeightedEdge",
     "Wishbone",

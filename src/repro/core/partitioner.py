@@ -22,6 +22,7 @@ from .ilp_general import build_general_ilp
 from .ilp_restricted import build_restricted_ilp
 from .pinning import RelocationMode, compute_pinnings
 from .preprocess import ReducedProblem, preprocess
+from .probe import ScaledProbe
 from .problem import PartitionProblem, problem_from_profile
 
 
@@ -165,33 +166,51 @@ class Wishbone:
 
     # -- solving --------------------------------------------------------------
 
-    def solve_problem(
-        self, problem: PartitionProblem
-    ) -> tuple[set[str], Solution, ReducedProblem | None, float, float]:
-        """Reduce, formulate, and solve; returns the original-vertex set."""
-        build_start = time.perf_counter()
-        reduced = preprocess(problem) if self.use_preprocess else None
-        target = reduced.problem if reduced is not None else problem
-
+    def formulate(self, problem: PartitionProblem):
+        """Encode a (possibly reduced) instance as the configured ILP."""
         if self.formulation is Formulation.RESTRICTED:
-            model = build_restricted_ilp(target)
-        else:
-            model = build_general_ilp(target)
-        build_seconds = time.perf_counter() - build_start
+            return build_restricted_ilp(problem)
+        return build_general_ilp(problem)
 
-        solve_start = time.perf_counter()
+    def solve_arrays(self, program) -> Solution:
+        """Run the configured MILP backend on a program or raw arrays."""
         if self.solver is SolverBackend.BRANCH_AND_BOUND:
-            solution = BranchAndBound(
+            return BranchAndBound(
                 lp_engine=self.lp_engine,
                 time_limit=self.time_limit,
                 gap_tolerance=self.gap_tolerance,
-            ).solve(model.program)
-        else:
-            solution = solve_milp_scipy(
-                model.program, time_limit=self.time_limit
-            )
-        solve_seconds = time.perf_counter() - solve_start
+            ).solve(program)
+        return solve_milp_scipy(program, time_limit=self.time_limit)
 
+    def prepare_probe(self, profile: GraphProfile) -> ScaledProbe:
+        """Cache the rate-invariant parts of this instance for §4.3 probing.
+
+        The returned :class:`~repro.core.probe.ScaledProbe` answers
+        ``try_partition(factor)`` for any rate factor while re-running the
+        pin -> reduce -> formulate pipeline exactly once; see
+        ``repro.core.probe`` for the equivalence argument.
+        """
+        return ScaledProbe(self, profile)
+
+    def package_result(
+        self,
+        graph,
+        problem: PartitionProblem,
+        model,
+        solution: Solution,
+        reduced: ReducedProblem | None,
+        pins: dict[str, Pinning],
+        build_seconds: float,
+        solve_seconds: float,
+    ) -> PartitionResult:
+        """Decode, cross-check, and package a solver outcome.
+
+        Shared by the direct path (:meth:`partition`) and the incremental
+        rate probe (``repro.core.probe``) so the two paths cannot drift.
+        Raises :class:`InfeasiblePartition` when the solver found no
+        solution, :class:`PartitionError` when the decoded assignment
+        violates the budgets of ``problem`` (an encoding bug).
+        """
         if not solution.status.has_solution:
             raise InfeasiblePartition(
                 f"no feasible partition (solver status: {solution.status})"
@@ -199,14 +218,6 @@ class Wishbone:
         cluster_set = model.node_set(solution.values)
         node_set = (
             reduced.expand(cluster_set) if reduced is not None else cluster_set
-        )
-        return node_set, solution, reduced, build_seconds, solve_seconds
-
-    def partition(self, profile: GraphProfile) -> PartitionResult:
-        """Partition a profiled graph; raises on infeasibility."""
-        problem, pins = self.build_problem(profile)
-        node_set, solution, reduced, build_s, solve_s = self.solve_problem(
-            problem
         )
         # Evaluate against the problem the solver actually saw (which may
         # discount aggregated edges); cross-check feasibility there.
@@ -216,7 +227,7 @@ class Wishbone:
                 "this indicates an encoding bug"
             )
         partition = Partition(
-            graph=profile.graph,
+            graph=graph,
             node_set=frozenset(node_set),
             cpu_utilization=problem.cpu_load(node_set),
             network_bytes_per_sec=problem.net_load(node_set),
@@ -230,8 +241,31 @@ class Wishbone:
             problem=problem,
             reduced=reduced,
             pins=pins,
-            build_seconds=build_s,
-            solve_seconds=solve_s,
+            build_seconds=build_seconds,
+            solve_seconds=solve_seconds,
+        )
+
+    def partition(self, profile: GraphProfile) -> PartitionResult:
+        """Partition a profiled graph; raises on infeasibility."""
+        problem, pins = self.build_problem(profile)
+        build_start = time.perf_counter()
+        reduced = preprocess(problem) if self.use_preprocess else None
+        target = reduced.problem if reduced is not None else problem
+        model = self.formulate(target)
+        build_seconds = time.perf_counter() - build_start
+
+        solve_start = time.perf_counter()
+        solution = self.solve_arrays(model.program)
+        solve_seconds = time.perf_counter() - solve_start
+        return self.package_result(
+            profile.graph,
+            problem,
+            model,
+            solution,
+            reduced,
+            pins,
+            build_seconds,
+            solve_seconds,
         )
 
     def try_partition(self, profile: GraphProfile) -> PartitionResult | None:

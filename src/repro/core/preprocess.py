@@ -46,6 +46,21 @@ class ReducedProblem:
             node_set.update(self.members[cluster])
         return node_set
 
+    def scaled(self, factor: float) -> "ReducedProblem":
+        """The same reduction at a different input rate (§4.3).
+
+        The merge decisions compare bandwidths against each other, so a
+        uniform scaling never changes *which* vertices were contracted —
+        only the weights on the clustered problem.  The cluster membership
+        tables are shared, which is what lets the incremental rate probe
+        (``repro.core.probe``) reuse one reduction across a whole search.
+        """
+        return ReducedProblem(
+            problem=self.problem.scaled(factor),
+            members=self.members,
+            cluster_of=self.cluster_of,
+        )
+
 
 def _combine_pins(a: Pinning, b: Pinning) -> Pinning:
     if a is b:

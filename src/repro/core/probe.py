@@ -1,0 +1,137 @@
+"""Incremental rate probing: one formulation, many rates (paper §4.3).
+
+A :class:`~repro.core.rate_search.RateSearch` issues up to ``max_probes``
+(default 60) partitioner invocations, and the seed implementation re-ran
+the full pin -> reduce -> formulate -> ``to_arrays`` pipeline for every
+probe even though *none of it depends on the rate*:
+
+* pins are a function of the graph alone;
+* the §4.1 preprocessing merges on bandwidth *comparisons*
+  (``out >= in``), which are invariant under the uniform scaling of §4.3;
+* the ILP's sparsity structure (precedence rows, cut-linearisation rows)
+  is purely structural.
+
+Uniformly scaling all loads by a factor ``f`` multiplies the objective
+vector and the two budget rows by ``f`` while every structural row keeps a
+zero right-hand side.  Scaling a ``<=`` row by a positive factor is an
+equivalence, so the instance at rate ``f`` is *exactly* the cached base
+instance with the cost vector multiplied by ``f`` and the budget
+right-hand sides divided by ``f`` — two O(n) vector operations per probe
+instead of a full rebuild.
+
+:class:`ScaledProbe` caches the base formulation once and serves probes at
+any rate factor.  When a formulation is not rate-separable in this sense
+(some structural row carries a nonzero rhs), the probe transparently falls
+back to the full per-factor rebuild, so it is always safe to use.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..profiler.records import GraphProfile
+from .cut import InfeasiblePartition
+from .preprocess import preprocess
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .partitioner import PartitionResult, Wishbone
+
+#: Constraint names whose right-hand side scales with the rate factor.
+BUDGET_ROW_NAMES = ("cpu_budget", "net_budget")
+
+
+class ScaledProbe:
+    """Rate-invariant cached formulation of one partitioning instance.
+
+    Built once per (partitioner, profile) pair — typically at the top of a
+    rate search — and then probed at arbitrary rate factors.  Each probe
+    costs two vector copies plus the MILP solve itself.
+
+    Attributes:
+        problem: the base (factor 1.0) :class:`PartitionProblem`.
+        pins: the computed pinnings (rate-invariant).
+        reduced: the §4.1 reduction of the base problem (``None`` when the
+            partitioner has preprocessing disabled).
+        build_seconds: one-time cost of pin + reduce + formulate + export.
+        incremental: False when the formulation was not rate-separable and
+            probes fall back to full rebuilds.
+    """
+
+    def __init__(self, partitioner: "Wishbone", profile: GraphProfile) -> None:
+        self.partitioner = partitioner
+        self.profile = profile
+
+        build_start = time.perf_counter()
+        self.problem, self.pins = partitioner.build_problem(profile)
+        self.reduced = (
+            preprocess(self.problem) if partitioner.use_preprocess else None
+        )
+        target = (
+            self.reduced.problem if self.reduced is not None else self.problem
+        )
+        self.model = partitioner.formulate(target)
+        self._arrays = self.model.program.to_arrays()
+        self.build_seconds = time.perf_counter() - build_start
+
+        self._base_c = self._arrays.c.copy()
+        self._base_b_ub = self._arrays.b_ub.copy()
+        self._budget_rows = np.array(
+            [
+                i
+                for i, name in enumerate(self._arrays.ub_row_names)
+                if name in BUDGET_ROW_NAMES
+            ],
+            dtype=int,
+        )
+        structural = np.ones(len(self._base_b_ub), dtype=bool)
+        structural[self._budget_rows] = False
+        self.incremental = bool(
+            np.all(self._base_b_ub[structural] == 0.0)
+            and (self._arrays.b_eq.size == 0 or np.all(self._arrays.b_eq == 0.0))
+        )
+
+    # -- probing -----------------------------------------------------------
+
+    def _arrays_at(self, factor: float):
+        """The cached instance rescaled to ``factor`` (two vector edits)."""
+        b_ub = self._base_b_ub.copy()
+        b_ub[self._budget_rows] = b_ub[self._budget_rows] / factor
+        return self._arrays.with_objective(self._base_c * factor).with_b_ub(
+            b_ub
+        )
+
+    def partition(self, factor: float) -> "PartitionResult":
+        """Partition at ``factor`` times the profiled rate; raises on
+        infeasibility (mirrors :meth:`Wishbone.partition`)."""
+        if factor <= 0.0:
+            raise ValueError("rate factor must be positive")
+        if not self.incremental:
+            return self.partitioner.partition(self.profile.scaled(factor))
+
+        prep_start = time.perf_counter()
+        arrays = self._arrays_at(factor)
+        build_seconds = time.perf_counter() - prep_start
+
+        solve_start = time.perf_counter()
+        solution = self.partitioner.solve_arrays(arrays)
+        solve_seconds = time.perf_counter() - solve_start
+        return self.partitioner.package_result(
+            self.profile.graph,
+            self.problem.scaled(factor),
+            self.model,
+            solution,
+            self.reduced.scaled(factor) if self.reduced is not None else None,
+            self.pins,
+            build_seconds,
+            solve_seconds,
+        )
+
+    def try_partition(self, factor: float) -> "PartitionResult | None":
+        """Like :meth:`partition` but returns ``None`` on infeasibility."""
+        try:
+            return self.partition(factor)
+        except InfeasiblePartition:
+            return None

@@ -138,7 +138,16 @@ class PartitionProblem:
         )
 
     def scaled(self, factor: float) -> "PartitionProblem":
-        """The same instance with all loads scaled by ``factor`` (§4.3)."""
+        """The same instance with all loads scaled by ``factor`` (§4.3).
+
+        Scaling is *structure-preserving*: pins, budgets, and the edge set
+        are untouched, and every bandwidth comparison (e.g. the §4.1
+        reduction's merge rule) gives the same answer at any positive
+        factor.  ``repro.core.probe`` exploits this to formulate once and
+        probe many rates.
+        """
+        if factor < 0:
+            raise PartitionError("rate factor must be non-negative")
         return PartitionProblem(
             vertices=list(self.vertices),
             cpu={v: c * factor for v, c in self.cpu.items()},

@@ -6,14 +6,34 @@ search over LP relaxations that *discovers* good integer solutions early and
 ``benchmarks/bench_fig6.py`` regenerate the two CDF curves of Figure 6.
 
 Design notes:
-  * best-first search on the relaxation bound (ties broken FIFO);
-  * branching on the most fractional integer variable;
+  * array-native hot path: child nodes are two O(1) bound edits on numpy
+    ``lb``/``ub`` vectors (no per-node ``StandardArrays`` rebuild), and
+    relaxation results travel as raw vectors (no name->value dict round
+    trips);
+  * best-first search on the relaxation bound (ties broken FIFO), hybridised
+    with depth-first *diving*: after branching, the child on the rounding-
+    preferred side is explored immediately, so integer-feasible incumbents
+    appear much earlier (the find-vs-prove gap the paper plots) while the
+    heap keeps the global bound honest;
+  * branching on the most fractional integer variable (vectorized);
   * a cheap rounding heuristic probes every node's relaxation for an
-    integer-feasible neighbour, so incumbents appear long before the
-    bound closes (the find-vs-prove gap the paper plots);
+    integer-feasible neighbour;
+  * *reduced-cost fixing* at the root: once the root heuristic produces an
+    incumbent, integer variables whose reduced cost proves they cannot move
+    off their bound in any improving solution are fixed permanently,
+    shrinking the tree;
+  * warm starts: each node passes its parent's basis to the LP engine; the
+    tableau simplex resumes from it (phase 1 skipped when still feasible),
+    while HiGHS — which scipy exposes with no warm-start entry point —
+    ignores the hint;
   * the LP engine is pluggable: ``"scipy"`` (HiGHS, default — fast on the
     1300-variable EEG instances) or ``"simplex"`` (our own dense tableau,
     fully self-contained).
+
+Knobs (constructor arguments): ``dive`` toggles the diving hybrid,
+``reduced_cost_fixing`` the root fixing, ``warm_start`` the basis reuse.
+All default to on; disabling all three recovers the plain best-first
+solver for A/B measurements (``benchmarks/bench_solver.py --no-tuning``).
 """
 
 from __future__ import annotations
@@ -27,7 +47,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .model import INF, LinearProgram, StandardArrays
-from .scipy_backend import solve_lp_scipy
+from .scipy_backend import make_highs_relaxation, solve_lp_scipy
 from .simplex import solve_lp
 from .solution import IncumbentEvent, Solution, SolveStatus
 
@@ -41,10 +61,12 @@ class _Node:
     # bounds overrides: variable index -> (lb, ub)
     var_bounds: dict[int, tuple[float, float]] = field(compare=False)
     depth: int = field(compare=False, default=0)
+    # warm-start hint: the parent relaxation's basis (simplex engine only)
+    basis: np.ndarray | None = field(compare=False, default=None)
 
 
 class BranchAndBound:
-    """Best-first branch and bound over LP relaxations.
+    """Best-first branch and bound (with diving) over LP relaxations.
 
     Args:
         lp_engine: ``"scipy"`` for HiGHS relaxations, ``"simplex"`` for the
@@ -52,6 +74,12 @@ class BranchAndBound:
         gap_tolerance: relative gap at which a solve is declared optimal.
         node_limit: maximum number of explored nodes.
         time_limit: wall-clock limit in seconds (``None`` = unlimited).
+        dive: explore the rounding-preferred child depth-first immediately
+            after branching (earlier incumbents, same final objective).
+        reduced_cost_fixing: permanently fix integer variables at the root
+            when their reduced cost proves no improving solution moves them.
+        warm_start: pass each parent's LP basis to the engine (used by the
+            tableau simplex; ignored by HiGHS).
     """
 
     def __init__(
@@ -60,6 +88,9 @@ class BranchAndBound:
         gap_tolerance: float = 1e-6,
         node_limit: int = 200_000,
         time_limit: float | None = None,
+        dive: bool = True,
+        reduced_cost_fixing: bool = True,
+        warm_start: bool = True,
     ) -> None:
         if lp_engine not in ("scipy", "simplex"):
             raise ValueError(f"unknown lp engine {lp_engine!r}")
@@ -67,46 +98,66 @@ class BranchAndBound:
         self.gap_tolerance = gap_tolerance
         self.node_limit = node_limit
         self.time_limit = time_limit
+        self.dive = dive
+        self.reduced_cost_fixing = reduced_cost_fixing
+        self.warm_start = warm_start
 
     # -- helpers -----------------------------------------------------------
 
-    def _solve_relaxation(self, arrays: StandardArrays) -> Solution:
-        if self.lp_engine == "scipy":
-            return solve_lp_scipy(arrays)
-        return solve_lp(arrays)
+    def _make_relaxation_solver(self, arrays: StandardArrays):
+        """Bind an LP engine to this instance for the duration of a solve.
 
-    @staticmethod
-    def _with_bounds(
-        base: StandardArrays, var_bounds: dict[int, tuple[float, float]]
-    ) -> StandardArrays:
-        if not var_bounds:
-            return base
-        bounds = list(base.bounds)
-        for idx, pair in var_bounds.items():
-            bounds[idx] = pair
-        return StandardArrays(
-            c=base.c,
-            a_ub=base.a_ub,
-            b_ub=base.b_ub,
-            a_eq=base.a_eq,
-            b_eq=base.b_eq,
-            bounds=bounds,
-            integrality=base.integrality,
-            names=base.names,
-        )
+        Returns ``solve(lb, ub, warm) -> Solution``.  For the scipy engine
+        with warm starts enabled, a persistent HiGHS model is kept hot
+        across nodes (bound edits + dual-simplex resume); otherwise each
+        call is an independent solve.
+        """
+        if self.lp_engine == "scipy":
+            state = {
+                "engine": make_highs_relaxation(arrays)
+                if self.warm_start
+                else None
+            }
+
+            def relax(lb, ub, warm):
+                engine = state["engine"]
+                if engine is not None:
+                    try:
+                        return engine.solve(lb, ub)
+                    except Exception:
+                        # The private HiGHS bindings misbehaved mid-solve
+                        # (e.g. a scipy upgrade changed a signature):
+                        # degrade permanently to cold linprog solves.
+                        state["engine"] = None
+                return solve_lp_scipy(arrays.with_bounds(lb, ub))
+
+            return relax
+        if self.warm_start:
+            return lambda lb, ub, warm: solve_lp(
+                arrays.with_bounds(lb, ub), warm_basis=warm
+            )
+        return lambda lb, ub, warm: solve_lp(arrays.with_bounds(lb, ub))
 
     @staticmethod
     def _fractionality(x: np.ndarray, int_indices: np.ndarray) -> tuple[int, float]:
-        """Return (most fractional integer index, its fractionality)."""
-        best_idx, best_frac = -1, 0.0
-        for idx in int_indices:
-            frac = abs(x[idx] - round(x[idx]))
-            distance = min(frac, 1.0 - frac) if frac > 0.5 else frac
-            distance = abs(x[idx] - math.floor(x[idx]) - 0.5)
-            score = 0.5 - distance  # 0.5 == exactly half-integral
-            if frac > _INT_TOL and (1 - frac) > _INT_TOL and score > best_frac:
-                best_idx, best_frac = int(idx), score
-        return best_idx, best_frac
+        """Return (most fractional integer index, its fractionality score).
+
+        The score is ``0.5 - |frac - 0.5|``: 0.5 means exactly half-integral
+        (the most fractional a variable can be), values near 0 mean nearly
+        integral.  Variables within ``_INT_TOL`` of an integer are skipped;
+        ties go to the lowest index.
+        """
+        if len(int_indices) == 0:
+            return -1, 0.0
+        xi = x[int_indices]
+        frac = xi - np.floor(xi)
+        fractional = (frac > _INT_TOL) & (frac < 1.0 - _INT_TOL)
+        if not fractional.any():
+            return -1, 0.0
+        score = 0.5 - np.abs(frac - 0.5)
+        score[~fractional] = -1.0
+        best = int(np.argmax(score))
+        return int(int_indices[best]), float(score[best])
 
     @staticmethod
     def _check_integral(x: np.ndarray, int_indices: np.ndarray) -> bool:
@@ -114,10 +165,15 @@ class BranchAndBound:
         return bool(np.all(fractional <= _INT_TOL))
 
     @staticmethod
-    def _feasible(arrays: StandardArrays, x: np.ndarray, tol: float = 1e-6) -> bool:
-        for j, (lb, ub) in enumerate(arrays.bounds):
-            if x[j] < lb - tol or x[j] > ub + tol:
-                return False
+    def _feasible(
+        arrays: StandardArrays,
+        lb: np.ndarray,
+        ub: np.ndarray,
+        x: np.ndarray,
+        tol: float = 1e-6,
+    ) -> bool:
+        if np.any(x < lb - tol) or np.any(x > ub + tol):
+            return False
         if arrays.a_ub.size and np.any(arrays.a_ub @ x > arrays.b_ub + tol):
             return False
         if arrays.a_eq.size and np.any(np.abs(arrays.a_eq @ x - arrays.b_eq) > tol):
@@ -125,18 +181,23 @@ class BranchAndBound:
         return True
 
     def _round_heuristic(
-        self, arrays: StandardArrays, x: np.ndarray, int_indices: np.ndarray
+        self,
+        arrays: StandardArrays,
+        lb: np.ndarray,
+        ub: np.ndarray,
+        x: np.ndarray,
+        int_indices: np.ndarray,
     ) -> np.ndarray | None:
         """Round integer variables and test feasibility of the result."""
         candidate = x.copy()
         candidate[int_indices] = np.round(candidate[int_indices])
-        if self._feasible(arrays, candidate):
+        if self._feasible(arrays, lb, ub, candidate):
             return candidate
         # Second attempt: push fractional vars down (cheaper on budgeted
         # knapsack-style rows, which is what the CPU constraint is).
         candidate = x.copy()
         candidate[int_indices] = np.floor(candidate[int_indices] + _INT_TOL)
-        if self._feasible(arrays, candidate):
+        if self._feasible(arrays, lb, ub, candidate):
             return candidate
         return None
 
@@ -150,7 +211,15 @@ class BranchAndBound:
         int_indices = np.flatnonzero(arrays.integrality)
         total_iterations = 0
 
-        root = self._solve_relaxation(arrays)
+        # Pristine bounds for global feasibility checks; working root bounds
+        # (lb0/ub0) may be tightened by reduced-cost fixing.
+        lb_orig = np.asarray(arrays.lb, dtype=float)
+        ub_orig = np.asarray(arrays.ub, dtype=float)
+        lb0 = lb_orig.copy()
+        ub0 = ub_orig.copy()
+
+        solve_relaxation = self._make_relaxation_solver(arrays)
+        root = solve_relaxation(lb0, ub0, None)
         total_iterations += root.iterations
         if root.status == SolveStatus.INFEASIBLE:
             return Solution(
@@ -167,17 +236,17 @@ class BranchAndBound:
                 iterations=total_iterations,
             )
         if root.status != SolveStatus.OPTIMAL:
-            return Solution(status=SolveStatus.LIMIT, nodes_explored=1)
+            return Solution(
+                status=SolveStatus.LIMIT,
+                prove_elapsed=time.perf_counter() - start,
+                nodes_explored=1,
+                iterations=total_iterations,
+            )
 
-        counter = itertools.count()
-        heap: list[_Node] = [
-            _Node(bound=root.objective, order=next(counter), var_bounds={})
-        ]
+        nodes_explored = 1  # the root relaxation
         incumbent_x: np.ndarray | None = None
         incumbent_obj = INF
         incumbents: list[IncumbentEvent] = []
-        nodes_explored = 0
-        best_bound = root.objective
 
         def record_incumbent(x: np.ndarray, obj: float) -> None:
             nonlocal incumbent_x, incumbent_obj
@@ -192,7 +261,95 @@ class BranchAndBound:
                     )
                 )
 
-        while heap:
+        def cutoff() -> float:
+            """Nodes with relaxation bound >= this cannot improve."""
+            if incumbent_obj == INF:
+                return INF
+            return incumbent_obj - self.gap_tolerance * max(
+                1.0, abs(incumbent_obj)
+            )
+
+        def finish(status: SolveStatus, bound: float) -> Solution:
+            elapsed = time.perf_counter() - start
+            return Solution(
+                status=status,
+                objective=incumbent_obj,
+                x=incumbent_x,
+                names=arrays.names,
+                bound=bound,
+                incumbents=incumbents,
+                discover_elapsed=incumbents[-1].elapsed if incumbents else elapsed,
+                prove_elapsed=elapsed,
+                nodes_explored=nodes_explored,
+                iterations=total_iterations,
+            )
+
+        x_root = root.x
+        if self._check_integral(x_root, int_indices):
+            record_incumbent(x_root, root.objective)
+            return finish(SolveStatus.OPTIMAL, root.objective)
+
+        rounded = self._round_heuristic(
+            arrays, lb_orig, ub_orig, x_root, int_indices
+        )
+        if rounded is not None:
+            record_incumbent(rounded, float(arrays.c @ rounded))
+            if root.objective >= cutoff():
+                return finish(SolveStatus.OPTIMAL, incumbent_obj)
+
+        # Reduced-cost fixing at the root (Dantzig): a nonbasic integer
+        # variable at its bound with reduced cost d must raise the LP bound
+        # by at least |d| to take its next integer value; if that already
+        # crosses the cutoff, the variable is fixed for the whole tree.
+        if (
+            self.reduced_cost_fixing
+            and root.reduced_costs is not None
+            and incumbent_obj < INF
+            and len(int_indices)
+        ):
+            slack = cutoff() - root.objective
+            rc = np.asarray(root.reduced_costs, dtype=float)[int_indices]
+            xi = x_root[int_indices]
+            lbi = lb0[int_indices]
+            ubi = ub0[int_indices]
+            open_interval = ubi > lbi
+            # Only fix onto a finite bound that is itself an integer value —
+            # the nearest alternative integer is then exactly 1 away, which
+            # is the step the reduced-cost argument prices.
+            lb_integral = np.isfinite(lbi)
+            lb_integral[lb_integral] &= (
+                np.abs(lbi[lb_integral] - np.round(lbi[lb_integral]))
+                <= _INT_TOL
+            )
+            ub_integral = np.isfinite(ubi)
+            ub_integral[ub_integral] &= (
+                np.abs(ubi[ub_integral] - np.round(ubi[ub_integral]))
+                <= _INT_TOL
+            )
+            at_lb = (np.abs(xi - lbi) <= _INT_TOL) & open_interval & lb_integral
+            at_ub = (np.abs(xi - ubi) <= _INT_TOL) & open_interval & ub_integral
+            fix_down = int_indices[at_lb & (rc >= slack)]
+            fix_up = int_indices[at_ub & (-rc >= slack)]
+            ub0[fix_down] = lb0[fix_down]
+            lb0[fix_up] = ub0[fix_up]
+
+        counter = itertools.count()
+        heap: list[_Node] = []
+        root_node = _Node(
+            bound=root.objective, order=next(counter), var_bounds={},
+            basis=root.basis,
+        )
+        # The root relaxation is already solved (and its integrality check
+        # and rounding heuristic already ran above); seed the loop with it
+        # so it goes straight to branching.
+        dive_next: _Node | None = None
+        pending: tuple[_Node, Solution, bool] | None = (root_node, root, False)
+        # Best bound among subtrees dropped because the LP engine hit its
+        # own limit (not infeasibility); optimality cannot be claimed past
+        # this value.
+        unresolved_bound = INF
+
+        while pending is not None or dive_next is not None or heap:
             if nodes_explored >= self.node_limit:
                 break
             if (
@@ -200,93 +357,116 @@ class BranchAndBound:
                 and time.perf_counter() - start > self.time_limit
             ):
                 break
-            node = heapq.heappop(heap)
-            best_bound = node.bound
-            if node.bound >= incumbent_obj - self.gap_tolerance * max(
-                1.0, abs(incumbent_obj)
-            ):
-                # Bound can no longer improve on the incumbent: proven.
-                best_bound = incumbent_obj
-                break
-            nodes_explored += 1
 
-            relax = self._solve_relaxation(
-                self._with_bounds(arrays, node.var_bounds)
-            )
-            total_iterations += relax.iterations
-            if relax.status != SolveStatus.OPTIMAL:
-                continue  # infeasible subtree
-            if relax.objective >= incumbent_obj - self.gap_tolerance * max(
-                1.0, abs(incumbent_obj)
-            ):
-                continue  # pruned by bound
+            if pending is not None:
+                node, relax, run_checks = pending
+                pending = None
+            else:
+                run_checks = True
+                if dive_next is not None:
+                    node, dive_next = dive_next, None
+                    if node.bound >= cutoff():
+                        continue
+                else:
+                    node = heapq.heappop(heap)
+                    if node.bound >= cutoff():
+                        # Bound can no longer improve on the incumbent:
+                        # proven — unless an engine-limited subtree with a
+                        # better bound was dropped along the way.
+                        if unresolved_bound < cutoff():
+                            return finish(
+                                SolveStatus.FEASIBLE, unresolved_bound
+                            )
+                        return finish(SolveStatus.OPTIMAL, incumbent_obj)
+                nodes_explored += 1
+                lb = lb0.copy()
+                ub = ub0.copy()
+                for idx, (vlb, vub) in node.var_bounds.items():
+                    lb[idx] = vlb
+                    ub[idx] = vub
+                relax = solve_relaxation(lb, ub, node.basis)
+                total_iterations += relax.iterations
+                if relax.status == SolveStatus.INFEASIBLE:
+                    continue  # infeasible subtree
+                if relax.status != SolveStatus.OPTIMAL:
+                    # The engine gave up (iteration limit): the subtree is
+                    # unresolved, not infeasible — remember its bound so
+                    # the final status cannot over-claim optimality.
+                    unresolved_bound = min(unresolved_bound, node.bound)
+                    continue
+                if relax.objective >= cutoff():
+                    continue  # pruned by bound
 
-            x = np.array([relax.values[name] for name in arrays.names])
-            if self._check_integral(x, int_indices):
-                record_incumbent(x, relax.objective)
-                continue
-
-            rounded = self._round_heuristic(arrays, x, int_indices)
-            if rounded is not None:
-                record_incumbent(rounded, float(arrays.c @ rounded))
+            x = relax.x
+            if run_checks:
+                if self._check_integral(x, int_indices):
+                    record_incumbent(x, relax.objective)
+                    continue
+                rounded = self._round_heuristic(
+                    arrays, lb_orig, ub_orig, x, int_indices
+                )
+                if rounded is not None:
+                    record_incumbent(rounded, float(arrays.c @ rounded))
 
             branch_idx, _ = self._fractionality(x, int_indices)
             if branch_idx < 0:
                 record_incumbent(x, relax.objective)
                 continue
             value = x[branch_idx]
-            lb, ub = arrays.bounds[branch_idx]
             if branch_idx in node.var_bounds:
-                lb, ub = node.var_bounds[branch_idx]
+                blb, bub = node.var_bounds[branch_idx]
+            else:
+                blb, bub = float(lb0[branch_idx]), float(ub0[branch_idx])
             floor_val, ceil_val = math.floor(value), math.ceil(value)
             down = dict(node.var_bounds)
-            down[branch_idx] = (lb, float(floor_val))
+            down[branch_idx] = (blb, float(floor_val))
             up = dict(node.var_bounds)
-            up[branch_idx] = (float(ceil_val), ub)
-            for child in (down, up):
-                heapq.heappush(
-                    heap,
-                    _Node(
-                        bound=relax.objective,
-                        order=next(counter),
-                        var_bounds=child,
-                        depth=node.depth + 1,
-                    ),
-                )
+            up[branch_idx] = (float(ceil_val), bub)
 
+            children = [
+                _Node(
+                    bound=relax.objective,
+                    order=next(counter),
+                    var_bounds=child,
+                    depth=node.depth + 1,
+                    basis=relax.basis,
+                )
+                for child in (down, up)
+            ]
+            if self.dive:
+                # Dive toward the rounding-preferred side; the sibling goes
+                # to the heap so the global bound stays exact.
+                preferred = 0 if (value - floor_val) <= 0.5 else 1
+                dive_next = children[preferred]
+                heapq.heappush(heap, children[1 - preferred])
+            else:
+                for child in children:
+                    heapq.heappush(heap, child)
+
+        # Loop left by a limit or by exhausting the tree.
         elapsed = time.perf_counter() - start
+        open_bounds = [n.bound for n in ([dive_next] if dive_next else [])]
+        if heap:
+            open_bounds.append(heap[0].bound)
+        if pending is not None:
+            open_bounds.append(pending[0].bound)
+        if unresolved_bound < INF:
+            open_bounds.append(unresolved_bound)
+        remaining = min(open_bounds) if open_bounds else INF
+
         if incumbent_x is None:
-            status = SolveStatus.INFEASIBLE if not heap else SolveStatus.LIMIT
+            status = (
+                SolveStatus.INFEASIBLE if remaining == INF else SolveStatus.LIMIT
+            )
             return Solution(
                 status=status,
                 prove_elapsed=elapsed,
                 nodes_explored=nodes_explored,
                 iterations=total_iterations,
             )
-
-        if heap and heap[0].bound < incumbent_obj - self.gap_tolerance * max(
-            1.0, abs(incumbent_obj)
-        ):
-            status = SolveStatus.FEASIBLE
-            bound = heap[0].bound
-        else:
-            status = SolveStatus.OPTIMAL
-            bound = incumbent_obj
-
-        values = {
-            name: float(v) for name, v in zip(arrays.names, incumbent_x)
-        }
-        return Solution(
-            status=status,
-            objective=incumbent_obj,
-            values=values,
-            bound=bound,
-            incumbents=incumbents,
-            discover_elapsed=incumbents[-1].elapsed if incumbents else elapsed,
-            prove_elapsed=elapsed,
-            nodes_explored=nodes_explored,
-            iterations=total_iterations,
-        )
+        if remaining < cutoff():
+            return finish(SolveStatus.FEASIBLE, remaining)
+        return finish(SolveStatus.OPTIMAL, incumbent_obj)
 
 
 def solve_milp(

@@ -10,7 +10,7 @@ Only minimization is supported; maximize by negating the objective.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -47,16 +47,52 @@ class Constraint:
 
 @dataclass
 class StandardArrays:
-    """Dense matrix form: min c@x s.t. A_ub@x <= b_ub, A_eq@x = b_eq."""
+    """Dense matrix form: min c@x s.t. A_ub@x <= b_ub, A_eq@x = b_eq.
+
+    Variable bounds are stored as two vectors (``lb``/``ub``) so hot-path
+    callers — most importantly branch and bound, which re-solves the same
+    instance thousands of times under slightly different bounds — can derive
+    child instances with two O(1) element writes and a shallow copy instead
+    of rebuilding a list of tuples.  ``bounds`` remains available as a
+    read-only tuple view for compatibility and tests.
+
+    ``ub_row_names``/``eq_row_names`` carry the constraint names row by row,
+    which lets incremental callers (``repro.core.probe``) locate and rescale
+    specific right-hand-side entries without re-running model construction.
+    """
 
     c: np.ndarray
     a_ub: np.ndarray
     b_ub: np.ndarray
     a_eq: np.ndarray
     b_eq: np.ndarray
-    bounds: list[tuple[float, float]]
+    lb: np.ndarray
+    ub: np.ndarray
     integrality: np.ndarray  # 1 where integer, 0 where continuous
     names: list[str]
+    ub_row_names: tuple[str, ...] = ()
+    eq_row_names: tuple[str, ...] = ()
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.c)
+
+    @property
+    def bounds(self) -> list[tuple[float, float]]:
+        """Per-variable (lb, ub) pairs (compatibility view of lb/ub)."""
+        return list(zip(self.lb.tolist(), self.ub.tolist()))
+
+    def with_bounds(self, lb: np.ndarray, ub: np.ndarray) -> "StandardArrays":
+        """Shallow copy with replacement bound vectors (matrices shared)."""
+        return replace(self, lb=lb, ub=ub)
+
+    def with_b_ub(self, b_ub: np.ndarray) -> "StandardArrays":
+        """Shallow copy with a replacement inequality rhs (matrices shared)."""
+        return replace(self, b_ub=b_ub)
+
+    def with_objective(self, c: np.ndarray) -> "StandardArrays":
+        """Shallow copy with a replacement cost vector (matrices shared)."""
+        return replace(self, c=c)
 
 
 class LinearProgram:
@@ -178,8 +214,10 @@ class LinearProgram:
 
         ub_rows: list[np.ndarray] = []
         ub_rhs: list[float] = []
+        ub_names: list[str] = []
         eq_rows: list[np.ndarray] = []
         eq_rhs: list[float] = []
+        eq_names: list[str] = []
         for con in self.constraints:
             row = np.zeros(n)
             for idx, coef in con.coeffs:
@@ -187,12 +225,15 @@ class LinearProgram:
             if con.sense == "<=":
                 ub_rows.append(row)
                 ub_rhs.append(con.rhs)
+                ub_names.append(con.name)
             elif con.sense == ">=":
                 ub_rows.append(-row)
                 ub_rhs.append(-con.rhs)
+                ub_names.append(con.name)
             else:
                 eq_rows.append(row)
                 eq_rhs.append(con.rhs)
+                eq_names.append(con.name)
 
         a_ub = np.vstack(ub_rows) if ub_rows else np.zeros((0, n))
         a_eq = np.vstack(eq_rows) if eq_rows else np.zeros((0, n))
@@ -202,9 +243,12 @@ class LinearProgram:
             b_ub=np.asarray(ub_rhs, dtype=float),
             a_eq=a_eq,
             b_eq=np.asarray(eq_rhs, dtype=float),
-            bounds=[(v.lb, v.ub) for v in self.variables],
+            lb=np.array([v.lb for v in self.variables], dtype=float),
+            ub=np.array([v.ub for v in self.variables], dtype=float),
             integrality=np.array([1 if v.integer else 0 for v in self.variables]),
             names=[v.name for v in self.variables],
+            ub_row_names=tuple(ub_names),
+            eq_row_names=tuple(eq_names),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -6,10 +6,19 @@ lp_solve library the paper uses.  It handles general bounds by rewriting to
 standard form (``min c@x, A@x = b, x >= 0``) and uses Bland's rule to
 guarantee termination.
 
-It is dense and O(m*n) per pivot, which is fine for the graph-partitioning
-LPs Wishbone produces (hundreds to a few thousand variables); callers who
-need more speed can ask branch and bound to use the scipy/HiGHS engine
-instead (``repro.solver.scipy_backend``).
+It is dense and O(m*n) per pivot, with the pivot selection fully
+vectorized (the pure-Python entering/leaving loops used to dominate run
+time on the graph-partitioning LPs Wishbone produces).  Callers who need
+more speed on very large instances can ask branch and bound to use the
+scipy/HiGHS engine instead (``repro.solver.scipy_backend``).
+
+Warm starting: :func:`solve_lp` accepts the final basis of a previous
+solve of a *structurally identical* LP (same constraint matrix shape,
+possibly different bounds/rhs — exactly the branch-and-bound child-node
+case).  When the old basis is still primal feasible the phase-1 search is
+skipped entirely and the solve resumes with phase 2 only; otherwise it
+falls back to the cold two-phase path.  The final basis is returned on
+``Solution.basis``.
 """
 
 from __future__ import annotations
@@ -46,8 +55,14 @@ def _to_standard_form(arrays: StandardArrays) -> _StandardForm:
       * lb=-inf, ub fin.: x = ub - y          (y >= 0)
       * free:             x = y+ - y-         (two columns)
     Finite upper bounds that remain after shifting become extra ``<=`` rows.
+
+    The column layout depends only on the *finiteness pattern* of the
+    bounds, not their values, so branch-and-bound child nodes (which only
+    move finite integer bounds) keep a structurally identical standard
+    form and can reuse a parent basis.
     """
-    n = len(arrays.bounds)
+    n = len(arrays.lb)
+    lbs, ubs = arrays.lb, arrays.ub
     col = np.zeros(n, dtype=int)
     sign = np.ones(n)
     shift = np.zeros(n)
@@ -55,7 +70,8 @@ def _to_standard_form(arrays: StandardArrays) -> _StandardForm:
 
     next_col = 0
     free_pairs: list[int] = []  # original index of free vars (need second col)
-    for j, (lb, ub) in enumerate(arrays.bounds):
+    for j in range(n):
+        lb, ub = lbs[j], ubs[j]
         if lb == -INF and ub == INF:
             col[j] = next_col
             sign[j] = 1.0
@@ -156,44 +172,82 @@ def _simplex_iterate(
     """Run primal simplex on a tableau; returns (status, iterations).
 
     The last tableau row holds reduced costs; the last column holds the rhs.
-    Bland's rule (least-index entering and leaving) prevents cycling.
+    Bland's rule (least-index entering and leaving) prevents cycling.  Both
+    selection steps are vectorized: entering is the least column index with
+    a negative reduced cost, leaving is the minimum-ratio row with ties
+    broken by the least basis index.
     """
     iters = 0
     m = tableau.shape[0] - 1
     while iters < max_iters:
-        reduced = tableau[-1, :num_cols]
-        entering = -1
-        for j in range(num_cols):
-            if reduced[j] < -_TOL:
-                entering = j
-                break
-        if entering < 0:
+        negative = tableau[-1, :num_cols] < -_TOL
+        if not negative.any():
             return "optimal", iters
+        entering = int(np.argmax(negative))  # least index (Bland)
 
         column = tableau[:m, entering]
-        best_ratio = INF
-        leaving = -1
-        for i in range(m):
-            if column[i] > _TOL:
-                ratio = tableau[i, -1] / column[i]
-                if ratio < best_ratio - _TOL or (
-                    abs(ratio - best_ratio) <= _TOL
-                    and (leaving < 0 or basis[i] < basis[leaving])
-                ):
-                    best_ratio = ratio
-                    leaving = i
-        if leaving < 0:
+        positive = column > _TOL
+        if not positive.any():
             return "unbounded", iters
+        ratios = np.full(m, INF)
+        ratios[positive] = tableau[:m, -1][positive] / column[positive]
+        best_ratio = ratios.min()
+        # Bland tie-break: among rows within _TOL of the best ratio, leave
+        # the one whose basic variable has the least index.
+        tied = np.flatnonzero(ratios <= best_ratio + _TOL)
+        leaving = int(tied[np.argmin(basis[tied])])
         _pivot(tableau, basis, leaving, entering)
         iters += 1
     return "iteration_limit", iters
 
 
+def _warm_tableau(
+    std: _StandardForm, basis: np.ndarray
+) -> np.ndarray | None:
+    """Build a phase-2 tableau for ``basis``; None if stale/infeasible.
+
+    The basis is reusable when its column set still indexes into this
+    standard form, the basis matrix is well conditioned, and the implied
+    basic point is primal feasible (all components non-negative).
+    """
+    m, n = std.a.shape
+    if len(basis) != m or basis.min() < 0 or basis.max() >= n:
+        return None
+    b_mat = std.a[:, basis]
+    try:
+        inv = np.linalg.inv(b_mat)
+    except np.linalg.LinAlgError:
+        return None
+    if not np.all(np.isfinite(inv)):
+        return None
+    rhs = inv @ std.b
+    if rhs.min() < -1e-7:
+        return None  # parent basis is primal infeasible here; cold start
+    tableau = np.zeros((m + 1, n + 1))
+    tableau[:m, :n] = inv @ std.a
+    tableau[:m, -1] = np.maximum(rhs, 0.0)
+    tableau[-1, :n] = std.c
+    tableau[-1, -1] = 0.0
+    # Price out the basic columns.
+    coeffs = tableau[-1, basis].copy()
+    tableau[-1, :] -= coeffs @ tableau[:m, :]
+    return tableau
+
+
 def solve_lp(
     program: LinearProgram | StandardArrays,
     max_iters: int = 50_000,
+    warm_basis: np.ndarray | None = None,
 ) -> Solution:
-    """Solve an LP (integrality ignored) with two-phase dense simplex."""
+    """Solve an LP (integrality ignored) with two-phase dense simplex.
+
+    Args:
+        program: the LP to solve (integrality is ignored).
+        max_iters: total pivot budget across both phases.
+        warm_basis: optional basis (standard-form column indices) from a
+            previous solve of a structurally identical LP; when still
+            primal feasible, phase 1 is skipped.
+    """
     if isinstance(program, LinearProgram):
         arrays = program.to_arrays()
         names = [v.name for v in program.variables]
@@ -212,6 +266,26 @@ def solve_lp(
         x_std = np.zeros(n)
         return _extract(arrays, std, names, x_std, iterations=0)
 
+    if warm_basis is not None:
+        warm = _warm_tableau(std, np.asarray(warm_basis, dtype=int))
+        if warm is not None:
+            basis = np.asarray(warm_basis, dtype=int).copy()
+            status, warm_iters = _simplex_iterate(warm, basis, n, max_iters)
+            if status == "optimal":
+                x_std = np.zeros(n)
+                x_std[basis] = warm[:m, -1]
+                return _extract(
+                    arrays, std, names, x_std, iterations=warm_iters,
+                    basis=basis,
+                )
+            if status == "unbounded":
+                return Solution(
+                    status=SolveStatus.UNBOUNDED, iterations=warm_iters
+                )
+            # iteration_limit: the warm phase consumed the whole pivot
+            # budget (iterate only stops early on optimal/unbounded).
+            return Solution(status=SolveStatus.LIMIT, iterations=warm_iters)
+
     # Phase 1: artificial variables, minimize their sum.
     tableau = np.zeros((m + 1, n + m + 1))
     tableau[:m, :n] = std.a
@@ -222,6 +296,7 @@ def solve_lp(
     tableau[-1, :n] = -std.a.sum(axis=0)
     tableau[-1, -1] = -std.b.sum()
 
+    # (A stale warm basis costs no pivots, so the full budget is intact.)
     status, iters1 = _simplex_iterate(tableau, basis, n + m, max_iters)
     if status == "iteration_limit":
         return Solution(status=SolveStatus.LIMIT, iterations=iters1)
@@ -260,7 +335,10 @@ def solve_lp(
     for i in range(m):
         if basis[i] < n:
             x_std[basis[i]] = tableau[i, -1]
-    return _extract(arrays, std, names, x_std, iterations=total_iters)
+    final_basis = basis.copy() if np.all(basis < n) else None
+    return _extract(
+        arrays, std, names, x_std, iterations=total_iters, basis=final_basis
+    )
 
 
 def _extract(
@@ -269,25 +347,27 @@ def _extract(
     names: list[str],
     x_std: np.ndarray,
     iterations: int,
+    basis: np.ndarray | None = None,
 ) -> Solution:
     """Map a standard-form point back to original variables."""
-    n_orig = len(arrays.bounds)
+    n_orig = len(arrays.lb)
     x = np.zeros(n_orig)
     free_seen = 0
     next_col = int(std.col.max() + 1) if n_orig else 0
     for j in range(n_orig):
-        lb, ub = arrays.bounds[j]
+        lb, ub = arrays.lb[j], arrays.ub[j]
         value = std.sign[j] * x_std[std.col[j]] + std.shift[j]
         if lb == -INF and ub == INF:
             value = x_std[std.col[j]] - x_std[next_col + free_seen]
             free_seen += 1
         x[j] = value
     objective = float(arrays.c @ x)
-    values = {names[j]: float(x[j]) for j in range(n_orig)}
     return Solution(
         status=SolveStatus.OPTIMAL,
         objective=objective,
-        values=values,
+        x=x,
+        names=names,
         bound=objective,
         iterations=iterations,
+        basis=basis,
     )

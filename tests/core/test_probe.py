@@ -1,0 +1,115 @@
+"""Incremental rate probing (repro.core.probe) vs the full rebuild path.
+
+The §4.3 equivalence: a uniformly scaled instance is the cached base
+instance with the cost vector multiplied and the budget right-hand sides
+divided by the rate factor.  Every probe must therefore agree with a full
+pin -> reduce -> formulate -> solve rebuild at the same factor.
+"""
+
+import pytest
+
+from repro.core import (
+    Formulation,
+    PartitionObjective,
+    RateSearch,
+    RelocationMode,
+    SolverBackend,
+    Wishbone,
+)
+
+
+def make_partitioner(**kwargs):
+    return Wishbone(
+        objective=PartitionObjective(alpha=0.0, beta=1.0),
+        mode=RelocationMode.PERMISSIVE,
+        **kwargs,
+    )
+
+
+@pytest.mark.parametrize("factor", [0.05, 0.1, 0.5, 1.0])
+def test_probe_matches_full_rebuild(tmote_speech_profile, factor):
+    partitioner = make_partitioner()
+    probe = partitioner.prepare_probe(tmote_speech_profile)
+    assert probe.incremental
+    via_probe = probe.try_partition(factor)
+    via_rebuild = partitioner.try_partition(tmote_speech_profile.scaled(factor))
+    assert (via_probe is None) == (via_rebuild is None)
+    if via_probe is not None:
+        assert via_probe.partition.node_set == via_rebuild.partition.node_set
+        assert via_probe.partition.objective_value == pytest.approx(
+            via_rebuild.partition.objective_value, rel=1e-9
+        )
+        assert via_probe.partition.cpu_utilization == pytest.approx(
+            via_rebuild.partition.cpu_utilization, rel=1e-9
+        )
+
+
+def test_probe_general_formulation(tmote_speech_profile):
+    partitioner = make_partitioner(formulation=Formulation.GENERAL)
+    probe = partitioner.prepare_probe(tmote_speech_profile)
+    assert probe.incremental
+    for factor in (0.05, 0.2):
+        via_probe = probe.try_partition(factor)
+        via_rebuild = partitioner.try_partition(
+            tmote_speech_profile.scaled(factor)
+        )
+        assert (via_probe is None) == (via_rebuild is None)
+        if via_probe is not None:
+            assert via_probe.partition.objective_value == pytest.approx(
+                via_rebuild.partition.objective_value, rel=1e-6
+            )
+
+
+def test_probe_scipy_backend(tmote_speech_profile):
+    partitioner = make_partitioner(solver=SolverBackend.SCIPY_MILP)
+    probe = partitioner.prepare_probe(tmote_speech_profile)
+    via_probe = probe.try_partition(0.1)
+    via_rebuild = partitioner.try_partition(tmote_speech_profile.scaled(0.1))
+    assert (via_probe is None) == (via_rebuild is None)
+    if via_probe is not None:
+        assert via_probe.partition.objective_value == pytest.approx(
+            via_rebuild.partition.objective_value, rel=1e-6
+        )
+
+
+def test_probe_without_preprocess(tmote_speech_profile):
+    partitioner = make_partitioner(use_preprocess=False)
+    probe = partitioner.prepare_probe(tmote_speech_profile)
+    assert probe.reduced is None
+    result = probe.try_partition(0.1)
+    rebuilt = partitioner.try_partition(tmote_speech_profile.scaled(0.1))
+    assert (result is None) == (rebuilt is None)
+    if result is not None:
+        assert result.partition.node_set == rebuilt.partition.node_set
+
+
+def test_probe_rejects_nonpositive_factor(tmote_speech_profile):
+    probe = make_partitioner().prepare_probe(tmote_speech_profile)
+    with pytest.raises(ValueError):
+        probe.partition(0.0)
+
+
+def test_rate_search_incremental_matches_full(tmote_speech_profile):
+    partitioner = make_partitioner()
+    inc = RateSearch(partitioner, incremental=True).search(
+        tmote_speech_profile
+    )
+    full = RateSearch(partitioner, incremental=False).search(
+        tmote_speech_profile
+    )
+    assert inc.rate_factor == pytest.approx(full.rate_factor, rel=1e-12)
+    assert inc.probes == full.probes
+    assert inc.result.partition.node_set == full.result.partition.node_set
+
+
+def test_probe_reduction_shared_across_factors(tmote_speech_profile):
+    """One §4.1 reduction serves every probe (structure is rate-invariant)."""
+    partitioner = make_partitioner()
+    probe = partitioner.prepare_probe(tmote_speech_profile)
+    a = probe.try_partition(0.05)
+    b = probe.try_partition(0.1)
+    assert a is not None and b is not None
+    assert a.reduced is not None and b.reduced is not None
+    assert a.reduced.members == b.reduced.members
+    # The reduced problems only differ by the uniform scale.
+    assert a.reduced.problem.vertices == b.reduced.problem.vertices

@@ -145,3 +145,94 @@ def test_gap_property():
     solution = solve_milp(lp)
     assert solution.gap == pytest.approx(0.0, abs=1e-6)
     assert bool(solution)
+
+
+def test_fractionality_picks_most_fractional():
+    """Regression for the dead-store bug in the pre-vectorized loop.
+
+    The branching rule is "most fractional": the variable whose fractional
+    part is closest to 0.5.  The original implementation computed one
+    distance metric, immediately overwrote it with another, and left the
+    ``frac > 0.5`` branch dead; this pins the intended behaviour.
+    """
+    x = np.array([1.0, 2.3, 0.5, 3.9, 0.0])
+    int_indices = np.arange(5)
+    idx, score = BranchAndBound._fractionality(x, int_indices)
+    assert idx == 2  # 0.5 is exactly half-integral, the most fractional
+    assert score == pytest.approx(0.5)
+
+    # Fractions above one half must be ranked by distance to 0.5 as well:
+    # 0.9 (distance 0.4) loses to 0.4 (distance 0.1).
+    x = np.array([0.9, 1.4])
+    idx, score = BranchAndBound._fractionality(x, np.arange(2))
+    assert idx == 1
+    assert score == pytest.approx(0.4)
+
+
+def test_fractionality_skips_integral_points():
+    x = np.array([1.0, 2.0, 3.0])
+    idx, score = BranchAndBound._fractionality(x, np.arange(3))
+    assert idx == -1
+    assert score == 0.0
+    idx, _ = BranchAndBound._fractionality(x, np.array([], dtype=int))
+    assert idx == -1
+
+
+def test_solution_carries_raw_vector():
+    lp = knapsack([5, 4, 3], [2, 3, 1], 5)
+    solution = solve_milp(lp)
+    assert solution.x is not None
+    assert solution.names == ["x0", "x1", "x2"]
+    # The lazy dict view agrees with the vector.
+    assert solution.values == {
+        name: pytest.approx(v)
+        for name, v in zip(solution.names, solution.x)
+    }
+
+
+def test_engine_limit_subtree_not_claimed_optimal():
+    """A relaxation hitting the LP engine's own limit is an *unresolved*
+    subtree: the solve must not prune it and still report OPTIMAL."""
+    lp = knapsack([5, 4, 3], [2, 3, 1], 5)
+
+    class Limited(BranchAndBound):
+        def _make_relaxation_solver(self, arrays):
+            inner = super()._make_relaxation_solver(arrays)
+            calls = {"n": 0}
+
+            def solver(lb, ub, warm):
+                calls["n"] += 1
+                if calls["n"] > 1:  # every non-root relaxation "times out"
+                    from repro.solver.solution import Solution
+
+                    return Solution(status=SolveStatus.LIMIT)
+                return inner(lb, ub, warm)
+
+            return solver
+
+    solution = Limited(reduced_cost_fixing=False).solve(lp)
+    # The root rounding heuristic may find an incumbent, but with every
+    # subtree unresolved the solver must not claim proven optimality.
+    assert solution.status is not SolveStatus.OPTIMAL
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"dive": False},
+        {"reduced_cost_fixing": False},
+        {"warm_start": False},
+        {"lp_engine": "simplex", "warm_start": True},
+    ],
+)
+def test_knobs_preserve_optimum(kwargs):
+    rng = np.random.default_rng(21)
+    lp = knapsack(
+        rng.integers(1, 30, size=12).tolist(),
+        rng.integers(1, 12, size=12).tolist(),
+        25,
+    )
+    reference = solve_milp_scipy(lp)
+    solution = BranchAndBound(**kwargs).solve(lp)
+    assert solution.status is SolveStatus.OPTIMAL
+    assert solution.objective == pytest.approx(reference.objective, abs=1e-6)

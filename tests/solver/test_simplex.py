@@ -124,3 +124,37 @@ def test_solution_is_feasible_vertex():
     lp.add_constraint({x: 1.0, y: 3.0}, "<=", 9.0)
     solution = solve_lp(lp)
     assert lp.is_feasible(solution.values)
+
+
+def test_warm_basis_reuse_skips_phase_one():
+    """A parent basis re-solves a child (tightened bounds) in few pivots."""
+    lp = LinearProgram()
+    x = lp.add_variable("x", ub=5.0, objective=-3.0)
+    y = lp.add_variable("y", ub=5.0, objective=-2.0)
+    lp.add_constraint({x: 2.0, y: 1.0}, "<=", 8.0)
+    lp.add_constraint({x: 1.0, y: 3.0}, "<=", 9.0)
+    parent = solve_lp(lp)
+    assert parent.basis is not None
+
+    # Child: tighten x's upper bound (same standard-form structure).
+    arrays = lp.to_arrays()
+    child_arrays = arrays.with_bounds(arrays.lb.copy(), arrays.ub.copy())
+    child_arrays.ub[0] = 2.0
+    warm = solve_lp(child_arrays, warm_basis=parent.basis)
+    cold = solve_lp(child_arrays)
+    assert warm.status is SolveStatus.OPTIMAL
+    assert warm.objective == pytest.approx(cold.objective, abs=1e-9)
+    assert warm.iterations <= cold.iterations
+
+
+def test_warm_basis_stale_falls_back():
+    """A nonsense basis must not break correctness (cold-path fallback)."""
+    import numpy as np
+
+    lp = LinearProgram()
+    x = lp.add_variable("x", ub=5.0, objective=-1.0)
+    lp.add_constraint({x: 1.0}, "<=", 3.0)
+    cold = solve_lp(lp)
+    warm = solve_lp(lp.to_arrays(), warm_basis=np.array([999], dtype=int))
+    assert warm.status is SolveStatus.OPTIMAL
+    assert warm.objective == pytest.approx(cold.objective, abs=1e-9)
