@@ -46,7 +46,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 def _partition_and_report(args, graph, source_data, source_rates,
                           fanin: float = 1.0) -> int:
     platform = get_platform(args.platform)
-    profile = Profiler(track_peak=False).profile(
+    profile = Profiler(track_peak=False, batch=True).profile(
         graph, source_data, source_rates, platform
     )
     wishbone = Wishbone(

@@ -87,6 +87,96 @@ def power_spectrum(frame: np.ndarray, fft_size: int) -> tuple[
     return power, cost
 
 
+def preemphasis_batch(
+    frames: np.ndarray, coefficient: float = 0.97
+) -> tuple[np.ndarray, KernelCost]:
+    """Vectorized :func:`preemphasis` over a (n_frames, n) frame matrix.
+
+    The cost bill is exactly ``n_frames`` scalar invocations.
+    """
+    x = frames.astype(np.float32)
+    out = np.empty_like(x)
+    out[:, 0] = x[:, 0]
+    out[:, 1:] = x[:, 1:] - coefficient * x[:, :-1]
+    k, n = frames.shape
+    return out, KernelCost(float_ops=2.0 * n * k, mem_ops=2.0 * n * k,
+                           loop_iterations=float(n * k))
+
+
+def power_spectrum_batch(
+    frames: np.ndarray, fft_size: int
+) -> tuple[np.ndarray, KernelCost]:
+    """Vectorized :func:`power_spectrum` over a (n_frames, n) frame matrix."""
+    if fft_size & (fft_size - 1):
+        raise ValueError("fft_size must be a power of two")
+    k, n = frames.shape
+    padded = np.zeros((k, fft_size), dtype=np.float32)
+    padded[:, :n] = frames
+    spectrum = np.fft.rfft(padded.astype(np.float64), axis=1)
+    power = (spectrum.real**2 + spectrum.imag**2).astype(np.float32)
+    bins = fft_size // 2 + 1
+    log2n = math.log2(fft_size)
+    cost = KernelCost(
+        float_ops=(5.0 * fft_size * log2n + 3.0 * bins) * k,
+        mem_ops=2.0 * fft_size * log2n * k,
+        loop_iterations=fft_size * log2n / 2.0 * k,
+    )
+    return power, cost
+
+
+def apply_filterbank_batch(
+    power: np.ndarray, bank: np.ndarray
+) -> tuple[np.ndarray, KernelCost]:
+    """Vectorized :func:`apply_filterbank` over a (n_frames, bins) matrix."""
+    out = (power.astype(np.float64) @ bank.T).astype(np.float32)
+    k = power.shape[0]
+    nnz = int(np.count_nonzero(bank))
+    cost = KernelCost(
+        float_ops=2.0 * nnz * k,
+        mem_ops=2.0 * nnz * k,
+        loop_iterations=float(nnz * k),
+    )
+    return out, cost
+
+
+def log_energies_batch(
+    values: np.ndarray, floor: float = 1e-10
+) -> tuple[np.ndarray, KernelCost]:
+    """Vectorized :func:`log_energies` over a (n_frames, bands) matrix."""
+    out = np.log(np.maximum(values.astype(np.float64), floor)).astype(
+        np.float32
+    )
+    k, n = values.shape
+    return out, KernelCost(trans_ops=float(n * k), float_ops=float(n * k),
+                           mem_ops=float(n * k),
+                           loop_iterations=float(n * k))
+
+
+def dct_ii_batch(
+    values: np.ndarray, n_coefficients: int
+) -> tuple[np.ndarray, KernelCost]:
+    """Vectorized :func:`dct_ii_on_the_fly` over a (n_frames, n) matrix.
+
+    The cosine basis is evaluated once per chunk on the host, but the
+    *billed* work stays one transcendental call per term per frame — the
+    embedded implementation has no basis table (see
+    :func:`dct_ii_on_the_fly`).
+    """
+    k_frames, n = values.shape
+    k = np.arange(n_coefficients)[:, None]
+    i = np.arange(n)[None, :]
+    basis = np.cos(np.pi * k * (2 * i + 1) / (2.0 * n))
+    out = (values.astype(np.float64) @ basis.T).astype(np.float32)
+    terms = n_coefficients * n
+    cost = KernelCost(
+        trans_ops=float(terms) * k_frames,
+        float_ops=(2.0 * terms + n_coefficients) * k_frames,
+        mem_ops=float(terms) * k_frames,
+        loop_iterations=float(terms) * k_frames,
+    )
+    return out, cost
+
+
 def mel_scale(hz: float) -> float:
     """Hertz -> mel (O'Shaughnessy)."""
     return 2595.0 * math.log10(1.0 + hz / 700.0)

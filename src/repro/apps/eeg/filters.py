@@ -19,7 +19,13 @@ import numpy as np
 
 from ...dataflow.builder import GraphBuilder, Stream
 from ...dataflow.graph import OperatorContext
-from ...dataflow.operators import fir_filter_block, get_even, get_odd
+from ...dataflow.operators import (
+    as_block_matrix,
+    fir_filter_block,
+    get_even,
+    get_odd,
+    paired_pops,
+)
 
 #: Daubechies-4 scaling (low-pass) filter, 8 taps.
 _DB4_LOW = np.array(
@@ -76,7 +82,32 @@ def _add_and_quantize(
             total = a[:n] + b[:n]
             ctx.emit(np.clip(total, -32768, 32767).astype(np.int16))
 
-    return builder.merge(name, [left, right], work, make_state=make_state)
+    def work_batch(ctx: OperatorContext, port: int, values: Any) -> Any:
+        pairs = paired_pops(ctx.state, port, values)
+        if not pairs:
+            return None
+        a_rows = [np.asarray(a, dtype=np.float64) for a, _ in pairs]
+        b_rows = [np.asarray(b, dtype=np.float64) for _, b in pairs]
+        lens = {len(a) for a in a_rows} | {len(b) for b in b_rows}
+        if len(lens) == 1:
+            total = np.stack(a_rows) + np.stack(b_rows)
+            n = total.shape[1]
+            ctx.count(float_ops=2.0 * n * len(pairs),
+                      mem_ops=2.0 * n * len(pairs),
+                      loop_iterations=float(n) * len(pairs))
+            return np.clip(total, -32768, 32767).astype(np.int16)
+        outs = []
+        for a, b in zip(a_rows, b_rows):
+            n = min(len(a), len(b))
+            ctx.count(float_ops=2.0 * n, mem_ops=2.0 * n,
+                      loop_iterations=float(n))
+            outs.append(
+                np.clip(a[:n] + b[:n], -32768, 32767).astype(np.int16)
+            )
+        return outs
+
+    return builder.merge(name, [left, right], work, make_state=make_state,
+                         work_batch=work_batch)
 
 
 def _polyphase_stage(
@@ -126,7 +157,26 @@ def mag_with_scale(
                   loop_iterations=float(n))
         ctx.emit((np.abs(block) * gain).astype(np.float32))
 
-    return builder.iterate(name, stream, work)
+    def work_batch(ctx: OperatorContext, port: int, values: Any) -> Any:
+        mat = as_block_matrix(values)
+        if mat is None:
+            return [
+                _mag_one(ctx, np.asarray(b, dtype=np.float32))
+                for b in values
+            ]
+        mat = np.asarray(mat, dtype=np.float32)
+        samples = mat.shape[0] * mat.shape[1]
+        ctx.count(float_ops=2.0 * samples, mem_ops=float(samples),
+                  loop_iterations=float(samples))
+        return (np.abs(mat) * gain).astype(np.float32)
+
+    def _mag_one(ctx: OperatorContext, block: np.ndarray) -> np.ndarray:
+        n = len(block)
+        ctx.count(float_ops=2.0 * n, mem_ops=float(n),
+                  loop_iterations=float(n))
+        return (np.abs(block) * gain).astype(np.float32)
+
+    return builder.iterate(name, stream, work, work_batch=work_batch)
 
 
 def energy_window(
@@ -156,8 +206,40 @@ def energy_window(
                 state["acc"] = 0.0
                 state["count"] = 0
 
+    def work_batch(ctx: OperatorContext, port: int, values: Any) -> Any:
+        mat = as_block_matrix(values)
+        if mat is not None:
+            flat = np.asarray(mat, dtype=np.float64).reshape(-1)
+        else:
+            flat = np.concatenate(
+                [np.asarray(b, dtype=np.float64).reshape(-1) for b in values]
+            )
+        state = ctx.state
+        m = len(flat)
+        ctx.count(float_ops=2.0 * m, mem_ops=float(m),
+                  loop_iterations=float(m))
+        squares = flat * flat
+        count = state["count"]
+        complete = (count + m) // window_samples
+        if not complete:
+            state["acc"] += float(squares.sum())
+            state["count"] = count + m
+            return None
+        first_end = window_samples - count
+        starts = first_end + window_samples * np.arange(complete)
+        remainder = (count + m) % window_samples
+        # reduceat segment starts: the head segment plus each full window.
+        seg_starts = np.concatenate(([0], starts[:-1])) \
+            if remainder == 0 else np.concatenate(([0], starts))
+        sums = np.add.reduceat(squares, seg_starts)
+        energies = sums[:complete].copy()
+        energies[0] += state["acc"]
+        state["acc"] = float(sums[complete]) if remainder else 0.0
+        state["count"] = remainder
+        return energies
+
     return builder.iterate(name, stream, work, make_state=make_state,
-                           output_size=4)
+                           output_size=4, work_batch=work_batch)
 
 
 def to_float(builder: GraphBuilder, name: str, stream: Stream) -> Stream:
@@ -169,7 +251,20 @@ def to_float(builder: GraphBuilder, name: str, stream: Stream) -> Stream:
                   loop_iterations=float(len(block)))
         ctx.emit(block.astype(np.float32))
 
-    return builder.iterate(name, stream, work)
+    def work_batch(ctx: OperatorContext, port: int, values: Any) -> Any:
+        mat = as_block_matrix(values)
+        if mat is None:
+            blocks = [np.asarray(b) for b in values]
+            samples = sum(len(b) for b in blocks)
+            ctx.count(float_ops=float(samples), mem_ops=float(samples),
+                      loop_iterations=float(samples))
+            return [b.astype(np.float32) for b in blocks]
+        samples = mat.shape[0] * mat.shape[1]
+        ctx.count(float_ops=float(samples), mem_ops=float(samples),
+                  loop_iterations=float(samples))
+        return mat.astype(np.float32)
+
+    return builder.iterate(name, stream, work, work_batch=work_batch)
 
 
 def dc_remove(builder: GraphBuilder, name: str, stream: Stream) -> Stream:
@@ -183,4 +278,23 @@ def dc_remove(builder: GraphBuilder, name: str, stream: Stream) -> Stream:
         centered = block - block.mean()
         ctx.emit(np.clip(centered, -32768, 32767).astype(np.int16))
 
-    return builder.iterate(name, stream, work)
+    def work_batch(ctx: OperatorContext, port: int, values: Any) -> Any:
+        mat = as_block_matrix(values)
+        if mat is None:
+            return [_dc_one(ctx, b) for b in values]
+        mat = np.asarray(mat, dtype=np.float64)
+        samples = mat.shape[0] * mat.shape[1]
+        ctx.count(float_ops=2.0 * samples, mem_ops=float(samples),
+                  loop_iterations=float(samples))
+        centered = mat - mat.mean(axis=1, keepdims=True)
+        return np.clip(centered, -32768, 32767).astype(np.int16)
+
+    def _dc_one(ctx: OperatorContext, item: Any) -> np.ndarray:
+        block = np.asarray(item, dtype=np.float64)
+        n = len(block)
+        ctx.count(float_ops=2.0 * n, mem_ops=float(n),
+                  loop_iterations=float(n))
+        centered = block - block.mean()
+        return np.clip(centered, -32768, 32767).astype(np.int16)
+
+    return builder.iterate(name, stream, work, work_batch=work_batch)

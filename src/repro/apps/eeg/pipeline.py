@@ -112,7 +112,18 @@ def build_eeg_pipeline(
                       loop_iterations=float(len(features)))
             ctx.emit(score > 0.0)
 
-        decisions = builder.iterate("svm", vector, svm_work, output_size=1)
+        def svm_batch(ctx: OperatorContext, port: int, values: Any) -> Any:
+            features = np.stack([_flatten_features(v) for v in values])
+            z = (features - mean) / std
+            scores = z @ svm_weights + svm_bias
+            k, width = features.shape
+            ctx.count(float_ops=float(3 * width + 1) * k,
+                      mem_ops=float(2 * width) * k,
+                      loop_iterations=float(width) * k)
+            return [bool(score > 0.0) for score in scores]
+
+        decisions = builder.iterate("svm", vector, svm_work, output_size=1,
+                                    work_batch=svm_batch)
 
     def onset_work(ctx: OperatorContext, port: int, item: Any) -> None:
         state = ctx.state

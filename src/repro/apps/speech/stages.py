@@ -10,6 +10,11 @@ an embedded implementation would spend, so the profiler can cost the
 pipeline on every platform.  Frame geometry matches the paper: 200
 samples (400 bytes) in, 32 filterbank bands (128 bytes), 13 cepstral
 coefficients (52 bytes) out.
+
+Every stage also carries a batched work form operating on a whole
+(n_frames, width) chunk at once — the frame geometry is fixed, so chunks
+stay columnar end to end and the per-frame numpy dispatch cost is paid
+once per chunk instead of once per frame.
 """
 
 from __future__ import annotations
@@ -20,14 +25,20 @@ import numpy as np
 
 from ...dataflow.builder import GraphBuilder, Stream
 from ...dataflow.graph import OperatorContext
+from ...dataflow.operators import as_block_matrix
 from ..dsp import (
     apply_filterbank,
+    apply_filterbank_batch,
+    dct_ii_batch,
     dct_ii_on_the_fly,
     hamming_window,
     log_energies,
+    log_energies_batch,
     mel_filterbank,
     power_spectrum,
+    power_spectrum_batch,
     preemphasis,
+    preemphasis_batch,
 )
 from .audio import FRAME_SAMPLES, SAMPLE_RATE
 
@@ -46,15 +57,47 @@ def add_source(builder: GraphBuilder) -> Stream:
     return builder.source("source", output_size=FRAME_SAMPLES * 2)
 
 
+def _batched(kernel_batch, kernel_scalar, finalize=None):
+    """Build a work_batch from a 2-D batch kernel with a scalar fallback.
+
+    ``finalize`` post-processes the kernel output (e.g. requantization);
+    it must be row-wise so batch and scalar agree element by element.
+    """
+
+    def work_batch(ctx: OperatorContext, port: int, values: Any) -> Any:
+        mat = as_block_matrix(values)
+        if mat is not None:
+            out, cost = kernel_batch(mat)
+            ctx.count(**cost.as_kwargs())
+            return finalize(out) if finalize is not None else out
+        outs = []
+        for item in values:
+            out, cost = kernel_scalar(np.asarray(item))
+            ctx.count(**cost.as_kwargs())
+            outs.append(finalize(out) if finalize is not None else out)
+        return outs
+
+    return work_batch
+
+
 def add_preemph(builder: GraphBuilder, stream: Stream) -> Stream:
     """Pre-emphasis; output stays 16-bit to keep the stream width flat."""
+
+    def _quantize(out: np.ndarray) -> np.ndarray:
+        return np.clip(out, -32768, 32767).astype(np.int16)
 
     def work(ctx: OperatorContext, port: int, item: Any) -> None:
         out, cost = preemphasis(np.asarray(item), PREEMPH_COEFF)
         ctx.count(**cost.as_kwargs())
-        ctx.emit(np.clip(out, -32768, 32767).astype(np.int16))
+        ctx.emit(_quantize(out))
 
-    return builder.iterate("preemph", stream, work)
+    work_batch = _batched(
+        lambda mat: preemphasis_batch(mat, PREEMPH_COEFF),
+        lambda frame: preemphasis(frame, PREEMPH_COEFF),
+        finalize=_quantize,
+    )
+
+    return builder.iterate("preemph", stream, work, work_batch=work_batch)
 
 
 def add_hamming(builder: GraphBuilder, stream: Stream) -> Stream:
@@ -68,7 +111,24 @@ def add_hamming(builder: GraphBuilder, stream: Stream) -> Stream:
                   loop_iterations=float(n))
         ctx.emit((frame * window[:n]).astype(np.float32))
 
-    return builder.iterate("hamming", stream, work)
+    def work_batch(ctx: OperatorContext, port: int, values: Any) -> Any:
+        mat = as_block_matrix(values)
+        if mat is None:
+            outs = []
+            for item in values:
+                frame = np.asarray(item, dtype=np.float32)
+                n = len(frame)
+                ctx.count(float_ops=float(n), mem_ops=2.0 * n,
+                          loop_iterations=float(n))
+                outs.append((frame * window[:n]).astype(np.float32))
+            return outs
+        frames = mat.astype(np.float32)
+        k, n = frames.shape
+        ctx.count(float_ops=float(n * k), mem_ops=2.0 * n * k,
+                  loop_iterations=float(n * k))
+        return (frames * window[:n]).astype(np.float32)
+
+    return builder.iterate("hamming", stream, work, work_batch=work_batch)
 
 
 def add_prefilt(builder: GraphBuilder, stream: Stream) -> Stream:
@@ -84,7 +144,28 @@ def add_prefilt(builder: GraphBuilder, stream: Stream) -> Stream:
                   loop_iterations=float(n))
         ctx.emit(padded)
 
-    return builder.iterate("prefilt", stream, work)
+    def work_batch(ctx: OperatorContext, port: int, values: Any) -> Any:
+        mat = as_block_matrix(values)
+        if mat is None:
+            outs = []
+            for item in values:
+                frame = np.asarray(item, dtype=np.float32)
+                n = len(frame)
+                padded = np.zeros(FFT_SIZE, dtype=np.float32)
+                padded[:n] = frame - float(frame.mean())
+                ctx.count(float_ops=2.0 * n, mem_ops=float(n + FFT_SIZE),
+                          loop_iterations=float(n))
+                outs.append(padded)
+            return outs
+        frames = mat.astype(np.float32)
+        k, n = frames.shape
+        padded = np.zeros((k, FFT_SIZE), dtype=np.float32)
+        padded[:, :n] = frames - frames.mean(axis=1, keepdims=True)
+        ctx.count(float_ops=2.0 * n * k, mem_ops=float((n + FFT_SIZE) * k),
+                  loop_iterations=float(n * k))
+        return padded
+
+    return builder.iterate("prefilt", stream, work, work_batch=work_batch)
 
 
 def add_fft(builder: GraphBuilder, stream: Stream) -> Stream:
@@ -95,7 +176,12 @@ def add_fft(builder: GraphBuilder, stream: Stream) -> Stream:
         ctx.count(**cost.as_kwargs())
         ctx.emit(power)
 
-    return builder.iterate("fft", stream, work)
+    work_batch = _batched(
+        lambda mat: power_spectrum_batch(mat, FFT_SIZE),
+        lambda frame: power_spectrum(frame, FFT_SIZE),
+    )
+
+    return builder.iterate("fft", stream, work, work_batch=work_batch)
 
 
 def add_filtbank(builder: GraphBuilder, stream: Stream) -> Stream:
@@ -107,7 +193,12 @@ def add_filtbank(builder: GraphBuilder, stream: Stream) -> Stream:
         ctx.count(**cost.as_kwargs())
         ctx.emit(energies)
 
-    return builder.iterate("filtbank", stream, work)
+    work_batch = _batched(
+        lambda mat: apply_filterbank_batch(mat, bank),
+        lambda power: apply_filterbank(power, bank),
+    )
+
+    return builder.iterate("filtbank", stream, work, work_batch=work_batch)
 
 
 def add_logs(builder: GraphBuilder, stream: Stream) -> Stream:
@@ -119,7 +210,9 @@ def add_logs(builder: GraphBuilder, stream: Stream) -> Stream:
         ctx.count(**cost.as_kwargs())
         ctx.emit(logs)
 
-    return builder.iterate("logs", stream, work)
+    work_batch = _batched(log_energies_batch, log_energies)
+
+    return builder.iterate("logs", stream, work, work_batch=work_batch)
 
 
 def add_cepstrals(builder: GraphBuilder, stream: Stream) -> Stream:
@@ -130,4 +223,9 @@ def add_cepstrals(builder: GraphBuilder, stream: Stream) -> Stream:
         ctx.count(**cost.as_kwargs())
         ctx.emit(mfcc)
 
-    return builder.iterate("cepstrals", stream, work)
+    work_batch = _batched(
+        lambda mat: dct_ii_batch(mat, N_CEPSTRA),
+        lambda values: dct_ii_on_the_fly(values, N_CEPSTRA),
+    )
+
+    return builder.iterate("cepstrals", stream, work, work_batch=work_batch)

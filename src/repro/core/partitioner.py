@@ -172,14 +172,19 @@ class Wishbone:
             return build_restricted_ilp(problem)
         return build_general_ilp(problem)
 
-    def solve_arrays(self, program) -> Solution:
-        """Run the configured MILP backend on a program or raw arrays."""
+    def solve_arrays(self, program, relaxation=None) -> Solution:
+        """Run the configured MILP backend on a program or raw arrays.
+
+        ``relaxation`` is an optional persistent HiGHS engine shared
+        across calls (see :meth:`BranchAndBound.solve`); rate searches use
+        it to carry the root LP basis from probe to probe.
+        """
         if self.solver is SolverBackend.BRANCH_AND_BOUND:
             return BranchAndBound(
                 lp_engine=self.lp_engine,
                 time_limit=self.time_limit,
                 gap_tolerance=self.gap_tolerance,
-            ).solve(program)
+            ).solve(program, relaxation=relaxation)
         return solve_milp_scipy(program, time_limit=self.time_limit)
 
     def prepare_probe(self, profile: GraphProfile) -> ScaledProbe:

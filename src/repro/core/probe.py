@@ -92,6 +92,12 @@ class ScaledProbe:
             np.all(self._base_b_ub[structural] == 0.0)
             and (self._arrays.b_eq.size == 0 or np.all(self._arrays.b_eq == 0.0))
         )
+        # Persistent HiGHS relaxation shared across probes: each probe only
+        # rescales c and the budget rhs, so the model is edited in place
+        # and the root LP basis carries over from probe to probe (the first
+        # ROADMAP open solver item).  Built lazily on the first probe;
+        # ``False`` marks "unavailable, stop trying".
+        self._relaxation: object | None | bool = None
 
     # -- probing -----------------------------------------------------------
 
@@ -103,6 +109,37 @@ class ScaledProbe:
             b_ub
         )
 
+    def _shared_relaxation(self, arrays):
+        """The persistent cross-probe HiGHS engine, synced to ``arrays``.
+
+        Returns ``None`` when the partitioner configuration cannot use it
+        (non-B&B backend, tableau engine) or the private HiGHS bindings
+        are unavailable — probes then solve exactly as before.
+        """
+        from ..solver.scipy_backend import make_highs_relaxation
+        from .partitioner import SolverBackend
+
+        partitioner = self.partitioner
+        if (
+            partitioner.solver is not SolverBackend.BRANCH_AND_BOUND
+            or partitioner.lp_engine != "scipy"
+        ):
+            return None
+        if self._relaxation is False:
+            return None
+        if self._relaxation is None:
+            self._relaxation = make_highs_relaxation(arrays)
+            if self._relaxation is None:
+                self._relaxation = False
+                return None
+            return self._relaxation
+        try:
+            self._relaxation.update_problem(c=arrays.c, b_ub=arrays.b_ub)
+        except Exception:
+            self._relaxation = False
+            return None
+        return self._relaxation
+
     def partition(self, factor: float) -> "PartitionResult":
         """Partition at ``factor`` times the profiled rate; raises on
         infeasibility (mirrors :meth:`Wishbone.partition`)."""
@@ -113,10 +150,11 @@ class ScaledProbe:
 
         prep_start = time.perf_counter()
         arrays = self._arrays_at(factor)
+        relaxation = self._shared_relaxation(arrays)
         build_seconds = time.perf_counter() - prep_start
 
         solve_start = time.perf_counter()
-        solution = self.partitioner.solve_arrays(arrays)
+        solution = self.partitioner.solve_arrays(arrays, relaxation=relaxation)
         solve_seconds = time.perf_counter() - solve_start
         return self.partitioner.package_result(
             self.profile.graph,

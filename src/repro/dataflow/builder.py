@@ -15,6 +15,7 @@ from collections.abc import Callable, Iterator
 from typing import Any
 
 from .graph import (
+    BatchWorkFunction,
     Namespace,
     Operator,
     OperatorContext,
@@ -83,6 +84,7 @@ class GraphBuilder:
         output_size: int | None = None,
         loss_tolerant: bool = False,
         aggregate: bool = False,
+        work_batch: BatchWorkFunction | None = None,
     ) -> Stream:
         name = self._unique(base_name)
         op = Operator(
@@ -96,6 +98,7 @@ class GraphBuilder:
             output_size=output_size,
             loss_tolerant=loss_tolerant,
             aggregate=aggregate,
+            work_batch=work_batch,
         )
         self.graph.add_operator(op)
         for port, stream in enumerate(inputs):
@@ -139,6 +142,7 @@ class GraphBuilder:
         side_effects: bool = False,
         output_size: int | None = None,
         loss_tolerant: bool = False,
+        work_batch: BatchWorkFunction | None = None,
     ) -> Stream:
         """The WaveScript ``iterate`` form: one input, one output stream."""
         return self._add(
@@ -149,6 +153,7 @@ class GraphBuilder:
             side_effects=side_effects,
             output_size=output_size,
             loss_tolerant=loss_tolerant,
+            work_batch=work_batch,
         )
 
     def fmap(
@@ -194,6 +199,7 @@ class GraphBuilder:
         make_state: Callable[[], Any] | None = None,
         output_size: int | None = None,
         loss_tolerant: bool = False,
+        work_batch: BatchWorkFunction | None = None,
     ) -> Stream:
         """A multi-input operator; items arrive tagged with their port."""
         if not streams:
@@ -205,6 +211,7 @@ class GraphBuilder:
             make_state=make_state,
             output_size=output_size,
             loss_tolerant=loss_tolerant,
+            work_batch=work_batch,
         )
 
     def reduce(
@@ -254,6 +261,9 @@ class GraphBuilder:
         def work(ctx: OperatorContext, port: int, item: Any) -> None:
             ctx.state.append(item)
 
+        def work_batch(ctx: OperatorContext, port: int, values: Any) -> None:
+            ctx.state.extend(values)
+
         return self._add(
             name,
             work=work,
@@ -261,6 +271,7 @@ class GraphBuilder:
             make_state=list,
             side_effects=True,
             is_sink=True,
+            work_batch=work_batch,
         )
 
     # -- finish -----------------------------------------------------------

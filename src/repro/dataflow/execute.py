@@ -9,12 +9,27 @@ The executor doubles as the measurement half of the profiler: it records,
 per operator, invocation/input/output counts and primitive work, and per
 edge, element counts and serialized bytes.  Platform cost models then turn
 those counts into seconds (``repro.profiler``).
+
+Two dispatch modes share one set of statistics:
+
+* **scalar** (``push``) — one Python call per element per operator, the
+  paper-faithful depth-first traversal;
+* **batched** (``push_batch``) — whole chunks of elements travel each edge
+  as columnar numpy batches; operators with a ``work_batch`` form process
+  the chunk in one vectorized call, everything else transparently falls
+  back to per-element dispatch *within* the chunk.
+
+Batched execution preserves every per-stream element order (and therefore
+all operator state evolution and aggregate statistics), but interleaves
+*different* sources at chunk rather than element granularity.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator
+
+import numpy as np
 
 from .graph import Edge, GraphError, Operator, OperatorContext, StreamGraph, WorkCounts
 from .sizing import element_size
@@ -52,16 +67,32 @@ class ExecutionStats:
         }
         #: total elements pushed into each source
         self.source_inputs: dict[str, int] = {name: 0 for name in graph.sources}
+        # Per-operator out-edge stats, resolved once: ``output_bytes`` is
+        # called per operator per profile, and rebuilding the candidate
+        # list by scanning every edge each call was quadratic in practice.
+        self._out_stats_of: dict[str, list[EdgeStats]] = {
+            name: [
+                self.edge_traffic[edge] for edge in graph.out_edges(name)
+            ]
+            for name in graph.operators
+        }
 
     def output_bytes(self, name: str) -> int:
         """Total serialized bytes emitted by operator ``name``."""
-        sizes = [
-            stats.bytes
-            for edge, stats in self.edge_traffic.items()
-            if edge.src == name
-        ]
         # All out-edges carry the same stream; report one copy.
-        return max(sizes, default=0)
+        return max(
+            (stats.bytes for stats in self._out_stats_of[name]), default=0
+        )
+
+
+def batch_length(values: Any) -> int:
+    """Number of elements in a batch (first-axis length)."""
+    return len(values)
+
+
+def batch_items(values: Any) -> Iterator[Any]:
+    """Iterate the elements of a batch (rows of a columnar chunk)."""
+    return iter(values)
 
 
 class Executor:
@@ -74,19 +105,26 @@ class Executor:
             name: op.new_state() for name, op in graph.operators.items()
         }
         # Per-operator delivery caches: the declared output size and the
-        # (edge-stats, destination, port) triples of every out-edge.  These
-        # are constants of the graph; resolving them per delivered element
-        # used to be a measurable share of profiling-run time.
+        # (edge, edge-stats, destination, port) tuples of every out-edge.
+        # These are constants of the graph; resolving them per delivered
+        # element used to be a measurable share of profiling-run time.
         self._declared_size: dict[str, int | None] = {
             name: op.output_size for name, op in graph.operators.items()
         }
-        self._out_stats: dict[str, list[tuple[EdgeStats, str, int]]] = {
+        self._out_stats: dict[str, list[tuple[Edge, EdgeStats, str, int]]] = {
             name: [
-                (self.stats.edge_traffic[edge], edge.dst, edge.dst_port)
+                (edge, self.stats.edge_traffic[edge], edge.dst, edge.dst_port)
                 for edge in graph.out_edges(name)
             ]
             for name in graph.operators
         }
+        # Touch tracking (event-driven peak profiling): when enabled, the
+        # executor records which edges carried traffic and which operators
+        # ran since the last ``drain_touched`` — the profiler then computes
+        # per-bucket deltas over *touched* items only instead of rescanning
+        # the whole graph after every element.
+        self._touched_edges: set[Edge] | None = None
+        self._touched_ops: set[str] | None = None
 
     def state_of(self, name: str) -> Any:
         """The private state object of operator ``name`` (tests/sinks)."""
@@ -98,6 +136,22 @@ class Executor:
         if not op.is_sink:
             raise GraphError(f"{name!r} is not a sink")
         return list(self._state[name])
+
+    # -- touch tracking ------------------------------------------------------
+
+    def start_touch_tracking(self) -> None:
+        """Begin recording which edges/operators are touched by pushes."""
+        self._touched_edges = set()
+        self._touched_ops = set()
+
+    def drain_touched(self) -> tuple[set[Edge], set[str]]:
+        """Return and reset the touched sets accumulated since the last call."""
+        edges, ops = self._touched_edges, self._touched_ops
+        if edges is None or ops is None:
+            raise GraphError("touch tracking is not enabled")
+        self._touched_edges = set()
+        self._touched_ops = set()
+        return edges, ops
 
     # -- driving ----------------------------------------------------------
 
@@ -111,11 +165,37 @@ class Executor:
         source_stats.invocations += 1
         source_stats.outputs += 1
         source_stats.counts.add(invocations=1.0)
+        if self._touched_ops is not None:
+            self._touched_ops.add(source)
         self._deliver(source, item)
 
     def push_many(self, source: str, items: list[Any]) -> None:
         for item in items:
             self.push(source, item)
+
+    def push_batch(self, source: str, values: Any) -> None:
+        """Inject a whole batch of elements into a source operator.
+
+        ``values`` follows the batch convention of
+        :data:`~repro.dataflow.graph.BatchWorkFunction`: a sequence of
+        elements indexed on its first axis.  Statistics are identical to
+        ``n`` scalar :meth:`push` calls; downstream operators with a
+        ``work_batch`` form process the chunk vectorized.
+        """
+        n = batch_length(values)
+        if n == 0:
+            return
+        op = self.graph.operators[source]
+        if not op.is_source:
+            raise GraphError(f"{source!r} is not a source operator")
+        self.stats.source_inputs[source] += n
+        source_stats = self.stats.operators[source]
+        source_stats.invocations += n
+        source_stats.outputs += n
+        source_stats.counts.add(invocations=float(n))
+        if self._touched_ops is not None:
+            self._touched_ops.add(source)
+        self._deliver_batch(source, values)
 
     # -- internals ----------------------------------------------------------
 
@@ -127,11 +207,14 @@ class Executor:
         size = self._declared_size[src]
         if size is None:
             size = element_size(value)
-        for stats, dst, dst_port in out:
+        touched = self._touched_edges
+        for edge, stats, dst, dst_port in out:
             stats.elements += 1
             stats.bytes += size
             if size > stats.peak_element_bytes:
                 stats.peak_element_bytes = size
+            if touched is not None:
+                touched.add(edge)
             self._invoke(dst, dst_port, value)
 
     def _invoke(self, name: str, port: int, item: Any) -> None:
@@ -140,6 +223,8 @@ class Executor:
         stats.invocations += 1
         stats.inputs += 1
         stats.counts.add(invocations=1.0)
+        if self._touched_ops is not None:
+            self._touched_ops.add(name)
 
         emitted: list[Any] = []
         ctx = OperatorContext(self._state[name], emitted.append, stats.counts)
@@ -149,33 +234,241 @@ class Executor:
         for value in emitted:
             self._deliver(name, value)
 
+    def _batch_sizes(self, values: Any) -> tuple[int, int]:
+        """(total, peak) serialized bytes of a batch's elements."""
+        if isinstance(values, np.ndarray) and values.dtype != object:
+            n = len(values)
+            if values.ndim == 1:
+                each = element_size(values[0])
+            else:
+                # Rows of a columnar chunk are uniform-size elements.
+                each = int(values[0].nbytes)
+            return each * n, each
+        total = 0
+        peak = 0
+        for value in batch_items(values):
+            size = element_size(value)
+            total += size
+            if size > peak:
+                peak = size
+        return total, peak
+
+    def _deliver_batch(self, src: str, values: Any) -> None:
+        """Send a whole batch down every out-edge of ``src``."""
+        out = self._out_stats[src]
+        if not out:
+            return
+        n = batch_length(values)
+        size = self._declared_size[src]
+        if size is None:
+            total, peak = self._batch_sizes(values)
+        else:
+            total, peak = size * n, size
+        touched = self._touched_edges
+        for edge, stats, dst, dst_port in out:
+            stats.elements += n
+            stats.bytes += total
+            if peak > stats.peak_element_bytes:
+                stats.peak_element_bytes = peak
+            if touched is not None:
+                touched.add(edge)
+            self._invoke_batch(dst, dst_port, values)
+
+    def _invoke_batch(self, name: str, port: int, values: Any) -> None:
+        op: Operator = self.graph.operators[name]
+        stats = self.stats.operators[name]
+        n = batch_length(values)
+        stats.invocations += n
+        stats.inputs += n
+        stats.counts.add(invocations=float(n))
+        if self._touched_ops is not None:
+            self._touched_ops.add(name)
+
+        emitted: list[Any] = []
+        ctx = OperatorContext(self._state[name], emitted.append, stats.counts)
+        outputs: Any = None
+        if op.work_batch is not None:
+            outputs = op.work_batch(ctx, port, values)
+        elif op.work is not None:
+            # Per-element fallback: same state, same counts, outputs
+            # regrouped into one chunk for the rest of the traversal.
+            work = op.work
+            for item in batch_items(values):
+                work(ctx, port, item)
+        if emitted and outputs is not None:
+            outputs = list(emitted) + list(batch_items(outputs))
+        elif outputs is None:
+            outputs = emitted
+        n_out = batch_length(outputs)
+        if not n_out:
+            return
+        stats.outputs += n_out
+        self._deliver_batch(name, outputs)
+
+
+# ---------------------------------------------------------------------------
+# Virtual-time source merging (shared by run_graph and the profiler)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScheduleRun:
+    """A maximal run of consecutive elements of one source.
+
+    ``bucket`` is the virtual-time bucket the run falls in (0 when no
+    bucketing was requested); runs never straddle a bucket boundary.
+    """
+
+    name: str
+    start: int
+    stop: int
+    bucket: int
+
+
+def merge_schedule(
+    lengths: dict[str, int],
+    rates: dict[str, float] | None = None,
+    bucket_seconds: float | None = None,
+    grouped: bool = False,
+) -> list[ScheduleRun]:
+    """Merge per-source traces by virtual time into ordered runs.
+
+    Element ``i`` of source ``s`` carries timestamp ``i / rates[s]`` —
+    the moment a deployment's sensor would produce it.  The merge is the
+    vectorized equivalent of a ``(timestamp, source_order)`` heap: ties
+    go to the source listed first in ``lengths`` (insertion order).
+
+    Args:
+        lengths: ordered map source name -> trace length.
+        rates: per-source element rates; ``None`` means all sources tick
+            in lockstep (rate 1.0), which reproduces the classic
+            element-by-element round-robin interleave.
+        bucket_seconds: when given, runs are split at virtual-time bucket
+            boundaries and annotated with their bucket index.
+        grouped: relax *within-bucket* ordering — emit one run per
+            (bucket, source) instead of strict time order, maximizing run
+            length for batched execution.  Totals and per-bucket
+            aggregates are unaffected (per-source element order is
+            preserved; only cross-source interleaving coarsens).
+    """
+    names = [name for name, n in lengths.items() if n > 0]
+    if not names:
+        return []
+    if rates is None:
+        rates = {name: 1.0 for name in names}
+
+    times_per_source = [
+        np.arange(lengths[name], dtype=float) / rates[name] for name in names
+    ]
+    if bucket_seconds is not None:
+        buckets_per_source = [
+            (t / bucket_seconds).astype(np.int64) for t in times_per_source
+        ]
+    else:
+        buckets_per_source = [
+            np.zeros(len(t), dtype=np.int64) for t in times_per_source
+        ]
+
+    runs: list[ScheduleRun] = []
+    if grouped:
+        # One run per (bucket, source); ordered by bucket then source.
+        keyed: list[tuple[int, int, int, int]] = []
+        for order, (name, buckets) in enumerate(zip(names, buckets_per_source)):
+            boundaries = np.flatnonzero(np.diff(buckets)) + 1
+            starts = np.concatenate(([0], boundaries))
+            stops = np.concatenate((boundaries, [len(buckets)]))
+            for s, e in zip(starts, stops):
+                keyed.append((int(buckets[s]), order, int(s), int(e)))
+        keyed.sort()
+        for bucket, order, s, e in keyed:
+            runs.append(ScheduleRun(names[order], s, e, bucket))
+        return runs
+
+    # Strict merge: exact heap order, computed vectorially.
+    src_ids = np.concatenate(
+        [np.full(len(t), i, dtype=np.int64) for i, t in enumerate(times_per_source)]
+    )
+    indices = np.concatenate(
+        [np.arange(len(t), dtype=np.int64) for t in times_per_source]
+    )
+    times = np.concatenate(times_per_source)
+    buckets = np.concatenate(buckets_per_source)
+    order = np.lexsort((src_ids, times))
+    src_sorted = src_ids[order]
+    idx_sorted = indices[order]
+    bucket_sorted = buckets[order]
+    change = (
+        np.flatnonzero(
+            (np.diff(src_sorted) != 0) | (np.diff(bucket_sorted) != 0)
+        )
+        + 1
+    )
+    starts = np.concatenate(([0], change))
+    stops = np.concatenate((change, [len(order)]))
+    for s, e in zip(starts, stops):
+        src = int(src_sorted[s])
+        runs.append(
+            ScheduleRun(
+                names[src],
+                int(idx_sorted[s]),
+                int(idx_sorted[e - 1]) + 1,
+                int(bucket_sorted[s]),
+            )
+        )
+    return runs
+
 
 def run_graph(
     graph: StreamGraph,
     source_data: dict[str, list[Any]],
     round_robin: bool = True,
+    source_rates: dict[str, float] | None = None,
+    batch: bool = False,
 ) -> Executor:
     """Run a graph to completion on per-source input traces.
 
     With ``round_robin=True`` sources are interleaved element-by-element
     (matching simultaneous sampling of multiple sensors); otherwise each
-    source's trace is drained in full before the next.
+    source's trace is drained in full before the next.  Passing
+    ``source_rates`` interleaves by virtual time instead — the same merge
+    the profiler uses (element ``i`` of source ``s`` arrives at
+    ``i / source_rates[s]``), of which plain round-robin is the
+    equal-rates special case.
+
+    With ``batch=True`` each source's trace is delivered as one columnar
+    chunk via :meth:`Executor.push_batch` — far faster on graphs whose
+    operators carry ``work_batch`` forms; per-source element order (and
+    therefore all statistics) is unchanged, but sources are not
+    interleaved at all, so ``round_robin``/``source_rates`` do not apply
+    (``source_rates`` may not be combined with ``batch=True``; use
+    :class:`~repro.profiler.Profiler` with ``batch=True`` for
+    bucket-aligned rate-aware chunking).
     """
     executor = Executor(graph)
     missing = set(source_data) - set(graph.sources)
     if missing:
         raise GraphError(f"not source operators: {sorted(missing)}")
-    if round_robin:
-        iterators = {name: iter(items) for name, items in source_data.items()}
-        live = dict(iterators)
-        while live:
-            for name in list(live):
-                try:
-                    item = next(live[name])
-                except StopIteration:
-                    del live[name]
-                    continue
-                executor.push(name, item)
+    if source_rates is not None:
+        if batch:
+            raise GraphError(
+                "source_rates cannot be combined with batch=True: batched "
+                "run_graph drains each source's trace as one chunk"
+            )
+        if set(source_rates) != set(source_data):
+            mismatch = set(source_rates) ^ set(source_data)
+            raise GraphError(
+                f"source_rates keys must match source_data: "
+                f"{sorted(mismatch)}"
+            )
+    if batch:
+        for name, items in source_data.items():
+            executor.push_batch(name, items)
+    elif round_robin or source_rates is not None:
+        lengths = {name: len(items) for name, items in source_data.items()}
+        for run in merge_schedule(lengths, source_rates):
+            items = source_data[run.name]
+            for index in range(run.start, run.stop):
+                executor.push(run.name, items[index])
     else:
         for name, items in source_data.items():
             executor.push_many(name, items)

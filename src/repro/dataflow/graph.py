@@ -78,6 +78,27 @@ class WorkCounts:
         self.add(other.int_ops, other.float_ops, other.trans_ops,
                  other.mem_ops, other.invocations, other.loop_iterations)
 
+    def copy(self) -> "WorkCounts":
+        return WorkCounts(
+            int_ops=self.int_ops,
+            float_ops=self.float_ops,
+            trans_ops=self.trans_ops,
+            mem_ops=self.mem_ops,
+            invocations=self.invocations,
+            loop_iterations=self.loop_iterations,
+        )
+
+    def minus(self, other: "WorkCounts") -> "WorkCounts":
+        """Component-wise difference (``self - other``)."""
+        return WorkCounts(
+            int_ops=self.int_ops - other.int_ops,
+            float_ops=self.float_ops - other.float_ops,
+            trans_ops=self.trans_ops - other.trans_ops,
+            mem_ops=self.mem_ops - other.mem_ops,
+            invocations=self.invocations - other.invocations,
+            loop_iterations=self.loop_iterations - other.loop_iterations,
+        )
+
     def scaled(self, factor: float) -> "WorkCounts":
         return WorkCounts(
             int_ops=self.int_ops * factor,
@@ -135,6 +156,19 @@ class OperatorContext:
 #: A work function: ``work(ctx, port, item)``.
 WorkFunction = Callable[[OperatorContext, int, Any], None]
 
+#: A batched work function: ``work_batch(ctx, port, values) -> outputs``.
+#:
+#: ``values`` is a *batch* — a sequence of stream elements indexed on its
+#: first axis: a 1-D ndarray of n scalar elements, a 2-D ndarray of n
+#: fixed-width block elements (columnar chunks), or a plain list.  The
+#: function returns the output batch in the same convention (or ``None``
+#: when nothing is emitted; ``ctx.emit`` may also be used and is merged
+#: in front of the returned batch).  A batch implementation must report
+#: *exactly* the same :class:`WorkCounts` as n scalar invocations and
+#: leave the operator state as the same n scalar calls would — the
+#: executor mixes scalar and batched dispatch freely over one state.
+BatchWorkFunction = Callable[[OperatorContext, int, Any], Any]
+
 
 @dataclass
 class Operator:
@@ -143,6 +177,10 @@ class Operator:
     Args:
         name: unique name within the graph.
         work: the work function, or ``None`` for pure sources.
+        work_batch: optional vectorized form of ``work`` processing a whole
+            batch of elements per call (see :data:`BatchWorkFunction`); the
+            batched executor falls back to per-element ``work`` dispatch
+            for operators without one.
         make_state: factory for private state; a non-``None`` factory marks
             the operator *stateful* (paper Section 2.1.1).
         namespace: logical Node{}/server placement.
@@ -171,6 +209,7 @@ class Operator:
     output_size: int | None = None
     loss_tolerant: bool = False
     aggregate: bool = False
+    work_batch: "BatchWorkFunction | None" = None
 
     @property
     def stateful(self) -> bool:

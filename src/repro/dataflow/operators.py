@@ -4,6 +4,13 @@ These are the library combinators applications are built from — the
 equivalents of the FIRFilter / zipN / windowing helpers in the paper's
 Figure 1.  Each work function reports its primitive work through
 ``ctx.count`` so the profiler can price it on any platform.
+
+Every combinator also installs a *batched* work form (``work_batch``)
+that processes a whole chunk of elements per call — columnar numpy where
+the element shapes allow it — while reporting exactly the same
+:class:`~repro.dataflow.graph.WorkCounts` and leaving the same operator
+state as the per-element form.  The batched executor uses it when
+driving the graph with :meth:`~repro.dataflow.execute.Executor.push_batch`.
 """
 
 from __future__ import annotations
@@ -13,9 +20,27 @@ from collections.abc import Callable
 from typing import Any
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from .builder import GraphBuilder, Stream
 from .graph import OperatorContext
+
+
+def as_block_matrix(values: Any) -> np.ndarray | None:
+    """View a batch as a 2-D (n_elements, block_len) matrix, if uniform.
+
+    Returns ``None`` when the batch's elements are not equal-length 1-D
+    blocks (callers then fall back to per-element handling).
+    """
+    if isinstance(values, np.ndarray):
+        return values if values.ndim == 2 else None
+    try:
+        arr = np.asarray(values)
+    except (ValueError, TypeError):  # ragged
+        return None
+    if arr.ndim == 2 and arr.dtype != object:
+        return arr
+    return None
 
 
 # ---------------------------------------------------------------------------
@@ -51,7 +76,30 @@ def fir_filter(
                   loop_iterations=taps)
         ctx.emit(total)
 
-    return builder.iterate(name, stream, work, make_state=make_state)
+    def work_batch(ctx: OperatorContext, port: int, values: Any) -> Any:
+        fifo: deque = ctx.state
+        samples = np.asarray(values, dtype=float).reshape(-1)
+        n = len(samples)
+        history = (
+            np.array(list(fifo)[-(taps - 1):], dtype=float)
+            if taps > 1
+            else np.zeros(0)
+        )
+        padded = np.concatenate([history, samples])
+        windows = sliding_window_view(padded, taps)
+        out = windows @ coefficients
+        # FIFO ends holding the last ``taps`` samples, as n appends would.
+        if n >= taps:
+            fifo.clear()
+            fifo.extend(samples[-taps:])
+        else:
+            fifo.extend(samples)
+        ctx.count(float_ops=2.0 * taps * n, mem_ops=2.0 * taps * n,
+                  loop_iterations=float(taps * n))
+        return out
+
+    return builder.iterate(name, stream, work, make_state=make_state,
+                           work_batch=work_batch)
 
 
 def fir_filter_block(
@@ -67,6 +115,7 @@ def fir_filter_block(
     reported work is per-sample identical to :func:`fir_filter`.
     """
     coefficients = np.asarray(coefficients, dtype=float)
+    kernel = coefficients[::-1]
     taps = len(coefficients)
 
     def make_state() -> dict:
@@ -77,7 +126,7 @@ def fir_filter_block(
         padded = np.concatenate([ctx.state["tail"], block])
         # Convolution in "streaming" alignment: output[n] depends on
         # samples n-taps+1 .. n.
-        out = np.convolve(padded, coefficients[::-1], mode="valid")
+        out = np.convolve(padded, kernel, mode="valid")
         if taps > 1:
             ctx.state["tail"] = padded[-(taps - 1):]
         n = len(block)
@@ -85,37 +134,88 @@ def fir_filter_block(
                   loop_iterations=float(taps * n))
         ctx.emit(out)
 
-    return builder.iterate(name, stream, work, make_state=make_state)
+    def work_batch(ctx: OperatorContext, port: int, values: Any) -> Any:
+        mat = as_block_matrix(values)
+        if mat is not None:
+            flat = np.asarray(mat, dtype=float).reshape(-1)
+            lens = None
+            width = mat.shape[1]
+        else:
+            blocks = [np.asarray(b, dtype=float) for b in values]
+            lens = np.array([len(b) for b in blocks])
+            flat = (
+                np.concatenate(blocks) if blocks else np.zeros(0)
+            )
+            width = None
+        padded = np.concatenate([ctx.state["tail"], flat])
+        out = np.convolve(padded, kernel, mode="valid")
+        if taps > 1:
+            ctx.state["tail"] = padded[-(taps - 1):]
+        total = len(flat)
+        ctx.count(float_ops=2.0 * taps * total, mem_ops=2.0 * taps * total,
+                  loop_iterations=float(taps * total))
+        if width is not None:
+            return out.reshape(-1, width)
+        return np.split(out, np.cumsum(lens)[:-1])
+
+    return builder.iterate(name, stream, work, make_state=make_state,
+                           work_batch=work_batch)
 
 
 # ---------------------------------------------------------------------------
 # Even/odd polyphase split (paper Fig. 1, GetEven / GetOdd)
 # ---------------------------------------------------------------------------
 
-def get_even(builder: GraphBuilder, name: str, stream: Stream) -> Stream:
-    """Keep even-indexed samples of each window (polyphase branch)."""
+def _polyphase_pick(builder: GraphBuilder, name: str, stream: Stream,
+                    offset: int) -> Stream:
+    """Keep every other sample of each window, starting at ``offset``."""
 
     def work(ctx: OperatorContext, port: int, item: Any) -> None:
         block = np.asarray(item)
-        out = block[0::2]
+        out = block[offset::2]
         ctx.count(mem_ops=float(len(out)), int_ops=float(len(out)),
                   loop_iterations=float(len(out)))
         ctx.emit(out)
 
-    return builder.iterate(name, stream, work)
+    def work_batch(ctx: OperatorContext, port: int, values: Any) -> Any:
+        mat = as_block_matrix(values)
+        if mat is not None:
+            out = mat[:, offset::2]
+            kept = out.shape[0] * out.shape[1]
+            ctx.count(mem_ops=float(kept), int_ops=float(kept),
+                      loop_iterations=float(kept))
+            return out
+        outs = [np.asarray(b)[offset::2] for b in values]
+        kept = sum(len(o) for o in outs)
+        ctx.count(mem_ops=float(kept), int_ops=float(kept),
+                  loop_iterations=float(kept))
+        return outs
+
+    return builder.iterate(name, stream, work, work_batch=work_batch)
+
+
+def get_even(builder: GraphBuilder, name: str, stream: Stream) -> Stream:
+    """Keep even-indexed samples of each window (polyphase branch)."""
+    return _polyphase_pick(builder, name, stream, 0)
 
 
 def get_odd(builder: GraphBuilder, name: str, stream: Stream) -> Stream:
     """Keep odd-indexed samples of each window (polyphase branch)."""
+    return _polyphase_pick(builder, name, stream, 1)
 
-    def work(ctx: OperatorContext, port: int, item: Any) -> None:
-        block = np.asarray(item)
-        out = block[1::2]
-        ctx.count(mem_ops=float(len(out)), int_ops=float(len(out)),
-                  loop_iterations=float(len(out)))
-        ctx.emit(out)
 
-    return builder.iterate(name, stream, work)
+def paired_pops(queues: dict | list, port: int, values: Any) -> list[tuple]:
+    """Append a batch to ``queues[port]`` and pop all ready cross-port pairs.
+
+    Shared by the two-input recombination operators: returns the list of
+    ``(left, right)`` element pairs that became available.
+    """
+    q = queues[port]
+    q.extend(values)
+    ready = min(len(queues[0]), len(queues[1]))
+    return [
+        (queues[0].popleft(), queues[1].popleft()) for _ in range(ready)
+    ]
 
 
 def add_streams(
@@ -145,7 +245,31 @@ def add_streams(
                       loop_iterations=float(n))
             ctx.emit(a[:n] + b[:n])
 
-    return builder.merge(name, [left, right], work, make_state=make_state)
+    def work_batch(ctx: OperatorContext, port: int, values: Any) -> Any:
+        pairs = paired_pops(ctx.state, port, values)
+        if not pairs:
+            return None
+        a_rows = [np.asarray(a, dtype=float) for a, _ in pairs]
+        b_rows = [np.asarray(b, dtype=float) for _, b in pairs]
+        lens = {len(a) for a in a_rows} | {len(b) for b in b_rows}
+        if len(lens) == 1:
+            a_mat = np.stack(a_rows)
+            b_mat = np.stack(b_rows)
+            n = a_mat.shape[1]
+            ctx.count(float_ops=float(n) * len(pairs),
+                      mem_ops=2.0 * n * len(pairs),
+                      loop_iterations=float(n) * len(pairs))
+            return a_mat + b_mat
+        outs = []
+        for a, b in zip(a_rows, b_rows):
+            n = min(len(a), len(b))
+            ctx.count(float_ops=float(n), mem_ops=2.0 * n,
+                      loop_iterations=float(n))
+            outs.append(a[:n] + b[:n])
+        return outs
+
+    return builder.merge(name, [left, right], work, make_state=make_state,
+                         work_batch=work_batch)
 
 
 def zip_n(
@@ -167,8 +291,18 @@ def zip_n(
             ctx.count(mem_ops=float(n), loop_iterations=float(n))
             ctx.emit(tuple(q.popleft() for q in queues))
 
+    def work_batch(ctx: OperatorContext, port: int, values: Any) -> Any:
+        queues = ctx.state
+        queues[port].extend(values)
+        ready = min(len(q) for q in queues)
+        if not ready:
+            return None
+        ctx.count(mem_ops=float(n) * ready,
+                  loop_iterations=float(n) * ready)
+        return [tuple(q.popleft() for q in queues) for _ in range(ready)]
+
     return builder.merge(name, streams, work, make_state=make_state,
-                         output_size=output_size)
+                         output_size=output_size, work_batch=work_batch)
 
 
 # ---------------------------------------------------------------------------
@@ -205,7 +339,28 @@ def rewindow(
         ctx.count(mem_ops=float(len(np.asarray(item)) + emitted * window),
                   loop_iterations=float(emitted))
 
-    return builder.iterate(name, stream, work, make_state=make_state)
+    def work_batch(ctx: OperatorContext, port: int, values: Any) -> Any:
+        mat = as_block_matrix(values)
+        if mat is not None:
+            incoming: list[np.ndarray] = [mat.reshape(-1)]
+            total_in = mat.shape[0] * mat.shape[1]
+        else:
+            incoming = [np.asarray(b).reshape(-1) for b in values]
+            total_in = sum(len(b) for b in incoming)
+        buffer = np.concatenate([ctx.state["buffer"], *incoming])
+        emitted = max(0, (len(buffer) - window) // hop + 1) \
+            if len(buffer) >= window else 0
+        out = None
+        if emitted:
+            out = sliding_window_view(buffer, window)[::hop][:emitted].copy()
+            buffer = buffer[emitted * hop:]
+        ctx.state["buffer"] = buffer
+        ctx.count(mem_ops=float(total_in + emitted * window),
+                  loop_iterations=float(emitted))
+        return out
+
+    return builder.iterate(name, stream, work, make_state=make_state,
+                           work_batch=work_batch)
 
 
 def decimate(
@@ -227,8 +382,18 @@ def decimate(
             ctx.emit(item)
         ctx.state["count"] += 1
 
+    def work_batch(ctx: OperatorContext, port: int, values: Any) -> Any:
+        n = len(values)
+        start = ctx.state["count"]
+        ctx.count(int_ops=float(n))
+        ctx.state["count"] = start + n
+        mask = (start + np.arange(n)) % factor == 0
+        if isinstance(values, np.ndarray):
+            return values[mask]
+        return [v for v, keep in zip(values, mask) if keep]
+
     return builder.iterate(name, stream, work, make_state=make_state,
-                           loss_tolerant=True)
+                           loss_tolerant=True, work_batch=work_batch)
 
 
 def constant_cost_map(
@@ -240,12 +405,27 @@ def constant_cost_map(
     int_ops_per_item: float = 0.0,
     mem_ops_per_item: float = 0.0,
     output_size: int | None = None,
+    batch_fn: Callable[[Any], Any] | None = None,
 ) -> Stream:
-    """Stateless map with a fixed per-element primitive-work bill."""
+    """Stateless map with a fixed per-element primitive-work bill.
+
+    ``batch_fn``, when given, maps a whole batch at once (columnar);
+    otherwise the batched form applies ``fn`` per element.
+    """
 
     def work(ctx: OperatorContext, port: int, item: Any) -> None:
         ctx.count(float_ops=float_ops_per_item, int_ops=int_ops_per_item,
                   mem_ops=mem_ops_per_item)
         ctx.emit(fn(item))
 
-    return builder.iterate(name, stream, work, output_size=output_size)
+    def work_batch(ctx: OperatorContext, port: int, values: Any) -> Any:
+        n = len(values)
+        ctx.count(float_ops=float_ops_per_item * n,
+                  int_ops=int_ops_per_item * n,
+                  mem_ops=mem_ops_per_item * n)
+        if batch_fn is not None:
+            return batch_fn(values)
+        return [fn(v) for v in values]
+
+    return builder.iterate(name, stream, work, output_size=output_size,
+                           work_batch=work_batch)

@@ -3,6 +3,11 @@
 Profiling runs are cached per parameter set: the paper's methodology
 profiles once and then re-partitions under many budgets/rates (profiles
 scale linearly with rate, §4.3), and our harnesses do the same.
+
+All harness profiling runs use the batched executor
+(``Profiler(batch=True)``): the measurement is provably identical to the
+scalar run (see ``tests/dataflow/test_batch_equivalence.py``), and every
+figure driver built on these helpers inherits the speedup.
 """
 
 from __future__ import annotations
@@ -28,7 +33,7 @@ def speech_measurement(
     """The speech pipeline profiled on synthetic audio."""
     graph = build_speech_pipeline()
     audio = synth_speech_audio(duration_s=duration_s, seed=seed)
-    measurement = Profiler(track_peak=False).measure(
+    measurement = Profiler(track_peak=False, batch=True).measure(
         graph,
         {"source": audio.frames()},
         {"source": FRAMES_PER_SEC},
@@ -48,7 +53,7 @@ def eeg_measurement(
         seizure_intervals=(),
         seed=seed,
     )
-    measurement = Profiler(track_peak=False).measure(
+    measurement = Profiler(track_peak=False, batch=True).measure(
         graph,
         recording.source_data(),
         source_rates(n_channels),

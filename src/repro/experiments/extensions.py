@@ -50,7 +50,7 @@ def leak_measurement(seed: int = 0) -> tuple[object, Measurement]:
     graph = build_leak_pipeline()
     recording = synth_leak_data(duration_s=10.0, leak_start_s=None,
                                 seed=seed)
-    measurement = Profiler(track_peak=False).measure(
+    measurement = Profiler(track_peak=False, batch=True).measure(
         graph,
         recording.source_data(),
         {"vibration": WINDOWS_PER_SEC},

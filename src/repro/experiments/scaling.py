@@ -1,4 +1,4 @@
-"""Solver scaling and ablation studies.
+"""Solver and profiler scaling and ablation studies.
 
 Backs three claims/design choices from the paper:
 
@@ -240,6 +240,80 @@ def bound_ablation(
                 ),
                 lagrangian_time=lag_time,
                 exact_time=exact_time,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class ProfilerScalingRow:
+    n_channels: int
+    elements: int
+    scalar_seconds: float
+    batched_seconds: float
+    speedup: float
+    stats_identical: bool
+
+
+def profiler_scaling(
+    channel_counts: tuple[int, ...] = (2, 6, 12, 22),
+    duration_s: float = 30.0,
+    bucket_seconds: float = 10.0,
+    seed: int = 0,
+) -> list[ProfilerScalingRow]:
+    """Batched vs scalar profiling wall-clock on the EEG app vs width.
+
+    Both runs keep peak tracking on; the two measurements must agree on
+    every aggregate statistic (the batched path is an execution strategy,
+    not an approximation).
+    """
+    from ..apps.eeg import build_eeg_pipeline, synth_eeg
+    from ..apps.eeg.pipeline import source_rates
+    from ..profiler.profiler import Profiler
+
+    rows: list[ProfilerScalingRow] = []
+    for n_channels in channel_counts:
+        recording = synth_eeg(
+            n_channels=n_channels,
+            duration_s=duration_s,
+            seizure_intervals=(),
+            seed=seed,
+        )
+        data = recording.source_data()
+        rates = source_rates(n_channels)
+        elements = sum(len(v) for v in data.values())
+
+        start = time.perf_counter()
+        scalar = Profiler(bucket_seconds=bucket_seconds).measure(
+            build_eeg_pipeline(n_channels=n_channels), data, rates
+        )
+        scalar_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        batched = Profiler(
+            bucket_seconds=bucket_seconds, batch=True
+        ).measure(build_eeg_pipeline(n_channels=n_channels), data, rates)
+        batched_seconds = time.perf_counter() - start
+
+        identical = all(
+            scalar.stats.operators[name].counts.minus(
+                batched.stats.operators[name].counts
+            ).total
+            == 0.0
+            for name in scalar.stats.operators
+        ) and all(
+            scalar.stats.edge_traffic[e].bytes
+            == batched.stats.edge_traffic[e].bytes
+            for e in scalar.stats.edge_traffic
+        )
+        rows.append(
+            ProfilerScalingRow(
+                n_channels=n_channels,
+                elements=elements,
+                scalar_seconds=scalar_seconds,
+                batched_seconds=batched_seconds,
+                speedup=scalar_seconds / batched_seconds,
+                stats_identical=identical,
             )
         )
     return rows

@@ -15,11 +15,10 @@ number of platforms without re-executing the graph.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 from typing import Any
 
-from ..dataflow.execute import ExecutionStats, Executor
+from ..dataflow.execute import ExecutionStats, Executor, merge_schedule
 from ..dataflow.graph import Edge, GraphError, StreamGraph, WorkCounts
 from ..platforms.base import Platform
 from .records import EdgeProfile, GraphProfile, OperatorProfile
@@ -110,13 +109,32 @@ class Profiler:
             load tracking.
         track_peak: record per-bucket peaks (disable for very large
             graphs where only mean load matters).
+        batch: drive the graph in columnar chunks
+            (:meth:`~repro.dataflow.execute.Executor.push_batch`) instead
+            of element by element.  Chunks never straddle a peak-tracking
+            bucket boundary, so aggregate statistics, per-bucket peaks,
+            profiles, and downstream partitions are identical to the
+            scalar run; only the element-level interleaving of *different*
+            sources inside one bucket coarsens.  Off by default to keep
+            the paper-faithful traversal order.
+
+    Peak tracking is event-driven: the executor reports which edges and
+    operators were touched since the last bucket boundary, and the
+    profiler computes per-bucket deltas over those dirty sets only — the
+    per-element full-graph rescan (O(elements x (E+V))) is gone.
     """
 
-    def __init__(self, bucket_seconds: float = 1.0, track_peak: bool = True):
+    def __init__(
+        self,
+        bucket_seconds: float = 1.0,
+        track_peak: bool = True,
+        batch: bool = False,
+    ):
         if bucket_seconds <= 0:
             raise ValueError("bucket_seconds must be positive")
         self.bucket_seconds = bucket_seconds
         self.track_peak = track_peak
+        self.batch = batch
 
     def measure(
         self,
@@ -151,87 +169,62 @@ class Profiler:
 
         edge_peaks: dict[Edge, float] = {}
         op_peaks: dict[str, WorkCounts] = {}
+        prev_edge_bytes: dict[Edge, int] = {}
+        prev_op_counts: dict[str, WorkCounts] = {}
 
-        # Merge-by-virtual-time so simultaneous sensors interleave the way
-        # they would in a deployment.
-        heap: list[tuple[float, int, str]] = []
-        positions: dict[str, int] = {}
-        for order, (name, items) in enumerate(sorted(source_data.items())):
-            if items:
-                heapq.heappush(heap, (0.0, order, name))
-                positions[name] = 0
-
-        bucket_edge_bytes: dict[Edge, int] = {}
-        bucket_op_counts: dict[str, WorkCounts] = {}
-        prev_edge_bytes = {e: 0 for e in graph.edges}
-        prev_op_counts = {
-            n: WorkCounts() for n in graph.operators
-        }
-        current_bucket = 0
+        if self.track_peak:
+            executor.start_touch_tracking()
+        edge_traffic = executor.stats.edge_traffic
+        op_stats = executor.stats.operators
 
         def flush_bucket() -> None:
-            for edge, delta in bucket_edge_bytes.items():
-                rate = delta / self.bucket_seconds
-                if rate > edge_peaks.get(edge, 0.0):
-                    edge_peaks[edge] = rate
-            for name, counts in bucket_op_counts.items():
-                best = op_peaks.get(name)
-                if best is None or counts.total > best.total:
-                    op_peaks[name] = counts
-            bucket_edge_bytes.clear()
-            bucket_op_counts.clear()
+            """Fold the since-last-boundary deltas into the running peaks."""
+            touched_edges, touched_ops = executor.drain_touched()
+            for edge in touched_edges:
+                total = edge_traffic[edge].bytes
+                delta = total - prev_edge_bytes.get(edge, 0)
+                if delta:
+                    prev_edge_bytes[edge] = total
+                    rate = delta / self.bucket_seconds
+                    if rate > edge_peaks.get(edge, 0.0):
+                        edge_peaks[edge] = rate
+            for name in touched_ops:
+                counts = op_stats[name].counts
+                prev = prev_op_counts.get(name)
+                delta_counts = (
+                    counts.minus(prev) if prev is not None else counts.copy()
+                )
+                if delta_counts.total:
+                    prev_op_counts[name] = counts.copy()
+                    best = op_peaks.get(name)
+                    if best is None or delta_counts.total > best.total:
+                        op_peaks[name] = delta_counts
 
-        while heap:
-            timestamp, order, name = heapq.heappop(heap)
-            if self.track_peak:
-                bucket = int(timestamp / self.bucket_seconds)
-                if bucket != current_bucket:
-                    flush_bucket()
-                    current_bucket = bucket
-            index = positions[name]
-            executor.push(name, source_data[name][index])
-            if self.track_peak:
-                for edge in graph.edges:
-                    total = executor.stats.edge_traffic[edge].bytes
-                    delta = total - prev_edge_bytes[edge]
-                    if delta:
-                        bucket_edge_bytes[edge] = (
-                            bucket_edge_bytes.get(edge, 0) + delta
-                        )
-                        prev_edge_bytes[edge] = total
-                for op_name, op_stats in executor.stats.operators.items():
-                    prev = prev_op_counts[op_name]
-                    delta_counts = WorkCounts(
-                        int_ops=op_stats.counts.int_ops - prev.int_ops,
-                        float_ops=op_stats.counts.float_ops - prev.float_ops,
-                        trans_ops=op_stats.counts.trans_ops - prev.trans_ops,
-                        mem_ops=op_stats.counts.mem_ops - prev.mem_ops,
-                        invocations=op_stats.counts.invocations
-                        - prev.invocations,
-                        loop_iterations=op_stats.counts.loop_iterations
-                        - prev.loop_iterations,
-                    )
-                    if delta_counts.total:
-                        bucket_op_counts.setdefault(
-                            op_name, WorkCounts()
-                        ).merge(delta_counts)
-                        prev_op_counts[op_name] = WorkCounts(
-                            **{
-                                field_: getattr(op_stats.counts, field_)
-                                for field_ in (
-                                    "int_ops",
-                                    "float_ops",
-                                    "trans_ops",
-                                    "mem_ops",
-                                    "invocations",
-                                    "loop_iterations",
-                                )
-                            }
-                        )
-            positions[name] = index + 1
-            if positions[name] < len(source_data[name]):
-                next_time = positions[name] / source_rates[name]
-                heapq.heappush(heap, (next_time, order, name))
+        # Merge-by-virtual-time so simultaneous sensors interleave the way
+        # they would in a deployment.  Scalar mode replays the exact
+        # element-by-element heap order; batch mode groups each bucket's
+        # elements per source into one columnar chunk (bucket assignment
+        # is computed vectorially inside merge_schedule).
+        ordered = dict(sorted(source_data.items()))
+        lengths = {name: len(items) for name, items in ordered.items()}
+        schedule = merge_schedule(
+            lengths,
+            source_rates,
+            bucket_seconds=self.bucket_seconds if self.track_peak else None,
+            grouped=self.batch,
+        )
+
+        current_bucket = 0
+        for run in schedule:
+            if self.track_peak and run.bucket != current_bucket:
+                flush_bucket()
+                current_bucket = run.bucket
+            items = source_data[run.name]
+            if self.batch:
+                executor.push_batch(run.name, items[run.start:run.stop])
+            else:
+                for index in range(run.start, run.stop):
+                    executor.push(run.name, items[index])
 
         if self.track_peak:
             flush_bucket()

@@ -104,17 +104,24 @@ class BranchAndBound:
 
     # -- helpers -----------------------------------------------------------
 
-    def _make_relaxation_solver(self, arrays: StandardArrays):
+    def _make_relaxation_solver(self, arrays: StandardArrays, shared=None):
         """Bind an LP engine to this instance for the duration of a solve.
 
         Returns ``solve(lb, ub, warm) -> Solution``.  For the scipy engine
         with warm starts enabled, a persistent HiGHS model is kept hot
         across nodes (bound edits + dual-simplex resume); otherwise each
-        call is an independent solve.
+        call is an independent solve.  ``shared`` is an already-built
+        :class:`~repro.solver.scipy_backend.HighsRelaxation` to reuse (it
+        outlives this solve — rate searches pass one engine across every
+        probe so the basis carries over).
         """
         if self.lp_engine == "scipy":
             state = {
-                "engine": make_highs_relaxation(arrays)
+                "engine": (
+                    shared
+                    if shared is not None
+                    else make_highs_relaxation(arrays)
+                )
                 if self.warm_start
                 else None
             }
@@ -203,7 +210,19 @@ class BranchAndBound:
 
     # -- main entry ---------------------------------------------------------
 
-    def solve(self, program: LinearProgram | StandardArrays) -> Solution:
+    def solve(
+        self,
+        program: LinearProgram | StandardArrays,
+        relaxation=None,
+    ) -> Solution:
+        """Solve the MILP.
+
+        ``relaxation`` is an optional persistent
+        :class:`~repro.solver.scipy_backend.HighsRelaxation` shared across
+        solves (scipy engine with warm starts only): the root relaxation
+        warm-starts from the basis the previous solve's root ended with,
+        and the basis reached here is exported for the next caller.
+        """
         arrays = (
             program.to_arrays() if isinstance(program, LinearProgram) else program
         )
@@ -218,8 +237,22 @@ class BranchAndBound:
         lb0 = lb_orig.copy()
         ub0 = ub_orig.copy()
 
-        solve_relaxation = self._make_relaxation_solver(arrays)
+        if relaxation is not None and not (
+            self.lp_engine == "scipy" and self.warm_start
+        ):
+            relaxation = None
+        solve_relaxation = (
+            self._make_relaxation_solver(arrays, relaxation)
+            if relaxation is not None
+            else self._make_relaxation_solver(arrays)
+        )
+        if relaxation is not None:
+            # Start this tree from the previous solve's root basis rather
+            # than whatever leaf the last branch-and-bound finished at.
+            relaxation.restore_root_basis()
         root = solve_relaxation(lb0, ub0, None)
+        if relaxation is not None:
+            relaxation.save_root_basis()
         total_iterations += root.iterations
         if root.status == SolveStatus.INFEASIBLE:
             return Solution(

@@ -103,6 +103,67 @@ class HighsRelaxation:
         self._col_indices = np.arange(n, dtype=np.int32)
         self._current_lb = np.asarray(arrays.lb, dtype=float)
         self._current_ub = np.asarray(arrays.ub, dtype=float)
+        self._root_basis = None
+
+    # -- incremental model edits (rate probes) ---------------------------
+
+    def update_problem(
+        self,
+        c: np.ndarray | None = None,
+        b_ub: np.ndarray | None = None,
+    ) -> None:
+        """Rewrite the objective and/or inequality right-hand sides in place.
+
+        Used by :class:`~repro.core.probe.ScaledProbe`: a §4.3 rate probe
+        only rescales the cost vector and the budget rows, so the
+        persistent HiGHS model (and its basis) survives across probes —
+        the next root relaxation warm-starts from the previous probe's
+        optimal basis instead of a cold solve.
+        """
+        if c is not None:
+            c = np.asarray(c, dtype=float)
+            self._highs.changeColsCost(
+                len(self._col_indices), self._col_indices, c
+            )
+            self.arrays = self.arrays.with_objective(c)
+        if b_ub is not None:
+            b_ub = np.asarray(b_ub, dtype=float)
+            for row in np.flatnonzero(b_ub != self.arrays.b_ub):
+                self._highs.changeRowBounds(
+                    int(row), -np.inf, float(b_ub[row])
+                )
+            self.arrays = self.arrays.with_b_ub(b_ub)
+
+    # -- basis export/import ---------------------------------------------
+
+    def save_root_basis(self) -> bool:
+        """Snapshot the current basis (call right after a root solve)."""
+        try:
+            basis = self._highs.getBasis()
+        except Exception:
+            return False
+        if not getattr(basis, "valid", False):
+            return False
+        self._root_basis = basis
+        return True
+
+    def restore_root_basis(self) -> bool:
+        """Reinstall the last saved root basis, if any.
+
+        Branch and bound leaves the model at some leaf's basis; probing a
+        new rate factor from the *root* basis of the previous probe is the
+        productive warm start.
+        """
+        if self._root_basis is None:
+            return False
+        try:
+            status = self._highs.setBasis(self._root_basis)
+        except Exception:
+            return False
+        return status in (
+            _highs_core.HighsStatus.kOk,
+            _highs_core.HighsStatus.kWarning,
+        )
 
     def solve(
         self, lb: np.ndarray | None = None, ub: np.ndarray | None = None

@@ -113,3 +113,48 @@ def test_probe_reduction_shared_across_factors(tmote_speech_profile):
     assert a.reduced.members == b.reduced.members
     # The reduced problems only differ by the uniform scale.
     assert a.reduced.problem.vertices == b.reduced.problem.vertices
+
+
+def test_probe_shares_relaxation_and_basis_across_probes(
+    tmote_speech_profile,
+):
+    """The persistent HiGHS engine (and its root basis) outlives a probe."""
+    from repro.solver.scipy_backend import make_highs_relaxation
+
+    probe = make_partitioner().prepare_probe(tmote_speech_profile)
+    first = probe.try_partition(0.05)
+    engine = probe._relaxation
+    if engine is None or engine is False:
+        pytest.skip("private HiGHS bindings unavailable")
+    # The root basis of the first probe was exported for the next one.
+    assert engine._root_basis is not None
+    second = probe.try_partition(0.1)
+    assert probe._relaxation is engine  # reused, not rebuilt
+    # Warm-started probes still agree with the cold rebuild path.
+    rebuilt = make_partitioner().try_partition(
+        tmote_speech_profile.scaled(0.1)
+    )
+    assert (second is None) == (rebuilt is None)
+    if second is not None:
+        assert second.partition.node_set == rebuilt.partition.node_set
+    del first, make_highs_relaxation
+
+
+def test_highs_relaxation_update_problem_matches_fresh_build(
+    tmote_speech_profile,
+):
+    """In-place cost/rhs edits equal a from-scratch model at the new rate."""
+    from repro.solver.scipy_backend import make_highs_relaxation
+
+    probe = make_partitioner().prepare_probe(tmote_speech_profile)
+    base = probe._arrays_at(1.0)
+    engine = make_highs_relaxation(base)
+    if engine is None:
+        pytest.skip("private HiGHS bindings unavailable")
+    scaled = probe._arrays_at(0.25)
+    engine.update_problem(c=scaled.c, b_ub=scaled.b_ub)
+    warm = engine.solve(scaled.lb, scaled.ub)
+    fresh_engine = make_highs_relaxation(scaled)
+    fresh = fresh_engine.solve(scaled.lb, scaled.ub)
+    assert warm.status == fresh.status
+    assert warm.objective == pytest.approx(fresh.objective, rel=1e-9)

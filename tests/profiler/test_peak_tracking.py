@@ -1,0 +1,178 @@
+"""Event-driven peak tracking: bucket boundaries, toggles, equivalence.
+
+The profiler's peak tracker computes per-bucket deltas over the dirty
+edge/operator sets the executor reports, instead of rescanning the whole
+graph after every element.  These tests pin down the semantics: exact
+bucket attribution, the ``track_peak=False`` fast path, multi-source
+interleaving, and scalar-vs-batched equality of every recorded peak.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.eeg import build_eeg_pipeline, synth_eeg
+from repro.apps.eeg.pipeline import source_rates
+from repro.dataflow import GraphBuilder
+from repro.platforms import get_platform
+from repro.profiler import Profiler
+
+
+def bursty_graph():
+    """Source of 0/1 flags; the op does 1000 float ops and emits a
+    100-float block per 1-flag, 1 float op and nothing per 0-flag."""
+    builder = GraphBuilder()
+    with builder.node():
+        stream = builder.source("src")
+
+        def bursty(ctx, port, item):
+            ctx.count(float_ops=1000.0 if item else 1.0)
+            if item:
+                ctx.emit(np.zeros(100, np.float32))
+
+        out = builder.iterate("f", stream, bursty)
+    builder.sink("sink", out)
+    return builder.build()
+
+
+def test_bucket_boundary_attribution():
+    """Peaks land in the exact virtual-time bucket of their elements."""
+    # 2 elements/s, bucket 1 s -> 2 elements per bucket.  Buckets carry
+    # (1,1), (0,1), (0,0) busy flags -> f-edge bucket bytes 800, 400, 0.
+    items = [1, 1, 0, 1, 0, 0]
+    graph = bursty_graph()
+    measurement = Profiler(bucket_seconds=1.0).measure(
+        graph, {"src": items}, {"src": 2.0}
+    )
+    f_edge = [e for e in graph.edges if e.src == "f"][0]
+    assert measurement.edge_peak_bytes_per_sec[f_edge] == pytest.approx(800.0)
+    # Peak op work in one bucket: 2 busy elements = 2 invocations (source
+    # overhead is tracked on src) + 2000 float ops, scaled by 1/bucket.
+    peak = measurement.operator_peak_counts["f"]
+    assert peak.float_ops == pytest.approx(2000.0)
+    assert peak.invocations == pytest.approx(2.0)
+
+
+def test_last_bucket_is_flushed():
+    """A burst in the final (partial) bucket still registers."""
+    items = [0, 0, 0, 0, 1]
+    graph = bursty_graph()
+    measurement = Profiler(bucket_seconds=1.0).measure(
+        graph, {"src": items}, {"src": 4.0}
+    )
+    f_edge = [e for e in graph.edges if e.src == "f"][0]
+    assert measurement.edge_peak_bytes_per_sec[f_edge] == pytest.approx(400.0)
+
+
+def test_track_peak_false_records_nothing_and_falls_back():
+    graph = bursty_graph()
+    measurement = Profiler(track_peak=False).measure(
+        graph, {"src": [1, 0, 1, 0]}, {"src": 2.0}
+    )
+    assert measurement.edge_peak_bytes_per_sec == {}
+    assert measurement.operator_peak_counts == {}
+    profile = measurement.on(get_platform("tmote"))
+    for name, op in profile.operators.items():
+        assert op.peak_utilization == pytest.approx(op.utilization), name
+    for edge, ep in profile.edges.items():
+        assert ep.peak_bytes_per_sec == pytest.approx(ep.bytes_per_sec), edge
+
+
+def multi_source_graph():
+    builder = GraphBuilder()
+    with builder.node():
+        fast = builder.source("fast", output_size=10)
+        slow = builder.source("slow", output_size=40)
+
+        def relay(ctx, port, item):
+            ctx.count(int_ops=3.0)
+            ctx.emit(item)
+
+        a = builder.iterate("fa", fast, relay)
+        b = builder.iterate("fb", slow, relay)
+    builder.sink("oa", a)
+    builder.sink("ob", b)
+    return builder.build()
+
+
+@pytest.mark.parametrize("batch", [False, True])
+def test_multi_source_interleave_peaks(batch):
+    """Rate-skewed sources put the right bytes in the right buckets."""
+    graph = multi_source_graph()
+    measurement = Profiler(bucket_seconds=1.0, batch=batch).measure(
+        graph,
+        {"fast": list(range(8)), "slow": list(range(2))},
+        {"fast": 4.0, "slow": 1.0},
+    )
+    fast_edge = [e for e in graph.edges if e.src == "fast"][0]
+    slow_edge = [e for e in graph.edges if e.src == "slow"][0]
+    # fast: 4 elements x 10 B per bucket; slow: 1 element x 40 B.
+    assert measurement.edge_peak_bytes_per_sec[fast_edge] == pytest.approx(
+        40.0
+    )
+    assert measurement.edge_peak_bytes_per_sec[slow_edge] == pytest.approx(
+        40.0
+    )
+
+
+@pytest.mark.parametrize(
+    "source_cfg",
+    [
+        {"fast": ([1, 0, 1, 1, 0, 1, 1, 1], 4.0), "slow": ([1, 1], 1.0)},
+        {"fast": ([1] * 12, 3.0), "slow": ([0, 1, 0, 1], 1.0)},
+    ],
+)
+def test_scalar_vs_batched_peaks_equal_multi_source(source_cfg):
+    """Chunked execution never moves a peak across a bucket boundary."""
+    data = {name: items for name, (items, _) in source_cfg.items()}
+    rates = {name: rate for name, (_, rate) in source_cfg.items()}
+
+    def build():
+        builder = GraphBuilder()
+        with builder.node():
+            fast = builder.source("fast", output_size=8)
+            slow = builder.source("slow", output_size=16)
+
+            def spiky(ctx, port, item):
+                ctx.count(float_ops=100.0 if item else 1.0, mem_ops=2.0)
+                if item:
+                    ctx.emit(np.ones(4))
+
+            a = builder.iterate("fa", fast, spiky)
+            b = builder.iterate("fb", slow, spiky)
+        builder.sink("oa", a)
+        builder.sink("ob", b)
+        return builder.build()
+
+    scalar = Profiler(bucket_seconds=1.0).measure(build(), data, rates)
+    batched = Profiler(bucket_seconds=1.0, batch=True).measure(
+        build(), data, rates
+    )
+    assert scalar.edge_peak_bytes_per_sec == batched.edge_peak_bytes_per_sec
+    assert set(scalar.operator_peak_counts) == set(
+        batched.operator_peak_counts
+    )
+    for name, counts in scalar.operator_peak_counts.items():
+        assert counts.minus(batched.operator_peak_counts[name]).total == 0.0
+
+
+def test_scalar_vs_batched_peaks_equal_eeg():
+    """Full-app check: every peak identical on a seizure-bursty EEG run."""
+    n_channels = 2
+    recording = synth_eeg(
+        n_channels=n_channels, duration_s=6.0,
+        seizure_intervals=((2.0, 4.0),), seed=3,
+    )
+    data = recording.source_data()
+    rates = source_rates(n_channels)
+    scalar = Profiler(bucket_seconds=2.0).measure(
+        build_eeg_pipeline(n_channels=n_channels), data, rates
+    )
+    batched = Profiler(bucket_seconds=2.0, batch=True).measure(
+        build_eeg_pipeline(n_channels=n_channels), data, rates
+    )
+    assert scalar.edge_peak_bytes_per_sec == batched.edge_peak_bytes_per_sec
+    assert set(scalar.operator_peak_counts) == set(
+        batched.operator_peak_counts
+    )
+    for name, counts in scalar.operator_peak_counts.items():
+        assert counts.minus(batched.operator_peak_counts[name]).total == 0.0
