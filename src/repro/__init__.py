@@ -1,7 +1,30 @@
 """Wishbone: profile-based partitioning for sensornet applications.
 
-A full reproduction of Newton et al., NSDI 2009.  The public API covers
-the end-to-end workflow:
+A full reproduction of Newton et al., NSDI 2009, packaged as a service
+API.  The canonical way in is the **workbench**: bind a registered
+scenario to a :class:`Session` and the paper's profile-once /
+re-partition-many workflow is five lines::
+
+    from repro import Session, ProfileStore, PartitionRequest
+
+    session = Session("eeg", store=ProfileStore("./profile-store"))
+    profile = session.profile()                  # cached, durable, copied
+    results = session.partition_many(
+        [PartitionRequest(rate_factor=r) for r in (1.0, 4.0, 16.0)]
+    )
+    prediction = session.deploy(results[0], n_nodes=10)
+
+Sessions sit on a content-hash-keyed :class:`ProfileStore` (measurements
+survive process restarts and every caller gets defensive copies), a
+:class:`Scenario` registry (EEG, speech, and leak detection ship
+pre-registered; new workloads are one :func:`register_scenario` call),
+and a batched :class:`PartitionService` whose ``partition_many`` shares
+one cached formulation and one warm-started relaxation across every
+compatible request in a batch.  All solver artifacts round-trip through
+versioned JSON via :func:`repro.workbench.to_json` /
+:func:`repro.workbench.save_artifact`.
+
+The underlying layers remain public for direct use:
 
 1. **Build** a dataflow graph with :class:`GraphBuilder` (mark the
    embedded part with ``with builder.node():``), or use the bundled
@@ -15,8 +38,9 @@ the end-to-end workflow:
    predict (or measure, with :meth:`Deployment.run`) input loss, message
    loss, and goodput.
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured results of every reproduced figure.
+See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+paper-vs-measured results of every reproduced figure, and the README
+quickstart for the workbench workflow.
 """
 
 from .apps.eeg import build_eeg_pipeline, synth_eeg
@@ -57,8 +81,20 @@ from .profiler import GraphProfile, Measurement, Profiler
 from .runtime import Deployment, DeploymentPrediction
 from .solver import BranchAndBound, LinearProgram, solve_lp, solve_milp
 from .viz import graph_to_dot, write_dot
+from .workbench import (
+    PartitionRequest,
+    PartitionService,
+    ProfileStore,
+    RateSearchRequest,
+    Scenario,
+    Session,
+    WorkbenchError,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BranchAndBound",
@@ -83,15 +119,21 @@ __all__ = [
     "PartitionError",
     "PartitionObjective",
     "PartitionProblem",
+    "PartitionRequest",
     "PartitionResult",
+    "PartitionService",
     "Pinning",
     "Platform",
+    "ProfileStore",
     "Profiler",
     "RadioSpec",
     "RateSearch",
+    "RateSearchRequest",
     "RateSearchResult",
     "RelocationMode",
     "RoutingTree",
+    "Scenario",
+    "Session",
     "SolverBackend",
     "Stream",
     "StreamGraph",
@@ -99,6 +141,10 @@ __all__ = [
     "WeightedEdge",
     "Wishbone",
     "WorkCounts",
+    "WorkbenchError",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
     "build_eeg_pipeline",
     "build_speech_pipeline",
     "get_platform",

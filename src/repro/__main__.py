@@ -2,11 +2,14 @@
 
 Commands:
   platforms                     list the modeled platforms
+  scenarios                     list the registered workload scenarios
   speech   [--platform P] [--rate R|auto] [--nodes N] [--dot FILE]
   eeg      [--platform P] [--channels C] [--rate R|auto] [--dot FILE]
   leak     [--platform P] [--nodes N] [--fanin F] [--dot FILE]
 
-Each application command profiles the bundled app on synthetic data,
+Each application command opens a workbench :class:`~repro.workbench.Session`
+on the named scenario, profiles it (through the session's profile store —
+pass ``--store DIR`` to make profiling cache durable across invocations),
 partitions it for the chosen platform (optionally searching the maximum
 sustainable rate), prints the partition and predicted deployment
 behaviour, and can emit a colorized GraphViz file.
@@ -17,19 +20,14 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import (
-    Deployment,
-    PartitionObjective,
-    Profiler,
-    RateSearch,
-    RelocationMode,
-    Testbed,
-    Wishbone,
-    get_platform,
-    write_dot,
-)
 from .platforms import PLATFORMS
-from .viz import series_table
+from .viz import series_table, write_dot
+from .workbench import (
+    PartitionRequest,
+    ProfileStore,
+    Session,
+    list_scenarios,
+)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -41,21 +39,30 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="testbed size for deployment prediction")
     parser.add_argument("--dot", default=None,
                         help="write a GraphViz file of the partition")
+    parser.add_argument("--store", default=None,
+                        help="directory for a durable profile store "
+                        "(default: in-memory)")
 
 
-def _partition_and_report(args, graph, source_data, source_rates,
-                          fanin: float = 1.0) -> int:
-    platform = get_platform(args.platform)
-    profile = Profiler(track_peak=False, batch=True).profile(
-        graph, source_data, source_rates, platform
+def _session(args, scenario: str, **params) -> Session:
+    store = ProfileStore(args.store) if args.store else None
+    return Session(
+        scenario, store=store, platform=args.platform, params=params
     )
-    wishbone = Wishbone(
-        objective=PartitionObjective(alpha=0.0, beta=1.0),
-        mode=RelocationMode.PERMISSIVE,
-        aggregate_fanin=fanin,
+
+
+def _partition_and_report(args, scenario: str, fanin: float = 1.0,
+                          **scenario_params) -> int:
+    session = _session(args, scenario, **scenario_params)
+    profile = session.profile()
+    platform = profile.platform
+    request = PartitionRequest(
+        platform=args.platform, aggregate_fanin=fanin
     )
     if args.rate == "auto":
-        outcome = RateSearch(wishbone, tolerance=0.02).search(profile)
+        outcome = session.rate_search(
+            tolerance=0.02, aggregate_fanin=fanin
+        )
         if outcome.result is None:
             print("no feasible partition at any rate", file=sys.stderr)
             return 1
@@ -63,7 +70,7 @@ def _partition_and_report(args, graph, source_data, source_rates,
         result = outcome.result
     else:
         rate = float(args.rate)
-        result = wishbone.try_partition(profile.scaled(rate))
+        result = session.try_partition(request, rate_factor=rate)
         if result is None:
             print(f"infeasible at rate x{rate}; try --rate auto",
                   file=sys.stderr)
@@ -82,18 +89,17 @@ def _partition_and_report(args, graph, source_data, source_rates,
           f"{result.solve_seconds * 1000:.0f} ms")
 
     if platform.radio is not None:
-        testbed = Testbed(platform, n_nodes=args.nodes)
-        prediction = Deployment(
-            profile.scaled(rate), partition.node_set, testbed
-        ).analyze()
+        prediction = session.deploy(
+            result, n_nodes=args.nodes, rate_factor=rate
+        )
         print(f"deployment ({args.nodes} node(s)): input processed "
               f"{prediction.input_fraction:.1%}, msgs received "
               f"{prediction.msg_reception:.1%}, goodput "
               f"{prediction.goodput:.1%}")
     if args.dot:
-        path = write_dot(graph, args.dot, profile=profile,
+        path = write_dot(session.graph(), args.dot, profile=profile,
                          node_set=partition.node_set,
-                         title=f"{graph.name} on {platform.name}")
+                         title=f"{profile.graph.name} on {platform.name}")
         print(f"wrote {path}")
     return 0
 
@@ -117,43 +123,31 @@ def cmd_platforms(_args) -> int:
     return 0
 
 
-def cmd_speech(args) -> int:
-    from .apps.speech import FRAMES_PER_SEC, build_speech_pipeline
-    from .apps.speech import synth_speech_audio
+def cmd_scenarios(_args) -> int:
+    rows = [
+        [
+            s.name,
+            ", ".join(
+                f"{k}={v!r}" for k, v in sorted(s.defaults.items())
+            ),
+            s.description,
+        ]
+        for s in list_scenarios()
+    ]
+    print(series_table(["name", "parameters", "description"], rows))
+    return 0
 
-    graph = build_speech_pipeline()
-    audio = synth_speech_audio(duration_s=2.0, seed=0)
-    return _partition_and_report(
-        args, graph, {"source": audio.frames()},
-        {"source": FRAMES_PER_SEC},
-    )
+
+def cmd_speech(args) -> int:
+    return _partition_and_report(args, "speech")
 
 
 def cmd_eeg(args) -> int:
-    from .apps.eeg import build_eeg_pipeline, source_rates, synth_eeg
-
-    graph = build_eeg_pipeline(n_channels=args.channels)
-    recording = synth_eeg(n_channels=args.channels, duration_s=8.0,
-                          seizure_intervals=(), seed=0)
-    return _partition_and_report(
-        args, graph, recording.source_data(), source_rates(args.channels)
-    )
+    return _partition_and_report(args, "eeg", n_channels=args.channels)
 
 
 def cmd_leak(args) -> int:
-    from .apps.leak import (
-        WINDOWS_PER_SEC,
-        build_leak_pipeline,
-        synth_leak_data,
-    )
-
-    graph = build_leak_pipeline()
-    recording = synth_leak_data(duration_s=10.0, leak_start_s=None, seed=0)
-    return _partition_and_report(
-        args, graph, recording.source_data(),
-        {"vibration": WINDOWS_PER_SEC},
-        fanin=float(args.fanin),
-    )
+    return _partition_and_report(args, "leak", fanin=float(args.fanin))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -167,6 +161,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("platforms", help="list modeled platforms").set_defaults(
         func=cmd_platforms
     )
+    sub.add_parser(
+        "scenarios", help="list registered workload scenarios"
+    ).set_defaults(func=cmd_scenarios)
 
     speech = sub.add_parser("speech", help="partition the MFCC pipeline")
     _add_common(speech)

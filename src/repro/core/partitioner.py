@@ -23,7 +23,7 @@ from .ilp_restricted import build_restricted_ilp
 from .pinning import RelocationMode, compute_pinnings
 from .preprocess import ReducedProblem, preprocess
 from .probe import ScaledProbe
-from .problem import PartitionProblem, problem_from_profile
+from .problem import NET_BUDGET_CAP, PartitionProblem, problem_from_profile
 
 
 class Formulation(enum.Enum):
@@ -50,7 +50,14 @@ class PartitionObjective:
 
 @dataclass
 class PartitionResult:
-    """Everything a partitioning run produced."""
+    """Everything a partitioning run produced.
+
+    ``request`` is optional serving-context metadata (the workbench's
+    :class:`~repro.workbench.session.PartitionRequest`) attached by the
+    batched partition service so downstream steps — most importantly
+    ``Session.deploy`` — can recover the platform and rate factor the
+    result was solved under.  It is not serialized.
+    """
 
     partition: Partition
     solution: Solution
@@ -59,6 +66,7 @@ class PartitionResult:
     pins: dict[str, Pinning]
     build_seconds: float
     solve_seconds: float
+    request: object | None = None
 
     @property
     def feasible(self) -> bool:
@@ -128,16 +136,38 @@ class Wishbone:
         self.gap_tolerance = gap_tolerance
         self.aggregate_fanin = aggregate_fanin
 
-    # -- problem construction -----------------------------------------------
+    # -- configuration ------------------------------------------------------
 
-    def build_problem(
-        self, profile: GraphProfile
-    ) -> tuple[PartitionProblem, dict[str, Pinning]]:
-        """Pin operators and assemble the weighted instance."""
-        platform = profile.platform
-        objective = self.objective or PartitionObjective(
-            alpha=platform.alpha, beta=platform.beta
-        )
+    def with_overrides(self, **overrides) -> "Wishbone":
+        """A copy of this partitioner with some settings replaced.
+
+        Accepts the same keyword arguments as the constructor; unspecified
+        settings are carried over.  The setting list is derived from the
+        constructor signature (every parameter is stored under its own
+        name), so new knobs are picked up automatically.  Used by the
+        batched workbench service to derive per-request variants (e.g.
+        budgets) of one base configuration.
+        """
+        import inspect
+
+        settings = {
+            name: getattr(self, name)
+            for name in inspect.signature(Wishbone.__init__).parameters
+            if name != "self"
+        }
+        unknown = set(overrides) - set(settings)
+        if unknown:
+            raise TypeError(f"unknown Wishbone settings: {sorted(unknown)}")
+        settings.update(overrides)
+        return Wishbone(**settings)
+
+    def resolve_budgets(self, platform) -> tuple[float, float]:
+        """The effective (cpu, net) budgets on ``platform``.
+
+        ``None`` settings fall back to the platform's CPU budget fraction
+        and its radio goodput capacity (infinite without a radio); the net
+        budget is clamped to a large finite value for the solvers.
+        """
         cpu_budget = (
             self.cpu_budget
             if self.cpu_budget is not None
@@ -149,6 +179,19 @@ class Wishbone:
             net_budget = platform.radio.goodput_capacity_bytes
         else:
             net_budget = float("inf")
+        return cpu_budget, min(net_budget, NET_BUDGET_CAP)
+
+    # -- problem construction -----------------------------------------------
+
+    def build_problem(
+        self, profile: GraphProfile
+    ) -> tuple[PartitionProblem, dict[str, Pinning]]:
+        """Pin operators and assemble the weighted instance."""
+        platform = profile.platform
+        objective = self.objective or PartitionObjective(
+            alpha=platform.alpha, beta=platform.beta
+        )
+        cpu_budget, net_budget = self.resolve_budgets(platform)
         single_crossing = self.formulation is Formulation.RESTRICTED
         pins = compute_pinnings(
             profile.graph, self.mode, single_crossing=single_crossing
@@ -157,7 +200,7 @@ class Wishbone:
             profile,
             pins,
             cpu_budget=cpu_budget,
-            net_budget=min(net_budget, 1e15),
+            net_budget=net_budget,
             alpha=objective.alpha,
             beta=objective.beta,
             aggregate_fanin=self.aggregate_fanin,

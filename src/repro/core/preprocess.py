@@ -61,6 +61,20 @@ class ReducedProblem:
             cluster_of=self.cluster_of,
         )
 
+    def with_budgets(
+        self, cpu_budget: float, net_budget: float
+    ) -> "ReducedProblem":
+        """The same reduction under different budgets.
+
+        The §4.1 merge rule compares bandwidths and pins only — budgets
+        never enter it — so cluster membership is shared unchanged.
+        """
+        return ReducedProblem(
+            problem=self.problem.with_budgets(cpu_budget, net_budget),
+            members=self.members,
+            cluster_of=self.cluster_of,
+        )
+
 
 def _combine_pins(a: Pinning, b: Pinning) -> Pinning:
     if a is b:

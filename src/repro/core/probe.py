@@ -35,6 +35,7 @@ import numpy as np
 from ..profiler.records import GraphProfile
 from .cut import InfeasiblePartition
 from .preprocess import preprocess
+from .problem import NET_BUDGET_CAP
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .partitioner import PartitionResult, Wishbone
@@ -78,13 +79,15 @@ class ScaledProbe:
 
         self._base_c = self._arrays.c.copy()
         self._base_b_ub = self._arrays.b_ub.copy()
-        self._budget_rows = np.array(
-            [
-                i
-                for i, name in enumerate(self._arrays.ub_row_names)
-                if name in BUDGET_ROW_NAMES
-            ],
-            dtype=int,
+        # name -> row index for per-probe budget overrides; the array view
+        # of the same rows drives the per-factor rhs division.
+        self._budget_row_index = {
+            name: i
+            for i, name in enumerate(self._arrays.ub_row_names)
+            if name in BUDGET_ROW_NAMES
+        }
+        self._budget_rows = np.fromiter(
+            self._budget_row_index.values(), dtype=int
         )
         structural = np.ones(len(self._base_b_ub), dtype=bool)
         structural[self._budget_rows] = False
@@ -101,9 +104,28 @@ class ScaledProbe:
 
     # -- probing -----------------------------------------------------------
 
-    def _arrays_at(self, factor: float):
-        """The cached instance rescaled to ``factor`` (two vector edits)."""
+    def _arrays_at(
+        self,
+        factor: float,
+        cpu_budget: float | None = None,
+        net_budget: float | None = None,
+    ):
+        """The cached instance rescaled to ``factor`` (two vector edits).
+
+        ``cpu_budget``/``net_budget`` replace the corresponding budget-row
+        right-hand sides outright (before the rate division); ``None``
+        keeps the budgets the base formulation was built with.  Budgets
+        are the *only* place the instance depends on them — pins, the
+        §4.1 reduction, and every structural row are budget-invariant —
+        so an override is exactly two more scalar writes.
+        """
         b_ub = self._base_b_ub.copy()
+        if cpu_budget is not None and "cpu_budget" in self._budget_row_index:
+            b_ub[self._budget_row_index["cpu_budget"]] = cpu_budget
+        if net_budget is not None and "net_budget" in self._budget_row_index:
+            b_ub[self._budget_row_index["net_budget"]] = min(
+                net_budget, NET_BUDGET_CAP
+            )
         b_ub[self._budget_rows] = b_ub[self._budget_rows] / factor
         return self._arrays.with_objective(self._base_c * factor).with_b_ub(
             b_ub
@@ -140,36 +162,82 @@ class ScaledProbe:
             return None
         return self._relaxation
 
-    def partition(self, factor: float) -> "PartitionResult":
+    def partition(
+        self,
+        factor: float,
+        cpu_budget: float | None = None,
+        net_budget: float | None = None,
+    ) -> "PartitionResult":
         """Partition at ``factor`` times the profiled rate; raises on
-        infeasibility (mirrors :meth:`Wishbone.partition`)."""
+        infeasibility (mirrors :meth:`Wishbone.partition`).
+
+        ``cpu_budget``/``net_budget`` override the budgets the base
+        formulation was built with — the workbench's batched partition
+        service uses this to serve mixed-budget request batches from one
+        cached formulation and one persistent warm-started relaxation.
+        """
         if factor <= 0.0:
             raise ValueError("rate factor must be positive")
+        override = cpu_budget is not None or net_budget is not None
         if not self.incremental:
-            return self.partitioner.partition(self.profile.scaled(factor))
+            partitioner = self.partitioner
+            if override:
+                partitioner = partitioner.with_overrides(
+                    cpu_budget=(
+                        cpu_budget
+                        if cpu_budget is not None
+                        else partitioner.cpu_budget
+                    ),
+                    net_budget=(
+                        net_budget
+                        if net_budget is not None
+                        else partitioner.net_budget
+                    ),
+                )
+            return partitioner.partition(self.profile.scaled(factor))
 
         prep_start = time.perf_counter()
-        arrays = self._arrays_at(factor)
+        arrays = self._arrays_at(factor, cpu_budget, net_budget)
         relaxation = self._shared_relaxation(arrays)
         build_seconds = time.perf_counter() - prep_start
 
         solve_start = time.perf_counter()
         solution = self.partitioner.solve_arrays(arrays, relaxation=relaxation)
         solve_seconds = time.perf_counter() - solve_start
+        problem, reduced = self.problem, self.reduced
+        if override:
+            effective_cpu = (
+                cpu_budget if cpu_budget is not None else problem.cpu_budget
+            )
+            effective_net = (
+                min(net_budget, NET_BUDGET_CAP)
+                if net_budget is not None
+                else problem.net_budget
+            )
+            problem = problem.with_budgets(effective_cpu, effective_net)
+            if reduced is not None:
+                reduced = reduced.with_budgets(effective_cpu, effective_net)
         return self.partitioner.package_result(
             self.profile.graph,
-            self.problem.scaled(factor),
+            problem.scaled(factor),
             self.model,
             solution,
-            self.reduced.scaled(factor) if self.reduced is not None else None,
+            reduced.scaled(factor) if reduced is not None else None,
             self.pins,
             build_seconds,
             solve_seconds,
         )
 
-    def try_partition(self, factor: float) -> "PartitionResult | None":
+    def try_partition(
+        self,
+        factor: float,
+        cpu_budget: float | None = None,
+        net_budget: float | None = None,
+    ) -> "PartitionResult | None":
         """Like :meth:`partition` but returns ``None`` on infeasibility."""
         try:
-            return self.partition(factor)
+            return self.partition(
+                factor, cpu_budget=cpu_budget, net_budget=net_budget
+            )
         except InfeasiblePartition:
             return None

@@ -15,6 +15,11 @@ from ..dataflow.graph import Pinning, StreamGraph
 from ..profiler.records import GraphProfile
 from .cut import PartitionError
 
+#: Finite stand-in for an unlimited channel budget: infinities would
+#: poison the solvers' right-hand sides, so every path that resolves a
+#: net budget clamps to this single cap.
+NET_BUDGET_CAP = 1e15
+
 
 @dataclass(frozen=True)
 class WeightedEdge:
@@ -135,6 +140,28 @@ class PartitionProblem:
             self.respects_pins(node_set)
             and self.cpu_load(node_set) <= self.cpu_budget + tol
             and self.net_load(node_set) <= self.net_budget + tol
+        )
+
+    def with_budgets(
+        self, cpu_budget: float, net_budget: float
+    ) -> "PartitionProblem":
+        """The same instance under different resource budgets.
+
+        Budgets appear only in the feasibility checks and the two ILP
+        budget rows — pins, the §4.1 reduction, and the ILP's sparsity
+        structure are all budget-invariant — so a cached formulation can
+        serve requests at any budget pair by editing two right-hand
+        sides (see :class:`repro.core.probe.ScaledProbe`).
+        """
+        return PartitionProblem(
+            vertices=list(self.vertices),
+            cpu=dict(self.cpu),
+            edges=list(self.edges),
+            pins=dict(self.pins),
+            cpu_budget=cpu_budget,
+            net_budget=net_budget,
+            alpha=self.alpha,
+            beta=self.beta,
         )
 
     def scaled(self, factor: float) -> "PartitionProblem":

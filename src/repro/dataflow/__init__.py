@@ -18,6 +18,7 @@ from .graph import (
     StreamGraph,
     WorkCounts,
 )
+from .sink import SinkBuffer
 from .sizing import element_size
 from .validate import crosses_network_once, validate_graph
 
@@ -33,6 +34,7 @@ __all__ = [
     "OperatorContext",
     "OperatorStats",
     "Pinning",
+    "SinkBuffer",
     "Stream",
     "StreamGraph",
     "WorkCounts",

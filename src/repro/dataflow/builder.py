@@ -22,6 +22,7 @@ from .graph import (
     StreamGraph,
     WorkFunction,
 )
+from .sink import SinkBuffer
 
 
 class Stream:
@@ -252,7 +253,13 @@ class GraphBuilder:
         )
 
     def sink(self, name: str, stream: Stream) -> Stream:
-        """Terminal consumer on the server (prints/stores results)."""
+        """Terminal consumer on the server (prints/stores results).
+
+        Results accumulate in a :class:`~repro.dataflow.sink.SinkBuffer`:
+        fixed-width numpy rows are packed into one growable columnar
+        buffer (a batched chunk lands as a single vectorized copy), with
+        a transparent list fallback for ragged payloads.
+        """
         if self._namespace is not Namespace.SERVER:
             raise ValueError(
                 f"sink {name!r} must be created in the server namespace"
@@ -268,7 +275,7 @@ class GraphBuilder:
             name,
             work=work,
             inputs=[stream],
-            make_state=list,
+            make_state=SinkBuffer,
             side_effects=True,
             is_sink=True,
             work_batch=work_batch,

@@ -32,6 +32,7 @@ from typing import Any, Iterator
 import numpy as np
 
 from .graph import Edge, GraphError, Operator, OperatorContext, StreamGraph, WorkCounts
+from .sink import SinkBuffer, rows_to_array
 from .sizing import element_size
 
 
@@ -136,6 +137,21 @@ class Executor:
         if not op.is_sink:
             raise GraphError(f"{name!r} is not a sink")
         return list(self._state[name])
+
+    def sink_array(self, name: str) -> np.ndarray:
+        """Collected sink elements as one columnar array (rows on axis 0).
+
+        Fixed-width results come straight out of the sink's packed
+        :class:`~repro.dataflow.sink.SinkBuffer`; ragged payloads are
+        converted on the way out.
+        """
+        op = self.graph.operators[name]
+        if not op.is_sink:
+            raise GraphError(f"{name!r} is not a sink")
+        state = self._state[name]
+        if isinstance(state, SinkBuffer):
+            return state.to_array()
+        return rows_to_array(list(state))
 
     # -- touch tracking ------------------------------------------------------
 

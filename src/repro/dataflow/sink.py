@@ -1,0 +1,176 @@
+"""Columnar sink storage.
+
+Sink operators used to accumulate a plain Python list of result rows —
+one boxed object per element, which dominates sink cost once the rest of
+the pipeline runs batched (ROADMAP "columnar sink storage" item).  A
+:class:`SinkBuffer` stores fixed-width numpy results in one preallocated,
+geometrically grown buffer instead: a batched chunk lands as a single
+vectorized copy, and the collected results are available as one columnar
+array without a per-row conversion pass.
+
+The buffer is deliberately conservative about what it packs:
+
+* numpy scalars and same-shape/same-dtype numpy arrays go to the
+  columnar buffer;
+* anything else (Python objects, ragged arrays, dtype changes mid-run)
+  transparently degrades the whole buffer to a plain list, preserving
+  every stored value.
+
+Iteration yields exactly the rows that were appended (numpy scalars for
+1-D buffers, row views for 2-D), so ``list(buffer)`` keeps the historical
+``Executor.sink_values`` behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+import numpy as np
+
+#: Initial row capacity of a fresh columnar buffer.
+_INITIAL_CAPACITY = 64
+
+
+def rows_to_array(rows: list[Any]) -> np.ndarray:
+    """Rows as one array; ragged rows fall back to a 1-D object array."""
+    try:
+        return np.asarray(rows)
+    except ValueError:
+        out = np.empty(len(rows), dtype=object)
+        for i, row in enumerate(rows):
+            out[i] = row
+        return out
+
+
+class SinkBuffer:
+    """Append-only result store with a columnar numpy fast path."""
+
+    __slots__ = ("_buf", "_len", "_fallback")
+
+    def __init__(self) -> None:
+        self._buf: np.ndarray | None = None  # rows on axis 0
+        self._len = 0
+        self._fallback: list[Any] | None = None
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def columnar(self) -> bool:
+        """True while rows live in the packed numpy buffer."""
+        return self._fallback is None
+
+    def __len__(self) -> int:
+        if self._fallback is not None:
+            return len(self._fallback)
+        return self._len
+
+    def __iter__(self) -> Iterator[Any]:
+        if self._fallback is not None:
+            return iter(self._fallback)
+        if self._buf is None:
+            return iter(())
+        return iter(self._buf[: self._len])
+
+    def __getitem__(self, index):
+        if self._fallback is not None:
+            return self._fallback[index]
+        if self._buf is None:
+            raise IndexError(index)
+        return self._buf[: self._len][index]
+
+    def rows(self) -> list[Any]:
+        """The stored rows as a list (compatibility view)."""
+        return list(self)
+
+    def to_array(self) -> np.ndarray:
+        """The collected results as one array (rows on the first axis).
+
+        Ragged payloads (list-fallback mode) come back as a 1-D object
+        array rather than raising.
+        """
+        if self._fallback is not None:
+            return rows_to_array(self._fallback)
+        if self._buf is None:
+            return np.empty(0)
+        return self._buf[: self._len].copy()
+
+    # -- writing -----------------------------------------------------------
+
+    def _degrade(self) -> None:
+        """Move existing columnar rows to a plain list (ragged payloads).
+
+        Rows are copied out of a compacted buffer first — plain views
+        would pin the whole over-allocated capacity array alive for the
+        sink's lifetime.
+        """
+        if self._buf is not None:
+            self._fallback = list(self._buf[: self._len].copy())
+        else:
+            self._fallback = []
+        self._buf = None
+        self._len = 0
+
+    def _ensure_capacity(self, extra: int) -> None:
+        assert self._buf is not None
+        needed = self._len + extra
+        if needed <= len(self._buf):
+            return
+        capacity = max(len(self._buf) * 2, needed)
+        grown = np.empty((capacity,) + self._buf.shape[1:], self._buf.dtype)
+        grown[: self._len] = self._buf[: self._len]
+        self._buf = grown
+
+    def _matches(self, row_shape: tuple[int, ...], dtype: np.dtype) -> bool:
+        assert self._buf is not None
+        return self._buf.shape[1:] == row_shape and self._buf.dtype == dtype
+
+    def append(self, item: Any) -> None:
+        """Store one result row."""
+        if self._fallback is not None:
+            self._fallback.append(item)
+            return
+        if isinstance(item, (np.ndarray, np.generic)):
+            arr = np.asarray(item)
+            if arr.dtype != object:
+                if self._buf is None:
+                    self._buf = np.empty(
+                        (_INITIAL_CAPACITY,) + arr.shape, arr.dtype
+                    )
+                elif not self._matches(arr.shape, arr.dtype):
+                    self._degrade()
+                    self._fallback.append(item)
+                    return
+                self._ensure_capacity(1)
+                self._buf[self._len] = arr
+                self._len += 1
+                return
+        self._degrade()
+        self._fallback.append(item)
+
+    def extend(self, values: Any) -> None:
+        """Store a whole batch of rows (one vectorized copy when packed)."""
+        if self._fallback is not None:
+            self._fallback.extend(values)
+            return
+        if isinstance(values, np.ndarray) and values.dtype != object:
+            n = len(values)
+            if n == 0:
+                return
+            row_shape = values.shape[1:]
+            if self._buf is None:
+                capacity = max(_INITIAL_CAPACITY, n)
+                self._buf = np.empty((capacity,) + row_shape, values.dtype)
+            elif not self._matches(row_shape, values.dtype):
+                self._degrade()
+                self._fallback.extend(values)
+                return
+            self._ensure_capacity(n)
+            self._buf[self._len : self._len + n] = values
+            self._len += n
+            return
+        for item in values:
+            self.append(item)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "columnar" if self.columnar else "list"
+        return f"SinkBuffer({len(self)} rows, {kind})"

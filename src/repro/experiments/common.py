@@ -1,73 +1,114 @@
-"""Shared scenario builders for the experiment harnesses.
+"""Shared scenario access for the experiment harnesses.
 
-Profiling runs are cached per parameter set: the paper's methodology
-profiles once and then re-partitions under many budgets/rates (profiles
-scale linearly with rate, §4.3), and our harnesses do the same.
+The harnesses follow the paper's methodology — profile once, then
+re-partition under many budgets/rates (§4.3) — through the workbench's
+:class:`~repro.workbench.store.ProfileStore`: measurements are cached by
+content hash (scenario + params + profiler configuration) and every
+caller gets *defensive copies* materialized from the cached payload, so
+one harness mutating a graph or profile can never corrupt another.
 
-All harness profiling runs use the batched executor
-(``Profiler(batch=True)``): the measurement is provably identical to the
-scalar run (see ``tests/dataflow/test_batch_equivalence.py``), and every
-figure driver built on these helpers inherits the speedup.
+Set the ``REPRO_STORE`` environment variable to a directory to make the
+cache durable across processes; by default it lives in memory for the
+current process only.
+
+All harness profiling runs use the batched executor (the workbench
+default): the measurement is provably identical to the scalar run (see
+``tests/dataflow/test_batch_equivalence.py``), and every figure driver
+built on these helpers inherits the speedup.
+
+The pre-workbench helpers (``speech_measurement``, ``eeg_measurement``,
+``speech_profile``, ``eeg_profile``) remain as deprecated shims.
 """
 
 from __future__ import annotations
 
-import functools
+import os
+import warnings
 
-from ..apps.eeg import build_eeg_pipeline, source_rates, synth_eeg
-from ..apps.speech import (
-    FRAMES_PER_SEC,
-    build_speech_pipeline,
-    synth_speech_audio,
-)
 from ..dataflow.graph import StreamGraph
-from ..profiler.profiler import Measurement, Profiler
-from ..profiler.records import GraphProfile
 from ..platforms import get_platform
+from ..profiler.profiler import Measurement
+from ..profiler.records import GraphProfile
+from ..workbench.store import ProfileStore
+
+#: Environment variable naming a durable store directory.
+STORE_ENV = "REPRO_STORE"
+
+_STORE: ProfileStore | None = None
 
 
-@functools.lru_cache(maxsize=4)
+def default_store() -> ProfileStore:
+    """The process-wide store the harnesses share (honours ``REPRO_STORE``)."""
+    global _STORE
+    if _STORE is None:
+        root = os.environ.get(STORE_ENV)
+        _STORE = ProfileStore(root or None)
+    return _STORE
+
+
+def clear_cache() -> None:
+    """Drop the in-process handle to the shared store.
+
+    The next :func:`default_store` call re-reads ``REPRO_STORE`` — note
+    that entries in a durable store directory survive this; only the
+    in-memory payload cache is discarded.  Benchmarks that must time
+    *fresh* profiling should use a private ``ProfileStore()`` instead.
+    """
+    global _STORE
+    _STORE = None
+
+
+def measurement_for(
+    scenario: str, **params
+) -> tuple[StreamGraph, Measurement]:
+    """(graph, measurement) for a registered scenario, cached by content."""
+    return default_store().measurement(scenario, params)
+
+
+def profile_for(scenario: str, platform_name: str, **params) -> GraphProfile:
+    """A scenario's profile costed on a named platform."""
+    _, measurement = measurement_for(scenario, **params)
+    return measurement.on(get_platform(platform_name))
+
+
+# ---------------------------------------------------------------------------
+# Deprecated pre-workbench entry points
+# ---------------------------------------------------------------------------
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.experiments.common.{old} is deprecated; use {new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def speech_measurement(
     duration_s: float = 2.0, seed: int = 0
 ) -> tuple[StreamGraph, Measurement]:
-    """The speech pipeline profiled on synthetic audio."""
-    graph = build_speech_pipeline()
-    audio = synth_speech_audio(duration_s=duration_s, seed=seed)
-    measurement = Profiler(track_peak=False, batch=True).measure(
-        graph,
-        {"source": audio.frames()},
-        {"source": FRAMES_PER_SEC},
-    )
-    return graph, measurement
+    """Deprecated: use ``measurement_for("speech", ...)``."""
+    _deprecated("speech_measurement", 'measurement_for("speech", ...)')
+    return measurement_for("speech", duration_s=duration_s, seed=seed)
 
 
-@functools.lru_cache(maxsize=4)
 def eeg_measurement(
     n_channels: int = 22, duration_s: float = 8.0, seed: int = 0
 ) -> tuple[StreamGraph, Measurement]:
-    """The EEG pipeline profiled on synthetic background EEG."""
-    graph = build_eeg_pipeline(n_channels=n_channels)
-    recording = synth_eeg(
-        n_channels=n_channels,
-        duration_s=duration_s,
-        seizure_intervals=(),
-        seed=seed,
+    """Deprecated: use ``measurement_for("eeg", ...)``."""
+    _deprecated("eeg_measurement", 'measurement_for("eeg", ...)')
+    return measurement_for(
+        "eeg", n_channels=n_channels, duration_s=duration_s, seed=seed
     )
-    measurement = Profiler(track_peak=False, batch=True).measure(
-        graph,
-        recording.source_data(),
-        source_rates(n_channels),
-    )
-    return graph, measurement
 
 
 def speech_profile(platform_name: str) -> GraphProfile:
-    """Speech profile on a named platform."""
-    _, measurement = speech_measurement()
-    return measurement.on(get_platform(platform_name))
+    """Deprecated: use ``profile_for("speech", platform_name)``."""
+    _deprecated("speech_profile", 'profile_for("speech", ...)')
+    return profile_for("speech", platform_name)
 
 
 def eeg_profile(platform_name: str, n_channels: int = 22) -> GraphProfile:
-    """EEG profile on a named platform."""
-    _, measurement = eeg_measurement(n_channels=n_channels)
-    return measurement.on(get_platform(platform_name))
+    """Deprecated: use ``profile_for("eeg", platform_name, ...)``."""
+    _deprecated("eeg_profile", 'profile_for("eeg", ...)')
+    return profile_for("eeg", platform_name, n_channels=n_channels)

@@ -15,10 +15,8 @@ These regenerate the behaviours the paper sketches as future work:
 
 from __future__ import annotations
 
-import functools
 from dataclasses import dataclass
 
-from ..apps.leak import WINDOWS_PER_SEC, build_leak_pipeline, synth_leak_data
 from ..apps.speech import PIPELINE_ORDER
 from ..core.partitioner import (
     PartitionObjective,
@@ -35,27 +33,19 @@ from ..core.three_tier import (
 )
 from ..network.testbed import Testbed
 from ..platforms import get_platform
-from ..profiler.profiler import Measurement, Profiler
+from ..profiler.profiler import Measurement
 from ..runtime.deployment import Deployment
 from ..solver.branch_bound import BranchAndBound
-from .common import speech_measurement
+from .common import measurement_for
 
 
 # ---------------------------------------------------------------------------
 # In-network aggregation
 # ---------------------------------------------------------------------------
 
-@functools.lru_cache(maxsize=2)
 def leak_measurement(seed: int = 0) -> tuple[object, Measurement]:
-    graph = build_leak_pipeline()
-    recording = synth_leak_data(duration_s=10.0, leak_start_s=None,
-                                seed=seed)
-    measurement = Profiler(track_peak=False, batch=True).measure(
-        graph,
-        recording.source_data(),
-        {"vibration": WINDOWS_PER_SEC},
-    )
-    return graph, measurement
+    """The leak pipeline profiled via the shared workbench store."""
+    return measurement_for("leak", seed=seed)
 
 
 @dataclass(frozen=True)
@@ -113,7 +103,7 @@ def mixed_network_partitions(
     platform_names: tuple[str, ...] = ("tmote", "n80", "meraki"),
 ) -> list[MixedNetworkRow]:
     """One logical program, one physical partition per node type (§9)."""
-    _, measurement = speech_measurement()
+    _, measurement = measurement_for("speech")
     rows: list[MixedNetworkRow] = []
     for name in platform_names:
         profile = measurement.on(get_platform(name))
@@ -169,7 +159,7 @@ def speech_three_tier(
     """
     import time
 
-    graph, measurement = speech_measurement()
+    graph, measurement = measurement_for("speech")
     mote_profile = measurement.on(get_platform(mote)).scaled(rate_factor)
     micro_profile = measurement.on(get_platform(micro)).scaled(rate_factor)
     pins = compute_pinnings(graph, RelocationMode.PERMISSIVE)

@@ -29,7 +29,7 @@ from ..core.partitioner import (
     RelocationMode,
     Wishbone,
 )
-from .common import eeg_measurement
+from .common import measurement_for
 from ..platforms import get_platform
 
 
@@ -64,7 +64,7 @@ def run(
         rate_factors = tuple(
             float(x) for x in np.linspace(0.5, max_factor, n_points)
         )
-    _, measurement = eeg_measurement(n_channels=1)
+    _, measurement = measurement_for("eeg", n_channels=1)
     points: list[Fig5aPoint] = []
     wishbone = partitioner()
     for platform_name in platforms:

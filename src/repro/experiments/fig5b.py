@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 from ..apps.speech import PIPELINE_ORDER, VIABLE_CUTPOINTS
 from ..platforms import FIG5B_PLATFORMS, get_platform
-from .common import speech_measurement
+from .common import measurement_for
 
 
 @dataclass(frozen=True)
@@ -33,7 +33,7 @@ def run(
     platforms: tuple[str, ...] = FIG5B_PLATFORMS,
     cutpoints: tuple[str, ...] = VIABLE_CUTPOINTS,
 ) -> list[Fig5bBar]:
-    _, measurement = speech_measurement()
+    _, measurement = measurement_for("speech")
     bars: list[Fig5bBar] = []
     for platform_name in platforms:
         profile = measurement.on(get_platform(platform_name))

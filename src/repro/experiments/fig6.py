@@ -29,7 +29,7 @@ from ..core.partitioner import (
     Wishbone,
 )
 from ..platforms import get_platform
-from .common import eeg_measurement
+from .common import measurement_for
 
 #: Environment variable to scale the number of solver invocations
 #: (paper: 2100; default here is small enough for CI).
@@ -95,7 +95,7 @@ def run(
         n_runs = int(os.environ.get(RUNS_ENV, "21"))
     if n_channels is None:
         n_channels = int(os.environ.get(CHANNELS_ENV, "22"))
-    graph, measurement = eeg_measurement(n_channels=n_channels)
+    graph, measurement = measurement_for("eeg", n_channels=n_channels)
     profile = measurement.on(get_platform("tmote"))
 
     wishbone = Wishbone(

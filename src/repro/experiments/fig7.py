@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 from ..apps.speech import PIPELINE_ORDER
 from ..platforms import get_platform
-from .common import speech_measurement
+from .common import measurement_for
 
 
 @dataclass(frozen=True)
@@ -29,7 +29,7 @@ class Fig7Row:
 
 
 def run(platform_name: str = "tmote") -> list[Fig7Row]:
-    graph, measurement = speech_measurement()
+    graph, measurement = measurement_for("speech")
     profile = measurement.on(get_platform(platform_name))
     n_frames = measurement.stats.source_inputs["source"]
     rows: list[Fig7Row] = []

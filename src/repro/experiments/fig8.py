@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from ..apps.speech import PIPELINE_ORDER
 from ..platforms import get_platform
-from .common import speech_measurement
+from .common import measurement_for
 
 #: Paper's Figure 8 legend: Mote, N80, PC.
 DEFAULT_PLATFORMS = ("tmote", "n80", "server")
@@ -53,7 +53,7 @@ class Fig8Result:
 
 
 def run(platforms: tuple[str, ...] = DEFAULT_PLATFORMS) -> Fig8Result:
-    _, measurement = speech_measurement()
+    _, measurement = measurement_for("speech")
     profiles = {
         name: measurement.on(get_platform(name)) for name in platforms
     }

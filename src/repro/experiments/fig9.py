@@ -18,7 +18,7 @@ from ..apps.speech import DEPLOYMENT_CUTPOINTS, node_set_for_cut
 from ..network.testbed import Testbed
 from ..platforms import get_platform
 from ..runtime.deployment import Deployment
-from .common import speech_measurement
+from .common import measurement_for
 
 
 @dataclass(frozen=True)
@@ -36,7 +36,7 @@ def run(
     rate_factor: float = 1.0,
 ) -> list[Fig9Row]:
     """Evaluate every deployment cutpoint on an ``n_nodes`` testbed."""
-    graph, measurement = speech_measurement()
+    graph, measurement = measurement_for("speech")
     platform = get_platform(platform_name)
     profile = measurement.on(platform).scaled(rate_factor)
     testbed = Testbed(platform, n_nodes=n_nodes)

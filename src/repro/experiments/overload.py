@@ -28,7 +28,7 @@ from ..core.rate_search import RateSearch
 from ..network.netprofiler import NetworkProfiler
 from ..network.testbed import Testbed
 from ..platforms import get_platform
-from .common import speech_measurement
+from .common import measurement_for
 
 
 @dataclass
@@ -50,7 +50,7 @@ def run(
 ) -> OverloadReport:
     """Network profile + §4.3 rate search on the speech application."""
     platform = get_platform(platform_name)
-    _, measurement = speech_measurement()
+    _, measurement = measurement_for("speech")
     profile = measurement.on(platform)
 
     testbed = Testbed(platform, n_nodes=n_nodes)
@@ -100,7 +100,7 @@ def prediction_error(
     platforms: tuple[str, ...] = ("gumstix", "tmote", "n80", "meraki"),
 ) -> list[OverheadRow]:
     """Predicted vs. deployed CPU for the whole pipeline on the node."""
-    _, measurement = speech_measurement()
+    _, measurement = measurement_for("speech")
     rows: list[OverheadRow] = []
     for name in platforms:
         platform = get_platform(name)

@@ -52,6 +52,12 @@ from .simplex import solve_lp
 from .solution import IncumbentEvent, Solution, SolveStatus
 
 _INT_TOL = 1e-6
+#: Feasibility tolerance for validating *rounded* integer candidates
+#: against the original constraints.  Matches HiGHS's primal feasibility
+#: tolerance: an LP point is trusted to that precision and no further —
+#: an LP vertex may sit within ``_INT_TOL`` of an integer point whose
+#: exact constraint residual is far larger than the LP's own slack.
+_FEAS_TOL = 1e-7
 
 
 @dataclass(order=True)
@@ -177,14 +183,26 @@ class BranchAndBound:
         lb: np.ndarray,
         ub: np.ndarray,
         x: np.ndarray,
-        tol: float = 1e-6,
+        tol: float = _FEAS_TOL,
     ) -> bool:
+        """Exact-arithmetic feasibility of ``x`` within ``tol``.
+
+        Row tolerances scale with the right-hand side (``tol * max(1,
+        |b|)``): constraint rows are unnormalized — budget rows can carry
+        byte/sec coefficients of 1e3-1e5 against right-hand sides up to
+        the net-budget cap — and an absolute cutoff there would reject
+        points the (internally scaled) LP engine rightly calls feasible.
+        """
         if np.any(x < lb - tol) or np.any(x > ub + tol):
             return False
-        if arrays.a_ub.size and np.any(arrays.a_ub @ x > arrays.b_ub + tol):
-            return False
-        if arrays.a_eq.size and np.any(np.abs(arrays.a_eq @ x - arrays.b_eq) > tol):
-            return False
+        if arrays.a_ub.size:
+            row_tol = tol * np.maximum(1.0, np.abs(arrays.b_ub))
+            if np.any(arrays.a_ub @ x > arrays.b_ub + row_tol):
+                return False
+        if arrays.a_eq.size:
+            row_tol = tol * np.maximum(1.0, np.abs(arrays.b_eq))
+            if np.any(np.abs(arrays.a_eq @ x - arrays.b_eq) > row_tol):
+                return False
         return True
 
     def _round_heuristic(
@@ -207,6 +225,71 @@ class BranchAndBound:
         if self._feasible(arrays, lb, ub, candidate):
             return candidate
         return None
+
+    def _integral_candidate(
+        self,
+        arrays: StandardArrays,
+        lb: np.ndarray,
+        ub: np.ndarray,
+        x: np.ndarray,
+        int_indices: np.ndarray,
+    ) -> np.ndarray | None:
+        """Validate a near-integral LP point as a true integer solution.
+
+        An LP vertex with every integer variable within ``_INT_TOL`` of an
+        integer is only *tolerance*-feasible: the exact integer point it
+        implies can violate a tight constraint (e.g. the CPU-budget
+        knapsack row) by up to ``|a| * _INT_TOL`` — orders of magnitude
+        beyond the LP engine's own feasibility tolerance.  Accepting such
+        a point as an incumbent makes the solver report "optimal"
+        assignments that fail an exact budget check downstream.  Returns
+        the rounded candidate when it satisfies the original constraints
+        within ``_FEAS_TOL``, else ``None`` (the caller branches on the
+        worst-deviation variable instead).
+        """
+        candidate = x.copy()
+        candidate[int_indices] = np.round(candidate[int_indices])
+        if self._feasible(arrays, lb, ub, candidate):
+            return candidate
+        if np.array_equal(candidate, x):
+            # The LP point is *exactly* integral yet fails our re-check:
+            # the residual is pure summation noise between our dense dot
+            # product and the engine's sparse one.  Trust the engine.
+            return candidate
+        return None
+
+    @staticmethod
+    def _deviation_branch(
+        x: np.ndarray,
+        int_indices: np.ndarray,
+        bounds_of: "Callable[[int], tuple[float, float]]",
+    ) -> int:
+        """Branch variable for a rejected near-integral point.
+
+        Picks the integer variable farthest from its rounded value (all
+        are within ``_INT_TOL``, so the ordinary fractionality rule sees
+        none of them); fixing it to either neighbouring integer forces
+        the LP to absorb the rounding error exactly.  Variables whose
+        floor/ceil branch cannot *strictly tighten* their current box are
+        skipped — branching an already-fixed variable would recreate the
+        parent node verbatim and loop.  Returns -1 when no variable
+        qualifies (the node is pruned).
+        """
+        if len(int_indices) == 0:
+            return -1
+        deviation = np.abs(x[int_indices] - np.round(x[int_indices]))
+        for pos in np.argsort(-deviation):
+            if deviation[pos] <= 0.0:
+                break
+            idx = int(int_indices[pos])
+            blb, bub = bounds_of(idx)
+            floor_val = math.floor(x[idx])
+            ceil_val = math.ceil(x[idx])
+            down_ok = blb <= floor_val < bub
+            up_ok = blb < ceil_val <= bub
+            if down_ok or up_ok:
+                return idx
+        return -1
 
     # -- main entry ---------------------------------------------------------
 
@@ -319,16 +402,22 @@ class BranchAndBound:
 
         x_root = root.x
         if self._check_integral(x_root, int_indices):
-            record_incumbent(x_root, root.objective)
-            return finish(SolveStatus.OPTIMAL, root.objective)
-
-        rounded = self._round_heuristic(
-            arrays, lb_orig, ub_orig, x_root, int_indices
-        )
-        if rounded is not None:
-            record_incumbent(rounded, float(arrays.c @ rounded))
-            if root.objective >= cutoff():
-                return finish(SolveStatus.OPTIMAL, incumbent_obj)
+            candidate = self._integral_candidate(
+                arrays, lb_orig, ub_orig, x_root, int_indices
+            )
+            if candidate is not None:
+                record_incumbent(candidate, float(arrays.c @ candidate))
+                return finish(SolveStatus.OPTIMAL, root.objective)
+            # Rounded point violates a constraint: fall through to the
+            # tree, which branches on the worst-deviation variable.
+        else:
+            rounded = self._round_heuristic(
+                arrays, lb_orig, ub_orig, x_root, int_indices
+            )
+            if rounded is not None:
+                record_incumbent(rounded, float(arrays.c @ rounded))
+                if root.objective >= cutoff():
+                    return finish(SolveStatus.OPTIMAL, incumbent_obj)
 
         # Reduced-cost fixing at the root (Dantzig): a nonbasic integer
         # variable at its bound with reduced cost d must raise the LP bound
@@ -431,26 +520,50 @@ class BranchAndBound:
                     continue  # pruned by bound
 
             x = relax.x
-            if run_checks:
-                if self._check_integral(x, int_indices):
-                    record_incumbent(x, relax.objective)
-                    continue
+            if run_checks and not self._check_integral(x, int_indices):
                 rounded = self._round_heuristic(
                     arrays, lb_orig, ub_orig, x, int_indices
                 )
                 if rounded is not None:
                     record_incumbent(rounded, float(arrays.c @ rounded))
 
+            def bounds_of(idx: int) -> tuple[float, float]:
+                if idx in node.var_bounds:
+                    return node.var_bounds[idx]
+                return float(lb0[idx]), float(ub0[idx])
+
             branch_idx, _ = self._fractionality(x, int_indices)
             if branch_idx < 0:
-                record_incumbent(x, relax.objective)
-                continue
+                # Every integer variable is within _INT_TOL of an integer;
+                # accept only if the exact rounded point checks out, else
+                # branch on the worst-deviation variable so the LP absorbs
+                # the rounding error exactly.
+                candidate = self._integral_candidate(
+                    arrays, lb_orig, ub_orig, x, int_indices
+                )
+                if candidate is not None:
+                    record_incumbent(candidate, float(arrays.c @ candidate))
+                    continue
+                branch_idx = self._deviation_branch(x, int_indices, bounds_of)
+                if branch_idx < 0:
+                    # Every deviating variable sits at a box bound within
+                    # noise, so no branch can absorb the rounding error.
+                    # Dropping the node could turn a feasible instance
+                    # into INFEASIBLE; defer to the engine's feasibility
+                    # verdict instead and accept the rounded point (the
+                    # pre-validation behaviour, now reachable only via
+                    # bound-tolerance noise).
+                    fallback = x.copy()
+                    fallback[int_indices] = np.round(fallback[int_indices])
+                    record_incumbent(fallback, float(arrays.c @ fallback))
+                    continue
             value = x[branch_idx]
-            if branch_idx in node.var_bounds:
-                blb, bub = node.var_bounds[branch_idx]
-            else:
-                blb, bub = float(lb0[branch_idx]), float(ub0[branch_idx])
+            blb, bub = bounds_of(branch_idx)
             floor_val, ceil_val = math.floor(value), math.ceil(value)
+            if floor_val >= ceil_val:
+                # Deviation branching on an exactly-integral value cannot
+                # tighten the box; prune rather than loop.
+                continue
             down = dict(node.var_bounds)
             down[branch_idx] = (blb, float(floor_val))
             up = dict(node.var_bounds)
@@ -464,14 +577,27 @@ class BranchAndBound:
                     depth=node.depth + 1,
                     basis=relax.basis,
                 )
-                for child in (down, up)
+                # A child is kept only when its branch interval is
+                # non-empty AND strictly tighter than the parent's box —
+                # an identical child (deviation branching on a variable
+                # at a bound) would re-solve the same node forever, and
+                # an empty interval is trivially infeasible.
+                for child, valid in (
+                    (down, blb <= floor_val < bub),
+                    (up, blb < ceil_val <= bub),
+                )
+                if valid
             ]
-            if self.dive:
+            if not children:
+                continue
+            if self.dive and len(children) == 2:
                 # Dive toward the rounding-preferred side; the sibling goes
                 # to the heap so the global bound stays exact.
                 preferred = 0 if (value - floor_val) <= 0.5 else 1
                 dive_next = children[preferred]
                 heapq.heappush(heap, children[1 - preferred])
+            elif self.dive:
+                dive_next = children[0]
             else:
                 for child in children:
                     heapq.heappush(heap, child)

@@ -1,0 +1,67 @@
+"""The workbench: sessions, scenarios, durable artifacts, batched serving.
+
+This subpackage is the canonical public surface of the reproduction —
+the profile-once / re-partition-many workflow of the paper packaged as
+an embeddable service API:
+
+* :mod:`~repro.workbench.scenarios` — a registry of named, parameterized
+  workloads (EEG, speech, and leak detection ship pre-registered);
+* :mod:`~repro.workbench.artifacts` — versioned JSON (+ npz) round-trips
+  for measurements, profiles, partitions, and rate-search results;
+* :mod:`~repro.workbench.store` — a content-hash-keyed
+  :class:`ProfileStore` that makes profiling durable across processes
+  and hands every caller defensive copies;
+* :mod:`~repro.workbench.session` — :class:`Session` /
+  :class:`PartitionService`, including ``partition_many`` batching that
+  amortizes formulation and solver warm starts across whole request
+  batches.
+"""
+
+from .artifacts import (
+    SCHEMA_VERSION,
+    ArtifactError,
+    from_json,
+    graph_fingerprint,
+    load_artifact,
+    save_artifact,
+    to_json,
+)
+from .scenarios import (
+    Scenario,
+    WorkbenchError,
+    get_scenario,
+    list_scenarios,
+    register_builtin_scenarios,
+    register_scenario,
+    unregister_scenario,
+)
+from .session import (
+    PartitionRequest,
+    PartitionService,
+    RateSearchRequest,
+    Session,
+)
+from .store import ProfileStore, StoreStats
+
+__all__ = [
+    "ArtifactError",
+    "PartitionRequest",
+    "PartitionService",
+    "ProfileStore",
+    "RateSearchRequest",
+    "SCHEMA_VERSION",
+    "Scenario",
+    "Session",
+    "StoreStats",
+    "WorkbenchError",
+    "from_json",
+    "get_scenario",
+    "graph_fingerprint",
+    "list_scenarios",
+    "load_artifact",
+    "register_builtin_scenarios",
+    "register_scenario",
+    "save_artifact",
+    "to_json",
+    "unregister_scenario",
+]

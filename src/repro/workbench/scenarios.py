@@ -1,0 +1,240 @@
+"""The scenario registry: named, parameterized workloads.
+
+A :class:`Scenario` bundles everything the workbench needs to go from a
+name to a profiled application: a graph builder, a synthetic-input
+generator, and the per-source element rates.  The paper's three
+applications (EEG seizure detection §6.1, acoustic speech detection
+§6.2, and the §9 leak-detection extension) ship pre-registered; a new
+workload is one :func:`register_scenario` call instead of a new
+experiment file.
+
+Scenario parameters are declared with their defaults and hashed into the
+:class:`~repro.workbench.store.ProfileStore` content key, so any two
+sessions asking for the same (scenario, params, profiler) triple share
+one cached measurement — across processes when the store is on disk.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from ..dataflow.graph import StreamGraph
+
+
+class WorkbenchError(Exception):
+    """Raised for invalid workbench requests (unknown scenario, bad params)."""
+
+
+#: (source_data, source_rates) as produced by a scenario's input factory.
+ScenarioInputs = tuple[dict[str, list[Any]], dict[str, float]]
+
+
+def _accepted_params(fn: Callable[..., Any]) -> set[str] | None:
+    """Parameter names ``fn`` accepts, or ``None`` if it takes **kwargs."""
+    params = inspect.signature(fn).parameters
+    if any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    ):
+        return None
+    return {
+        name
+        for name, p in params.items()
+        if p.kind
+        in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        )
+    }
+
+
+def _call_with_supported(fn: Callable[..., Any], params: dict[str, Any]):
+    accepted = _accepted_params(fn)
+    if accepted is None:
+        return fn(**params)
+    return fn(**{k: v for k, v in params.items() if k in accepted})
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A registered workload.
+
+    Args:
+        name: registry key (e.g. ``"eeg"``).
+        description: one-line summary shown by ``python -m repro scenarios``.
+        build_graph: callable returning a fresh :class:`StreamGraph`;
+            receives the subset of the scenario parameters it accepts.
+        make_inputs: callable returning ``(source_data, source_rates)``
+            for profiling; receives the subset of parameters it accepts.
+        defaults: the full parameter set with default values.  Every
+            override passed to a :class:`~repro.workbench.session.Session`
+            must name one of these.
+        version: bumped when the scenario's semantics change, so stale
+            store entries stop matching.
+    """
+
+    name: str
+    description: str
+    build_graph: Callable[..., StreamGraph]
+    make_inputs: Callable[..., ScenarioInputs]
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    version: int = 1
+
+    def resolve_params(self, overrides: Mapping[str, Any]) -> dict[str, Any]:
+        """Defaults merged with ``overrides``; rejects unknown names."""
+        unknown = set(overrides) - set(self.defaults)
+        if unknown:
+            raise WorkbenchError(
+                f"scenario {self.name!r} has no parameters {sorted(unknown)}; "
+                f"known: {sorted(self.defaults)}"
+            )
+        params = dict(self.defaults)
+        params.update(overrides)
+        return params
+
+    def build(self, params: Mapping[str, Any]) -> StreamGraph:
+        """A fresh graph instance for fully-resolved ``params``."""
+        return _call_with_supported(self.build_graph, dict(params))
+
+    def inputs(self, params: Mapping[str, Any]) -> ScenarioInputs:
+        """Synthetic profiling inputs for fully-resolved ``params``."""
+        return _call_with_supported(self.make_inputs, dict(params))
+
+    def instantiate(
+        self, overrides: Mapping[str, Any] | None = None
+    ) -> tuple[StreamGraph, dict[str, list[Any]], dict[str, float]]:
+        """(graph, source_data, source_rates) in one call."""
+        params = self.resolve_params(overrides or {})
+        graph = self.build(params)
+        source_data, source_rates = self.inputs(params)
+        return graph, source_data, source_rates
+
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, replace: bool = False) -> Scenario:
+    """Add a scenario to the global registry; returns it for chaining."""
+    if scenario.name in _REGISTRY and not replace:
+        raise WorkbenchError(
+            f"scenario {scenario.name!r} is already registered "
+            "(pass replace=True to overwrite)"
+        )
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a scenario (tests and interactive experimentation)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_scenario(name: str | Scenario) -> Scenario:
+    """Look up a scenario by name (a Scenario passes through unchanged)."""
+    if isinstance(name, Scenario):
+        return name
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise WorkbenchError(
+            f"unknown scenario {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_scenarios() -> list[Scenario]:
+    """All registered scenarios, sorted by name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+# ---------------------------------------------------------------------------
+# Bundled applications
+# ---------------------------------------------------------------------------
+
+
+def _eeg_inputs(
+    n_channels: int, duration_s: float, seed: int
+) -> ScenarioInputs:
+    from ..apps.eeg import source_rates, synth_eeg
+
+    recording = synth_eeg(
+        n_channels=n_channels,
+        duration_s=duration_s,
+        seizure_intervals=(),
+        seed=seed,
+    )
+    return recording.source_data(), source_rates(n_channels)
+
+
+def _speech_inputs(duration_s: float, seed: int) -> ScenarioInputs:
+    from ..apps.speech import FRAMES_PER_SEC, synth_speech_audio
+
+    audio = synth_speech_audio(duration_s=duration_s, seed=seed)
+    return {"source": audio.frames()}, {"source": FRAMES_PER_SEC}
+
+
+def _leak_inputs(
+    duration_s: float, leak_start_s: float | None, seed: int
+) -> ScenarioInputs:
+    from ..apps.leak import WINDOWS_PER_SEC, synth_leak_data
+
+    recording = synth_leak_data(
+        duration_s=duration_s, leak_start_s=leak_start_s, seed=seed
+    )
+    return recording.source_data(), {"vibration": WINDOWS_PER_SEC}
+
+
+def _build_eeg(n_channels: int) -> StreamGraph:
+    from ..apps.eeg import build_eeg_pipeline
+
+    return build_eeg_pipeline(n_channels=n_channels)
+
+
+def _build_speech() -> StreamGraph:
+    from ..apps.speech import build_speech_pipeline
+
+    return build_speech_pipeline()
+
+
+def _build_leak() -> StreamGraph:
+    from ..apps.leak import build_leak_pipeline
+
+    return build_leak_pipeline()
+
+
+def register_builtin_scenarios() -> None:
+    """(Re-)register the paper's applications; idempotent."""
+    register_scenario(
+        Scenario(
+            name="eeg",
+            description="22-channel EEG seizure-onset detection (§6.1)",
+            build_graph=_build_eeg,
+            make_inputs=_eeg_inputs,
+            defaults={"n_channels": 22, "duration_s": 8.0, "seed": 0},
+        ),
+        replace=True,
+    )
+    register_scenario(
+        Scenario(
+            name="speech",
+            description="acoustic speech detection, 8-stage MFCC (§6.2)",
+            build_graph=_build_speech,
+            make_inputs=_speech_inputs,
+            defaults={"duration_s": 2.0, "seed": 0},
+        ),
+        replace=True,
+    )
+    register_scenario(
+        Scenario(
+            name="leak",
+            description="pipeline leak detection with §9 in-network "
+            "aggregation",
+            build_graph=_build_leak,
+            make_inputs=_leak_inputs,
+            defaults={"duration_s": 10.0, "leak_start_s": None, "seed": 0},
+        ),
+        replace=True,
+    )
+
+
+register_builtin_scenarios()

@@ -1,0 +1,217 @@
+"""The profile store: content-hash-keyed, durable, defensive.
+
+The paper's methodology profiles *once* and re-partitions many times
+(§4.3); the :class:`ProfileStore` makes the expensive half of that
+durable.  A measurement is keyed by the content hash of everything that
+determines it — scenario name + version, fully-resolved parameters, and
+the profiler configuration — so any process asking for the same triple
+gets the cached record, across restarts when the store has a root
+directory.
+
+Two properties the old ``functools.lru_cache`` in ``experiments.common``
+did not have:
+
+* **isolation** — every :meth:`measurement` call materializes *fresh*
+  objects from the cached payload (a new graph, a new
+  :class:`~repro.profiler.profiler.Measurement`).  The lru_cache handed
+  the same mutable ``StreamGraph``/``Measurement`` to every caller, so
+  one harness mutating a profile silently corrupted every other
+  experiment in the process.
+* **durability** — with ``root`` set, payloads live on disk as
+  JSON (+ npz sidecars) and survive process restarts; a fresh process
+  reconstructs byte-identical profiles without re-executing the graph.
+
+``root=None`` keeps the store in memory (payload dicts, still
+materialized per call) — the right default for tests and one-shot runs.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..dataflow.graph import StreamGraph
+from ..profiler.profiler import Measurement, Profiler
+from . import artifacts
+from .scenarios import Scenario, WorkbenchError, get_scenario
+
+#: Profiler settings participating in the content key, with the
+#: workbench defaults (batched execution, mean-load profiling — what the
+#: experiment harnesses use).
+DEFAULT_PROFILER_CONFIG = {
+    "bucket_seconds": 1.0,
+    "track_peak": False,
+    "batch": True,
+}
+
+
+def profiler_config(profiler: Profiler | None) -> dict[str, Any]:
+    """The content-key-relevant configuration of a profiler."""
+    if profiler is None:
+        return dict(DEFAULT_PROFILER_CONFIG)
+    return {
+        "bucket_seconds": profiler.bucket_seconds,
+        "track_peak": profiler.track_peak,
+        "batch": profiler.batch,
+    }
+
+
+@dataclass
+class StoreStats:
+    """Cache behaviour counters (observability + tests)."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+
+
+@dataclass
+class _CacheEntry:
+    document: dict[str, Any]
+    arrays: dict[str, Any] = field(default_factory=dict)
+
+
+class ProfileStore:
+    """Content-hash-keyed storage for profiling measurements + artifacts.
+
+    Args:
+        root: directory for durable storage, or ``None`` for a purely
+            in-memory store.  The directory is created lazily.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else None
+        self._memory: dict[str, _CacheEntry] = {}
+        self.stats = StoreStats()
+
+    # -- keys ---------------------------------------------------------------
+
+    @staticmethod
+    def measurement_key(
+        scenario: Scenario,
+        params: Mapping[str, Any],
+        profiler: Profiler | None = None,
+    ) -> str:
+        """Content hash identifying one measurement."""
+        blob = json.dumps(
+            {
+                "scenario": scenario.name,
+                "scenario_version": scenario.version,
+                "params": {k: params[k] for k in sorted(params)},
+                "profiler": profiler_config(profiler),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+            default=str,
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()[:32]
+
+    # -- low-level payload cache -------------------------------------------
+
+    def _path_for(self, key: str) -> Path:
+        assert self.root is not None
+        return self.root / f"{key}.json"
+
+    def _load_entry(self, key: str) -> _CacheEntry | None:
+        entry = self._memory.get(key)
+        if entry is not None:
+            return entry
+        if self.root is None:
+            return None
+        path = self._path_for(key)
+        if not path.exists():
+            return None
+        try:
+            document, arrays = artifacts.read_document(path)
+        except (OSError, ValueError, json.JSONDecodeError, zipfile.BadZipFile):
+            # A truncated/partial entry (e.g. the writing process was
+            # killed) must degrade to a cache miss, not poison every
+            # future run; the re-profile will overwrite it.
+            return None
+        entry = _CacheEntry(document=document, arrays=arrays)
+        self._memory[key] = entry
+        self.stats.disk_hits += 1
+        return entry
+
+    def _store_entry(self, key: str, obj: Any, graph_ref) -> _CacheEntry:
+        document, arrays = artifacts.to_document(obj, graph_ref)
+        if self.root is not None:
+            artifacts.write_document(self._path_for(key), document, arrays)
+        entry = _CacheEntry(document=document, arrays=arrays)
+        self._memory[key] = entry
+        return entry
+
+    # -- measurements -------------------------------------------------------
+
+    def measurement(
+        self,
+        scenario: str | Scenario,
+        params: Mapping[str, Any] | None = None,
+        profiler: Profiler | None = None,
+    ) -> tuple[StreamGraph, Measurement]:
+        """The (graph, measurement) pair for a scenario at some parameters.
+
+        Profiles on a cache miss; returns freshly materialized objects on
+        every call — mutating them cannot affect other callers or the
+        stored payload.
+        """
+        scenario = get_scenario(scenario)
+        params = scenario.resolve_params(params or {})
+        key = self.measurement_key(scenario, params, profiler)
+        graph_ref = {"scenario": scenario.name, "params": dict(params)}
+
+        entry = self._load_entry(key)
+        graph = None
+        if entry is None:
+            self.stats.misses += 1
+            graph, source_data, source_rates = scenario.instantiate(params)
+            prof = profiler or Profiler(**DEFAULT_PROFILER_CONFIG)
+            measured = prof.measure(graph, source_data, source_rates)
+            entry = self._store_entry(key, measured, graph_ref)
+            # The profiling graph is not cached anywhere (only the
+            # serialized document is), so handing it to this caller is
+            # as isolated as a fresh build — and saves one.
+        else:
+            self.stats.hits += 1
+        if graph is None:
+            graph = scenario.build(params)
+        measurement = artifacts.from_document(
+            copy.deepcopy(entry.document), entry.arrays, graph
+        )
+        return graph, measurement
+
+    # -- generic artifacts --------------------------------------------------
+
+    def put(self, name: str, obj: Any, graph_ref=None) -> str:
+        """Store an arbitrary artifact under a caller-chosen name."""
+        key = f"artifact-{hashlib.sha256(name.encode()).hexdigest()[:24]}"
+        self._store_entry(key, obj, graph_ref)
+        return key
+
+    def get(self, name: str, graph: StreamGraph | None = None) -> Any:
+        """Load an artifact stored with :meth:`put`."""
+        key = f"artifact-{hashlib.sha256(name.encode()).hexdigest()[:24]}"
+        entry = self._load_entry(key)
+        if entry is None:
+            raise WorkbenchError(f"no stored artifact named {name!r}")
+        return artifacts.from_document(
+            copy.deepcopy(entry.document), entry.arrays, graph
+        )
+
+    # -- maintenance --------------------------------------------------------
+
+    def clear_memory(self) -> None:
+        """Drop the in-process payload cache (disk entries survive)."""
+        self._memory.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        where = str(self.root) if self.root is not None else "memory"
+        return (
+            f"ProfileStore({where}, {len(self._memory)} cached, "
+            f"hits={self.stats.hits}, misses={self.stats.misses})"
+        )

@@ -1,0 +1,137 @@
+"""Columnar sink storage: the SinkBuffer fast path and its list fallback."""
+
+import numpy as np
+import pytest
+
+from repro.dataflow import GraphBuilder, SinkBuffer, run_graph
+
+
+def test_empty_buffer():
+    buf = SinkBuffer()
+    assert len(buf) == 0
+    assert list(buf) == []
+    assert buf.columnar
+    assert buf.to_array().size == 0
+
+
+def test_scalar_numpy_rows_stay_columnar():
+    buf = SinkBuffer()
+    for i in range(200):  # crosses the initial capacity
+        buf.append(np.float64(i))
+    assert buf.columnar
+    assert len(buf) == 200
+    np.testing.assert_array_equal(buf.to_array(), np.arange(200.0))
+    assert buf[3] == 3.0
+
+
+def test_fixed_width_vector_rows_stay_columnar():
+    buf = SinkBuffer()
+    for i in range(10):
+        buf.append(np.full(4, i, dtype=np.float32))
+    assert buf.columnar
+    arr = buf.to_array()
+    assert arr.shape == (10, 4) and arr.dtype == np.float32
+    rows = list(buf)
+    assert len(rows) == 10
+    np.testing.assert_array_equal(rows[7], np.full(4, 7, dtype=np.float32))
+
+
+def test_batch_extend_is_single_copy():
+    buf = SinkBuffer()
+    chunk = np.arange(12.0).reshape(3, 4)
+    buf.extend(chunk)
+    buf.extend(chunk * 2)
+    assert buf.columnar
+    assert len(buf) == 6
+    np.testing.assert_array_equal(buf.to_array()[:3], chunk)
+
+
+def test_python_objects_fall_back_to_list():
+    buf = SinkBuffer()
+    buf.append({"a": 1})
+    buf.append((1, 2))
+    assert not buf.columnar
+    assert buf.rows() == [{"a": 1}, (1, 2)]
+
+
+def test_ragged_payload_degrades_preserving_values():
+    buf = SinkBuffer()
+    buf.append(np.arange(4.0))
+    buf.append(np.arange(4.0) + 1)
+    assert buf.columnar
+    buf.append(np.arange(3.0))  # shape change -> degrade
+    assert not buf.columnar
+    rows = buf.rows()
+    assert len(rows) == 3
+    np.testing.assert_array_equal(rows[0], np.arange(4.0))
+    np.testing.assert_array_equal(rows[2], np.arange(3.0))
+    # the promised conversion-on-the-way-out also covers ragged rows
+    arr = buf.to_array()
+    assert arr.dtype == object and arr.shape == (3,)
+    np.testing.assert_array_equal(arr[2], np.arange(3.0))
+
+
+def test_dtype_change_degrades():
+    buf = SinkBuffer()
+    buf.append(np.float64(1.0))
+    buf.append(np.int64(2))
+    assert not buf.columnar
+    assert buf.rows() == [1.0, 2]
+
+
+def test_mixed_append_then_extend_after_degrade():
+    buf = SinkBuffer()
+    buf.append("ragged")
+    buf.extend(np.arange(3.0))
+    assert not buf.columnar
+    assert len(buf) == 4
+
+
+def _identity_graph():
+    builder = GraphBuilder("sink-test")
+    with builder.node():
+        src = builder.source("src", output_size=8)
+
+        def work(ctx, port, item):
+            ctx.count(int_ops=1.0)
+            ctx.emit(item)
+
+        def work_batch(ctx, port, values):
+            ctx.count(int_ops=float(len(values)))
+            return values
+
+        out = builder.iterate("id", src, work, work_batch=work_batch)
+    builder.sink("out", out)
+    return builder.build()
+
+
+def test_executor_sink_uses_columnar_buffer():
+    graph = _identity_graph()
+    data = [np.float64(i) for i in range(50)]
+    executor = run_graph(graph, {"src": data})
+    state = executor.state_of("out")
+    assert isinstance(state, SinkBuffer)
+    assert state.columnar
+    assert executor.sink_values("out") == data
+    np.testing.assert_array_equal(
+        executor.sink_array("out"), np.arange(50.0)
+    )
+
+
+def test_batched_and_scalar_sinks_agree():
+    graph_a = _identity_graph()
+    graph_b = _identity_graph()
+    data = np.arange(40.0)
+    scalar = run_graph(graph_a, {"src": list(data)})
+    batched = run_graph(graph_b, {"src": data}, batch=True)
+    np.testing.assert_array_equal(
+        scalar.sink_array("out"), batched.sink_array("out")
+    )
+    assert batched.state_of("out").columnar
+
+
+def test_sink_array_requires_sink():
+    graph = _identity_graph()
+    executor = run_graph(graph, {"src": [np.float64(0)]})
+    with pytest.raises(Exception):
+        executor.sink_array("id")

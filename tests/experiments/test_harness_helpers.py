@@ -4,28 +4,58 @@ import pytest
 
 from repro.experiments import fig5a, fig5b, fig7
 from repro.experiments.common import (
-    eeg_profile,
-    speech_measurement,
-    speech_profile,
+    default_store,
+    measurement_for,
+    profile_for,
 )
 
 
-def test_speech_measurement_cached():
-    first = speech_measurement()
-    second = speech_measurement()
-    assert first is second  # lru_cache
+def test_measurement_cached_but_defensively_copied():
+    """Regression for the shared-mutable-cache hazard: the old lru_cache
+    handed the *same* StreamGraph/Measurement to every caller, so one
+    harness mutating a profile corrupted every other experiment."""
+    store = default_store()
+    before = store.stats.misses
+    graph1, first = measurement_for("speech")
+    graph2, second = measurement_for("speech")
+    # One profiling run...
+    assert store.stats.misses <= before + 1
+    # ...but isolated objects per caller.
+    assert first is not second
+    assert graph1 is not graph2
+    assert first.stats is not second.stats
+    # Mutations do not leak between callers or into the cache.
+    first.duration = -1.0
+    first.stats.operators["fft"].invocations = 10**9
+    _, third = measurement_for("speech")
+    assert third.duration == second.duration
+    assert (
+        third.stats.operators["fft"].invocations
+        == second.stats.operators["fft"].invocations
+    )
 
 
 def test_speech_profile_platform_costing():
-    tmote = speech_profile("tmote")
-    server = speech_profile("server")
+    tmote = profile_for("speech", "tmote")
+    server = profile_for("speech", "server")
     assert tmote.operators["fft"].seconds > server.operators["fft"].seconds
     assert tmote.platform.name == "tmote"
 
 
 def test_eeg_profile_small_channels():
-    profile = eeg_profile("tmote", n_channels=1)
+    profile = profile_for("eeg", "tmote", n_channels=1)
     assert any(name.startswith("ch00.") for name in profile.operators)
+
+
+def test_deprecated_helpers_still_work():
+    from repro.experiments import common
+
+    with pytest.warns(DeprecationWarning):
+        graph, measurement = common.speech_measurement()
+    assert "fft" in graph.operators
+    with pytest.warns(DeprecationWarning):
+        profile = common.eeg_profile("tmote", n_channels=1)
+    assert profile.platform.name == "tmote"
 
 
 def test_fig5a_series_helper():

@@ -55,3 +55,35 @@ def test_server_platform_no_radio(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["bogus"])
+
+
+def test_scenarios_listing(capsys):
+    assert main(["scenarios"]) == 0
+    out = capsys.readouterr().out
+    for name in ("eeg", "speech", "leak"):
+        assert name in out
+    assert "n_channels" in out
+
+
+def _strip_timings(text: str) -> str:
+    import re
+
+    return re.sub(r"in \d+ ms", "in X ms", text)
+
+
+def test_store_backed_smoke_is_deterministic(tmp_path, capsys):
+    """A durable --store must not change results: the cold run (profiles
+    and persists) and the warm run (loads from disk) print identical
+    reports, timing aside."""
+    store = tmp_path / "store"
+    argv = [
+        "eeg", "--platform", "tmote", "--channels", "2",
+        "--rate", "1.0", "--store", str(store),
+    ]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert list(store.glob("*.json"))  # the measurement was persisted
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert _strip_timings(cold) == _strip_timings(warm)
+    assert "node partition" in cold

@@ -100,3 +100,69 @@ def test_rate_search_via_public_api(tmote_speech_profile):
     )
     assert isinstance(outcome, repro.RateSearchResult)
     assert 0.0 < outcome.rate_factor < 1.0
+
+
+def test_workbench_surface_at_top_level():
+    """The workbench names are first-class citizens of the package."""
+    for name in (
+        "Session",
+        "Scenario",
+        "ProfileStore",
+        "PartitionRequest",
+        "PartitionService",
+        "RateSearchRequest",
+        "register_scenario",
+        "get_scenario",
+        "list_scenarios",
+    ):
+        assert hasattr(repro, name), name
+    assert {"eeg", "speech", "leak"} <= {
+        s.name for s in repro.list_scenarios()
+    }
+
+
+def test_readme_quickstart_session_workflow():
+    """README quickstart, condensed: register scenario -> profile ->
+    partition_many -> deploy, through the top-level API only."""
+    session = repro.Session("eeg", n_channels=2)
+    profile = session.profile()
+    assert profile.platform.name == "tmote"
+    results = session.partition_many(
+        [
+            repro.PartitionRequest(
+                rate_factor=rate,
+                gap_tolerance=5e-3,
+                net_budget=float("inf"),
+            )
+            for rate in (1.0, 8.0)
+        ]
+    )
+    assert all(r.feasible for r in results)
+    prediction = session.deploy(results[0], n_nodes=3)
+    assert 0.0 <= prediction.goodput <= 1.0
+
+
+def test_old_and_new_experiment_helpers_import_cleanly():
+    """Renamed entry points keep deprecation shims alongside the new
+    surface (both must import without side effects)."""
+    from repro.experiments.common import (  # noqa: F401  (new names)
+        measurement_for,
+        profile_for,
+    )
+    from repro.experiments.common import (  # noqa: F401  (deprecated)
+        eeg_measurement,
+        eeg_profile,
+        speech_measurement,
+        speech_profile,
+    )
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        # importing must not warn; *calling* the old names must
+        graph, _ = measurement_for("eeg", n_channels=1)
+    assert len(graph) > 0
+    import pytest as _pytest
+
+    with _pytest.warns(DeprecationWarning):
+        eeg_profile("tmote", n_channels=1)
