@@ -15,6 +15,10 @@ Measures the two paths this repo's headline figures depend on:
 3. ``end_to_end`` — wall-clock of the Figure 6 sweep and the Figure 7
    profiling run.
 
+4. ``partition_many_served`` — the same EEG batch through the socket
+   partition server: served vs in-process, and 1 vs 2 worker processes
+   (the sharding payoff; results must stay canonically byte-identical).
+
 Results are written as machine-readable JSON (default:
 ``BENCH_solver.json`` in the current directory) so the perf trajectory is
 tracked PR over PR; CI runs ``--smoke`` and uploads the file as an
@@ -27,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 
@@ -231,6 +236,75 @@ def bench_partition_many(smoke: bool) -> dict:
     }
 
 
+def bench_partition_many_served(smoke: bool) -> dict:
+    """The acceptance batch through the partition server.
+
+    Times the full EEG batch (4 budget pairs x 5 rates, so 4 shardable
+    budget runs) served over the socket by 1-worker and 2-worker pools
+    against the in-process ``Session.partition_many``, and counts
+    canonical-artifact mismatches (must be 0: the server's contract is
+    byte-identical answers).  Profiling is shared through one durable
+    store and warmed before any timer starts.
+    """
+    import tempfile
+
+    from repro.workbench import PartitionServer, ServerClient
+    from repro.workbench.artifacts import canonical_json
+
+    n_channels = 6 if smoke else 22
+    requests = _partition_many_requests(20)
+    params = {"n_channels": n_channels}
+
+    with tempfile.TemporaryDirectory() as store_dir:
+        from repro.workbench import ProfileStore
+
+        session = Session("eeg", store=ProfileStore(store_dir), **params)
+        session.profile()  # profile once, durably, outside all timings
+        inproc, inproc_s = _timed(
+            lambda: session.partition_many(requests, skip_infeasible=True)
+        )
+
+        def served(workers: int) -> tuple[list, float]:
+            with PartitionServer(workers=workers, store=store_dir) as srv:
+                with ServerClient(srv.address) as client:
+                    # Warm the parent's session/profile caches so the
+                    # timing measures serving, not first-touch setup.
+                    client.partition_many(
+                        "eeg", requests[:1], params=params,
+                        skip_infeasible=True,
+                    )
+                    return _timed(
+                        lambda: client.partition_many(
+                            "eeg", requests, params=params,
+                            skip_infeasible=True,
+                        )
+                    )
+
+        served_one, one_s = served(1)
+        served_two, two_s = served(2)
+
+    def mismatches(results: list) -> int:
+        count = 0
+        for a, b in zip(inproc, results):
+            if (a is None) != (b is None):
+                count += 1
+            elif a is not None and canonical_json(a) != canonical_json(b):
+                count += 1
+        return count
+
+    return {
+        "requests": len(requests),
+        "channels": n_channels,
+        "inproc_seconds": inproc_s,
+        "served_one_worker_seconds": one_s,
+        "served_two_worker_seconds": two_s,
+        "two_worker_speedup": one_s / two_s,
+        "served_two_vs_inproc_speedup": inproc_s / two_s,
+        "mismatches_one_worker": mismatches(served_one),
+        "mismatches_two_workers": mismatches(served_two),
+    }
+
+
 def bench_end_to_end(smoke: bool) -> dict:
     """Wall-clock of the figure harnesses that hammer the solver."""
     fig6_runs = 5 if smoke else 21
@@ -274,11 +348,18 @@ def main() -> None:
         "smoke": args.smoke,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        # Worker-pool ratios are bounded by available cores: on a
+        # single-core container two workers can only time-slice, so
+        # two_worker_speedup ~1.0 there and >=1.5x on multi-core hosts.
+        "cpu_count": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else os.cpu_count(),
     }
     total_start = time.perf_counter()
     report["branch_bound"] = bench_branch_bound(args.smoke)
     report["rate_search"] = bench_rate_search(args.smoke)
     report["partition_many"] = bench_partition_many(args.smoke)
+    report["partition_many_served"] = bench_partition_many_served(args.smoke)
     report["end_to_end"] = bench_end_to_end(args.smoke)
     report["total_seconds"] = time.perf_counter() - total_start
 
@@ -306,6 +387,14 @@ def main() -> None:
         f"looped ({pm['batch_vs_loop_speedup']:.1f}x, "
         f"{pm['identical']} identical, {pm['equivalent_ties']} ties, "
         f"{pm['mismatches']} mismatches)"
+    )
+    pms = report["partition_many_served"]
+    print(
+        f"partition_many_served: {pms['inproc_seconds']:.2f}s in-process vs "
+        f"{pms['served_one_worker_seconds']:.2f}s served/1w vs "
+        f"{pms['served_two_worker_seconds']:.2f}s served/2w "
+        f"({pms['two_worker_speedup']:.2f}x for 2 workers, "
+        f"{pms['mismatches_two_workers']} mismatches)"
     )
     print(
         f"fig6: {report['end_to_end']['fig6']['seconds']:.2f}s  "

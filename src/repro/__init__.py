@@ -83,10 +83,12 @@ from .solver import BranchAndBound, LinearProgram, solve_lp, solve_milp
 from .viz import graph_to_dot, write_dot
 from .workbench import (
     PartitionRequest,
+    PartitionServer,
     PartitionService,
     ProfileStore,
     RateSearchRequest,
     Scenario,
+    ServerClient,
     Session,
     WorkbenchError,
     get_scenario,
@@ -121,6 +123,7 @@ __all__ = [
     "PartitionProblem",
     "PartitionRequest",
     "PartitionResult",
+    "PartitionServer",
     "PartitionService",
     "Pinning",
     "Platform",
@@ -133,6 +136,7 @@ __all__ = [
     "RelocationMode",
     "RoutingTree",
     "Scenario",
+    "ServerClient",
     "Session",
     "SolverBackend",
     "Stream",

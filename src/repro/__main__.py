@@ -6,6 +6,9 @@ Commands:
   speech   [--platform P] [--rate R|auto] [--nodes N] [--dot FILE]
   eeg      [--platform P] [--channels C] [--rate R|auto] [--dot FILE]
   leak     [--platform P] [--nodes N] [--fanin F] [--dot FILE]
+  serve    [--host H] [--port P] [--workers N] [--store DIR]
+  partition SCENARIO [--rates CSV] [--cpu-budgets CSV] [--net-budgets CSV]
+           [--param k=v ...] [--server HOST:PORT] [--out DIR] [--canonical]
 
 Each application command opens a workbench :class:`~repro.workbench.Session`
 on the named scenario, profiles it (through the session's profile store —
@@ -13,6 +16,11 @@ pass ``--store DIR`` to make profiling cache durable across invocations),
 partitions it for the chosen platform (optionally searching the maximum
 sustainable rate), prints the partition and predicted deployment
 behaviour, and can emit a colorized GraphViz file.
+
+``serve`` runs the partition server (socket-served ``partition_many``
+sharded over worker processes); ``partition`` builds a budget x rate
+request grid and solves it either in process or — with ``--server`` —
+against a running server, optionally writing one artifact per request.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from .platforms import PLATFORMS
 from .viz import series_table, write_dot
 from .workbench import (
     PartitionRequest,
+    PartitionServer,
     ProfileStore,
     Session,
     list_scenarios,
@@ -138,6 +147,106 @@ def cmd_scenarios(_args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    server = PartitionServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        store=args.store,
+        ship_probes=not args.worker_probes,
+        default_platform=args.platform,
+    )
+    host, port = server.start()
+    print(
+        f"serving partition requests on {host}:{port} "
+        f"({args.workers} worker(s), "
+        f"store={'durable:' + args.store if args.store else 'memory'})",
+        flush=True,
+    )
+    server.serve_forever()
+    return 0
+
+
+def _parse_param(text: str):
+    key, sep, raw = text.partition("=")
+    if not sep:
+        raise argparse.ArgumentTypeError(f"--param {text!r} is not k=v")
+    for cast in (int, float):
+        try:
+            return key, cast(raw)
+        except ValueError:
+            continue
+    if raw.lower() in ("true", "false"):
+        return key, raw.lower() == "true"
+    if raw.lower() in ("none", "null"):
+        return key, None
+    return key, raw
+
+
+def _parse_floats(text: str | None) -> list[float | None]:
+    if text is None:
+        return [None]
+    return [float(value) for value in text.split(",") if value]
+
+
+def cmd_partition(args) -> int:
+    from .workbench.artifacts import canonical_json, save_artifact
+
+    params = dict(args.param or [])
+    requests = [
+        PartitionRequest(
+            platform=args.platform,
+            rate_factor=rate,
+            cpu_budget=cpu,
+            net_budget=net,
+            gap_tolerance=args.gap,
+        )
+        for cpu in _parse_floats(args.cpu_budgets)
+        for net in _parse_floats(args.net_budgets)
+        for rate in [float(r) for r in args.rates.split(",") if r]
+    ]
+    store = ProfileStore(args.store) if args.store else None
+    session = Session(
+        args.scenario, store=store, platform=args.platform, params=params
+    )
+    results = session.partition_many(
+        requests, skip_infeasible=True, server=args.server
+    )
+
+    graph_ref = {"scenario": session.scenario.name, "params": session.params}
+    if args.out:
+        from pathlib import Path
+
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for index, (request, result) in enumerate(zip(requests, results)):
+        label = (
+            f"rate x{request.rate_factor:g}"
+            f" cpu={request.cpu_budget if request.cpu_budget is not None else 'default'}"
+            f" net={request.net_budget if request.net_budget is not None else 'default'}"
+        )
+        if result is None:
+            print(f"[{index:03d}] {label}: infeasible")
+        else:
+            partition = result.partition
+            print(
+                f"[{index:03d}] {label}: {len(partition.node_set)} node ops, "
+                f"cut {partition.network_bytes_per_sec:.0f} B/s"
+            )
+        if args.out:
+            path = out_dir / f"partition-{index:03d}.json"
+            if result is None:
+                path.write_text('{"result": null}\n')
+            elif args.canonical:
+                path.write_text(canonical_json(result, graph_ref) + "\n")
+            else:
+                save_artifact(result, path, graph_ref)
+    feasible = sum(1 for r in results if r is not None)
+    print(f"{feasible}/{len(results)} feasible"
+          + (f"; artifacts in {args.out}" if args.out else ""))
+    return 0
+
+
 def cmd_speech(args) -> int:
     return _partition_and_report(args, "speech")
 
@@ -179,12 +288,67 @@ def build_parser() -> argparse.ArgumentParser:
     leak.add_argument("--fanin", default=1.0,
                       help="aggregation-tree fan-in (§9)")
     leak.set_defaults(func=cmd_leak)
+
+    serve = sub.add_parser(
+        "serve", help="run the socket partition server"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7453)
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker process count")
+    serve.add_argument("--store", default=None,
+                       help="durable profile-store directory shared by "
+                       "all workers (default: in-memory)")
+    serve.add_argument("--platform", default="tmote",
+                       choices=sorted(PLATFORMS),
+                       help="default platform for requests naming none")
+    serve.add_argument("--worker-probes", action="store_true",
+                       help="let workers build their own formulations "
+                       "instead of shipping prepared probes")
+    serve.set_defaults(func=cmd_serve)
+
+    part = sub.add_parser(
+        "partition",
+        help="solve a budget x rate request grid (in-process or --server)",
+    )
+    part.add_argument("scenario", help="registered scenario name")
+    part.add_argument("--platform", default="tmote",
+                      choices=sorted(PLATFORMS))
+    part.add_argument("--rates", default="1.0",
+                      help="comma-separated rate factors")
+    part.add_argument("--cpu-budgets", default=None,
+                      help="comma-separated CPU budgets "
+                      "(default: platform default)")
+    part.add_argument("--net-budgets", default=None,
+                      help="comma-separated net budgets in B/s "
+                      "(default: platform default)")
+    part.add_argument("--gap", type=float, default=1e-6,
+                      help="solver gap tolerance")
+    part.add_argument("--param", action="append", type=_parse_param,
+                      metavar="K=V", help="scenario parameter override")
+    part.add_argument("--server", default=None,
+                      help="host:port of a running partition server "
+                      "(default: solve in process)")
+    part.add_argument("--store", default=None,
+                      help="durable profile store for in-process solving")
+    part.add_argument("--out", default=None,
+                      help="directory for one artifact per request")
+    part.add_argument("--canonical", action="store_true",
+                      help="write canonical (wall-clock-free) artifacts "
+                      "for byte comparison")
+    part.set_defaults(func=cmd_partition)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    from .workbench import WorkbenchError
+
+    try:
+        return args.func(args)
+    except WorkbenchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

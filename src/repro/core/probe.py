@@ -27,6 +27,7 @@ back to the full per-factor rebuild, so it is always safe to use.
 
 from __future__ import annotations
 
+import copy
 import time
 from typing import TYPE_CHECKING
 
@@ -101,8 +102,96 @@ class ScaledProbe:
         # ROADMAP open solver item).  Built lazily on the first probe;
         # ``False`` marks "unavailable, stop trying".
         self._relaxation: object | None | bool = None
+        # Effective (cpu, net) budgets the live relaxation last solved
+        # under.  A basis from a *different* budget configuration must not
+        # carry into this solve: it steers tie-breaking on symmetric
+        # plateaus (and, under a positive gap tolerance, can change which
+        # within-gap incumbent is returned), so a request that omits a
+        # budget after a prior request overrode it would not get the same
+        # answer as a fresh probe.  See :meth:`_sync_relaxation_budgets`.
+        self._relaxation_budget_key: tuple | None = None
+        #: Optional scenario reference (``repro.workbench.artifacts`` graph
+        #: reference dict) enabling cross-process pickling; see
+        #: :meth:`__getstate__`.
+        self.graph_ref: dict | None = None
+
+    # -- pickling (cross-process handoff) ----------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle without the live HiGHS engine (native, unpicklable).
+
+        When :attr:`graph_ref` names a registered scenario, the profile's
+        graph travels *by reference* too — work functions are code, not
+        data — and is rebuilt (fingerprint-verified) on load.  The
+        workbench's partition server uses this to hand one prepared
+        formulation to a pool of worker processes.
+        """
+        state = dict(self.__dict__)
+        state["_relaxation"] = None
+        state["_relaxation_budget_key"] = None
+        if self.graph_ref is not None:
+            profile = copy.copy(self.profile)
+            profile.graph = None
+            state["profile"] = profile
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if self.profile.graph is None and self.graph_ref is not None:
+            from ..workbench.artifacts import resolve_graph
+
+            profile = copy.copy(self.profile)
+            profile.graph = resolve_graph(self.graph_ref)
+            self.profile = profile
 
     # -- probing -----------------------------------------------------------
+
+    def _effective_budget_key(
+        self, cpu_budget: float | None, net_budget: float | None
+    ) -> tuple:
+        """The (cpu, net) right-hand sides this probe would solve under."""
+        key = []
+        for name, override in (
+            ("cpu_budget", cpu_budget),
+            ("net_budget", net_budget),
+        ):
+            row = self._budget_row_index.get(name)
+            if override is None:
+                key.append(
+                    float(self._base_b_ub[row]) if row is not None else None
+                )
+            elif name == "net_budget":
+                key.append(min(float(override), NET_BUDGET_CAP))
+            else:
+                key.append(float(override))
+        return tuple(key)
+
+    def reset_solver_state(self) -> None:
+        """Forget warm-start state: the next solve behaves like a fresh
+        probe's.  The batched partition service calls this when a cached
+        probe enters a new batch, so batch results are a pure function
+        of the batch content (and therefore reproducible by a server
+        worker that starts cold)."""
+        if self._relaxation is not False:
+            self._relaxation = None
+        self._relaxation_budget_key = None
+
+    def _sync_relaxation_budgets(self, budget_key: tuple) -> None:
+        """Discard the persistent relaxation when the budgets change.
+
+        Warm starts are only carried between solves of the *same* budget
+        configuration (rate factors may differ — that is the §4.3 sweep).
+        Crossing a budget change with a live basis made the outcome of a
+        default-budget ``partition()`` depend on which overridden requests
+        ran before it; discarding the engine restores the fresh-probe
+        answer for every call, which is also what lets the workbench
+        server shard a request group at budget boundaries without
+        changing any result.
+        """
+        if budget_key != self._relaxation_budget_key:
+            if self._relaxation is not False:
+                self._relaxation = None
+            self._relaxation_budget_key = budget_key
 
     def _arrays_at(
         self,
@@ -197,6 +286,9 @@ class ScaledProbe:
             return partitioner.partition(self.profile.scaled(factor))
 
         prep_start = time.perf_counter()
+        self._sync_relaxation_budgets(
+            self._effective_budget_key(cpu_budget, net_budget)
+        )
         arrays = self._arrays_at(factor, cpu_budget, net_budget)
         relaxation = self._shared_relaxation(arrays)
         build_seconds = time.perf_counter() - prep_start

@@ -105,7 +105,15 @@ class PartitionProblem:
         return {v for v, p in self.pins.items() if p is Pinning.MOVABLE}
 
     def cpu_load(self, node_set: set[str]) -> float:
-        return sum(self.cpu.get(v, 0.0) for v in node_set)
+        # Sum in vertex-declaration order, not set-iteration order: float
+        # addition is not associative and set order varies with the
+        # process's string hash seed, which would make the reported load
+        # differ in the last ulps between processes — breaking the
+        # partition server's byte-identical-artifacts contract.
+        members = node_set if isinstance(node_set, (set, frozenset)) else set(
+            node_set
+        )
+        return sum(self.cpu.get(v, 0.0) for v in self.vertices if v in members)
 
     def net_load(self, node_set: set[str]) -> float:
         """Channel cost of all boundary crossings (either direction)."""

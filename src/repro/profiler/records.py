@@ -113,11 +113,20 @@ class GraphProfile:
     # -- aggregate evaluation -----------------------------------------------
 
     def node_cpu_utilization(self, node_set: set[str]) -> float:
-        """Sum of node-side operator utilizations (additive-cost model)."""
+        """Sum of node-side operator utilizations (additive-cost model).
+
+        Summed in operator-declaration order: set iteration order varies
+        with the process hash seed, and float addition is not
+        associative, so summing the set directly would make the value
+        process-dependent in the last ulps.
+        """
+        members = node_set if isinstance(node_set, (set, frozenset)) else set(
+            node_set
+        )
         return sum(
-            self.operators[name].utilization
-            for name in node_set
-            if name in self.operators
+            profile.utilization
+            for name, profile in self.operators.items()
+            if name in members
         )
 
     def cut_bandwidth(self, node_set: set[str]) -> float:

@@ -2,6 +2,13 @@
 node/server runtimes, and the testbed deployment driver."""
 
 from .deployment import Deployment, DeploymentPrediction, DeploymentRunStats
+from .frames import (
+    FrameError,
+    read_frame,
+    recv_message,
+    send_message,
+    write_frame,
+)
 from .marshal import (
     MarshalError,
     Packet,
@@ -25,6 +32,7 @@ __all__ = [
     "Deployment",
     "DeploymentPrediction",
     "DeploymentRunStats",
+    "FrameError",
     "MarshalError",
     "NodeRuntime",
     "NodeStats",
@@ -37,6 +45,10 @@ __all__ = [
     "fragment",
     "pack",
     "packets_needed",
+    "read_frame",
+    "recv_message",
+    "send_message",
     "simulate_node_duty",
     "unpack",
+    "write_frame",
 ]

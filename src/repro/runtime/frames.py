@@ -1,0 +1,155 @@
+"""Length-prefixed framing shared by the runtime wire formats.
+
+Two layers live here:
+
+* **Frames** — the ``<I``-length-prefix convention every runtime wire
+  format in this repo already speaks (:mod:`repro.runtime.marshal` uses
+  it for byte strings, tuples, and array payloads inside one radio
+  element).  :func:`write_frame`/:func:`read_frame` apply the same
+  convention to a byte stream, which is what a TCP connection needs:
+  each frame is a 4-byte little-endian length followed by that many
+  payload bytes.
+
+* **Messages** — the partition server's unit of exchange: a JSON
+  document plus an optional ndarray sidecar, exactly the
+  :mod:`repro.workbench.artifacts` on-disk convention (JSON + ``.npz``)
+  re-expressed as two consecutive frames.  Arrays travel as an in-memory
+  npz archive, so a served artifact is byte-for-byte the payload
+  :func:`repro.workbench.artifacts.write_document` would have put on
+  disk.
+
+Truncated streams raise :class:`FrameError` — a half-written frame must
+fail loudly, mirroring :class:`repro.runtime.marshal.MarshalError` for
+corrupt element payloads.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+import zipfile
+from typing import Any, BinaryIO, Mapping
+
+import numpy as np
+
+#: The 4-byte little-endian length prefix every runtime wire format uses
+#: (element byte strings, tuple arities, array lengths, stream frames).
+LENGTH_PREFIX = struct.Struct("<I")
+
+#: Upper bound on a single frame; a corrupt length prefix must not make
+#: a reader try to allocate gigabytes.
+MAX_FRAME_BYTES = 1 << 30
+
+
+class FrameError(Exception):
+    """Raised for truncated or oversized frames on a byte stream."""
+
+
+def write_frame(stream: BinaryIO, payload: bytes) -> None:
+    """Write one length-prefixed frame."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    stream.write(LENGTH_PREFIX.pack(len(payload)))
+    stream.write(payload)
+
+
+def _read_exact(stream: BinaryIO, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes; ``None`` on clean EOF at a boundary."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            if chunks:
+                got = count - remaining
+                raise FrameError(
+                    f"truncated frame: expected {count} bytes, got {got}"
+                )
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks) if chunks else b""
+
+
+def read_frame(stream: BinaryIO) -> bytes | None:
+    """Read one frame; ``None`` on a clean end-of-stream.
+
+    A stream ending *inside* a frame (mid-prefix or mid-payload) raises
+    :class:`FrameError`.
+    """
+    prefix = _read_exact(stream, LENGTH_PREFIX.size)
+    if prefix is None:
+        return None
+    (length,) = LENGTH_PREFIX.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    if length == 0:
+        return b""
+    payload = _read_exact(stream, length)
+    if payload is None:
+        raise FrameError(f"truncated frame: expected {length} bytes, got 0")
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Messages: JSON document + npz array sidecar, as two frames
+# ---------------------------------------------------------------------------
+
+
+def pack_arrays(arrays: Mapping[str, np.ndarray]) -> bytes:
+    """An in-memory npz archive (the artifact sidecar format)."""
+    buffer = io.BytesIO()
+    np.savez(buffer, **dict(arrays))
+    return buffer.getvalue()
+
+
+def unpack_arrays(payload: bytes) -> dict[str, np.ndarray]:
+    """Inverse of :func:`pack_arrays`; never unpickles object arrays."""
+    try:
+        with np.load(io.BytesIO(payload), allow_pickle=False) as data:
+            return {key: data[key] for key in data.files}
+    except (ValueError, OSError, zipfile.BadZipFile, KeyError) as exc:
+        raise FrameError(f"corrupt array sidecar frame: {exc}") from exc
+
+
+def send_message(
+    stream: BinaryIO,
+    document: Mapping[str, Any],
+    arrays: Mapping[str, np.ndarray] | None = None,
+) -> None:
+    """Write one (document, arrays) message as two frames and flush."""
+    write_frame(stream, json.dumps(document, sort_keys=True).encode("utf-8"))
+    write_frame(stream, pack_arrays(arrays) if arrays else b"")
+    stream.flush()
+
+
+def recv_message(
+    stream: BinaryIO,
+) -> tuple[dict[str, Any], dict[str, np.ndarray]] | None:
+    """Read one message; ``None`` on a clean end-of-stream.
+
+    Raises :class:`FrameError` for truncation, malformed JSON, or a
+    corrupt array frame.
+    """
+    header = read_frame(stream)
+    if header is None:
+        return None
+    body = read_frame(stream)
+    if body is None:
+        raise FrameError("message truncated after its document frame")
+    try:
+        document = json.loads(header.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"malformed document frame: {exc}") from exc
+    if not isinstance(document, dict):
+        raise FrameError(
+            f"document frame holds {type(document).__name__}, expected object"
+        )
+    arrays = unpack_arrays(body) if body else {}
+    return document, arrays

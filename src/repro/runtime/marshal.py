@@ -18,6 +18,8 @@ from typing import Any
 
 import numpy as np
 
+from .frames import LENGTH_PREFIX
+
 _TAG_FLOAT = b"F"
 _TAG_INT = b"I"
 _TAG_BOOL = b"B"
@@ -65,14 +67,14 @@ def pack(value: Any) -> bytes:
         return (
             _TAG_ARRAY
             + code.encode("ascii")
-            + struct.pack("<I", flat.size)
+            + LENGTH_PREFIX.pack(flat.size)
             + flat.tobytes()
         )
     if isinstance(value, (bytes, bytearray)):
-        return _TAG_BYTES + struct.pack("<I", len(value)) + bytes(value)
+        return _TAG_BYTES + LENGTH_PREFIX.pack(len(value)) + bytes(value)
     if isinstance(value, (tuple, list)):
         body = b"".join(pack(v) for v in value)
-        return _TAG_TUPLE + struct.pack("<I", len(value)) + body
+        return _TAG_TUPLE + LENGTH_PREFIX.pack(len(value)) + body
     raise MarshalError(f"cannot marshal value of type {type(value)!r}")
 
 
@@ -104,23 +106,23 @@ def _unpack_at(data: bytes, offset: int) -> tuple[Any, int]:
         dtype = _DTYPE_CODES.get(code)
         if dtype is None:
             raise MarshalError(f"unknown dtype code {code!r}")
-        (count,) = struct.unpack_from("<I", data, offset + 1)
-        start = offset + 5
+        (count,) = LENGTH_PREFIX.unpack_from(data, offset + 1)
+        start = offset + 1 + LENGTH_PREFIX.size
         end = start + count * dtype.itemsize
         if end > len(data):
             raise MarshalError("truncated array payload")
         array = np.frombuffer(data[start:end], dtype=dtype).copy()
         return array, end
     if tag == _TAG_BYTES:
-        (count,) = struct.unpack_from("<I", data, offset)
-        start = offset + 4
+        (count,) = LENGTH_PREFIX.unpack_from(data, offset)
+        start = offset + LENGTH_PREFIX.size
         end = start + count
         if end > len(data):
             raise MarshalError("truncated bytes payload")
         return data[start:end], end
     if tag == _TAG_TUPLE:
-        (count,) = struct.unpack_from("<I", data, offset)
-        offset += 4
+        (count,) = LENGTH_PREFIX.unpack_from(data, offset)
+        offset += LENGTH_PREFIX.size
         items = []
         for _ in range(count):
             item, offset = _unpack_at(data, offset)

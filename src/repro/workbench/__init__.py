@@ -14,12 +14,17 @@ an embeddable service API:
 * :mod:`~repro.workbench.session` — :class:`Session` /
   :class:`PartitionService`, including ``partition_many`` batching that
   amortizes formulation and solver warm starts across whole request
-  batches.
+  batches;
+* :mod:`~repro.workbench.server` — :class:`PartitionServer` /
+  :class:`ServerClient`, the same ``partition_many`` served over a
+  socket and sharded across a fault-tolerant pool of worker processes
+  (``python -m repro serve``).
 """
 
 from .artifacts import (
     SCHEMA_VERSION,
     ArtifactError,
+    canonical_json,
     from_json,
     graph_fingerprint,
     load_artifact,
@@ -35,6 +40,7 @@ from .scenarios import (
     register_scenario,
     unregister_scenario,
 )
+from .server import PartitionServer, ServerClient, ServerError
 from .session import (
     PartitionRequest,
     PartitionService,
@@ -46,14 +52,18 @@ from .store import ProfileStore, StoreStats
 __all__ = [
     "ArtifactError",
     "PartitionRequest",
+    "PartitionServer",
     "PartitionService",
     "ProfileStore",
     "RateSearchRequest",
     "SCHEMA_VERSION",
     "Scenario",
+    "ServerClient",
+    "ServerError",
     "Session",
     "StoreStats",
     "WorkbenchError",
+    "canonical_json",
     "from_json",
     "get_scenario",
     "graph_fingerprint",

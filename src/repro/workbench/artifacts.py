@@ -27,7 +27,9 @@ from __future__ import annotations
 
 import base64
 import hashlib
+import itertools
 import json
+import zipfile
 from typing import Any, Callable, Mapping
 
 import numpy as np
@@ -47,6 +49,9 @@ from .scenarios import get_scenario
 
 #: Version of the artifact wire format.  Bump on breaking changes.
 SCHEMA_VERSION = 1
+
+#: Monotonic discriminator for temp-file names (see write_document).
+_WRITE_COUNTER = itertools.count()
 
 _SCHEMA_NAME = "repro.workbench"
 
@@ -693,21 +698,40 @@ def write_document(path, document: dict[str, Any], arrays, indent=None):
 
     The sidecar lands first and both files appear via write-then-rename,
     so a reader never observes a document without its arrays or a
-    half-written JSON body.  Mutates ``document`` to record the sidecar
-    name.  Shared by :func:`save_artifact` and the profile store.
+    half-written JSON body.  The sidecar name is *content-addressed* (a
+    hash of its bytes) and every temp file is writer-unique, so two
+    processes racing on the same path cannot interleave: whichever JSON
+    rename lands last references exactly the sidecar its writer produced,
+    never a mix of the two (``tests/workbench/test_store_concurrent.py``
+    pins this).  A loser's sidecar may linger as an orphan — covered by
+    the store GC item on the ROADMAP.  Mutates ``document`` to record the
+    sidecar name.  Shared by :func:`save_artifact` and the profile store.
     """
+    import io
+    import os
+    import threading
     from pathlib import Path
 
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    # (pid, thread id, global counter): unique per in-flight write even
+    # when two threads of one process race on the same key.
+    token = (
+        f"{os.getpid()}.{threading.get_ident():x}."
+        f"{next(_WRITE_COUNTER)}"
+    )
     if arrays:
-        npz_name = path.name + ".npz"
+        buffer = io.BytesIO()
+        np.savez(buffer, **arrays)
+        blob = buffer.getvalue()
+        digest = hashlib.sha256(blob).hexdigest()[:16]
+        npz_name = f"{path.name}.{digest}.npz"
         document["npz"] = npz_name
-        npz_tmp = path.with_name(npz_name + ".tmp")
-        with open(npz_tmp, "wb") as fh:
-            np.savez(fh, **arrays)
-        npz_tmp.replace(path.with_name(npz_name))
-    tmp = path.with_name(path.name + ".tmp")
+        npz_path = path.with_name(npz_name)
+        npz_tmp = path.with_name(f"{npz_name}.tmp.{token}")
+        npz_tmp.write_bytes(blob)
+        npz_tmp.replace(npz_path)
+    tmp = path.with_name(f"{path.name}.tmp.{token}")
     tmp.write_text(json.dumps(document, sort_keys=True, indent=indent))
     tmp.replace(path)
 
@@ -742,9 +766,85 @@ def save_artifact(
 
 
 def load_artifact(path, graph: StreamGraph | None = None) -> Any:
-    """Read an artifact written by :func:`save_artifact`."""
+    """Read an artifact written by :func:`save_artifact`.
+
+    Any corruption — truncated JSON, a truncated or bit-flipped npz
+    sidecar (the zip CRC catches payload damage), a missing sidecar —
+    raises :class:`ArtifactError`; sidecars are loaded with
+    ``allow_pickle=False`` so damaged bytes can never decode as pickled
+    objects.
+    """
     try:
         document, arrays = read_document(path)
-    except (OSError, ValueError, json.JSONDecodeError) as exc:
+    except (
+        OSError,
+        ValueError,
+        EOFError,
+        KeyError,
+        json.JSONDecodeError,
+        zipfile.BadZipFile,
+        zipfile.LargeZipFile,
+    ) as exc:
         raise ArtifactError(f"cannot read artifact {path}: {exc}") from exc
     return from_document(document, arrays, graph)
+
+
+# ---------------------------------------------------------------------------
+# Canonical (wall-clock-free) form
+# ---------------------------------------------------------------------------
+
+#: Payload keys that record elapsed wall-clock time.  Everything else in
+#: an artifact is a deterministic function of the solve (HiGHS and the
+#: branch-and-bound search are deterministic), so zeroing these yields a
+#: form two equivalent runs can compare byte for byte.
+_WALL_CLOCK_KEYS = frozenset(
+    {"build_seconds", "solve_seconds", "discover_elapsed", "prove_elapsed"}
+)
+
+
+def canonical_document(document: Mapping[str, Any]) -> dict[str, Any]:
+    """A deep copy of a document with wall-clock fields zeroed.
+
+    Incumbent events keep their objective and node count but lose their
+    elapsed stamps.  Used by the served-vs-in-process equivalence tests
+    and the CLI's ``--canonical`` artifact output.
+    """
+
+    def scrub(node: Any) -> Any:
+        if isinstance(node, dict):
+            out = {}
+            for key, value in node.items():
+                if key in _WALL_CLOCK_KEYS and isinstance(
+                    value, (int, float)
+                ):
+                    out[key] = 0.0
+                elif key == "incumbents" and isinstance(value, list):
+                    out[key] = [
+                        [0.0, *row[1:]]
+                        if isinstance(row, list) and row
+                        else row
+                        for row in value
+                    ]
+                else:
+                    out[key] = scrub(value)
+            return out
+        if isinstance(node, list):
+            return [scrub(item) for item in node]
+        return node
+
+    return scrub(dict(document))
+
+
+def canonical_json(obj: Any, graph_ref: Mapping[str, Any] | None = None) -> str:
+    """:func:`to_json` with wall-clock fields zeroed.
+
+    Two runs that made the same decisions produce identical strings; two
+    runs that differ anywhere but timing do not.
+    """
+    document, arrays = to_document(obj, graph_ref)
+    document = canonical_document(document)
+    if arrays:
+        document["inline_arrays"] = {
+            key: _array_to_inline(array) for key, array in arrays.items()
+        }
+    return json.dumps(document, sort_keys=True)

@@ -1,0 +1,937 @@
+"""The partition server: ``partition_many`` over a socket, sharded
+across a pool of worker processes.
+
+The paper's deployment-scale workflow — profile once, re-partition for
+every (platform, budget, rate) a fleet might need — is served here as a
+long-lived network service.  The wire format reuses the two existing
+serialization layers verbatim: requests and results travel as
+:mod:`repro.workbench.artifacts` JSON documents with npz array sidecars,
+framed over TCP by the runtime's length-prefixed
+:mod:`repro.runtime.frames` protocol.
+
+**Sharding.**  A request batch is grouped by
+:meth:`PartitionRequest.probe_group` exactly as the in-process
+:meth:`PartitionService.partition_many` does, each group is ordered by
+:func:`~repro.workbench.session.group_order`, and the ordered group is
+split at budget boundaries into *runs* — maximal subsequences solved
+under one (cpu, net) budget pair.  Runs are the sharding unit: since a
+:class:`~repro.core.probe.ScaledProbe` discards its persistent
+relaxation whenever the budgets change (see
+``ScaledProbe._sync_relaxation_budgets``), an in-process group is
+computationally a sequence of independent runs, so executing the runs on
+different processes reproduces the in-process answers *bit for bit*
+(``tests/workbench/test_server.py`` pins this, wall-clock fields aside).
+
+**Workers.**  Each worker process owns a durable
+:class:`~repro.workbench.store.ProfileStore` view (all workers share the
+server's store directory; the store's atomic write-then-rename makes
+concurrent same-key writers safe) and serves each run through one
+warm-started relaxation.  By default the parent prepares each group's
+formulation once and hands the pickle-safe
+:class:`~repro.core.probe.ScaledProbe` to the workers; with
+``ship_probes=False`` workers build their own probes from their store
+view instead.  A worker that dies mid-run (crash, OOM kill, SIGKILL) is
+detected by its process sentinel, its unfinished run is requeued to the
+survivors, and a replacement worker is spawned — no request is lost or
+answered twice.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import replace
+from typing import Any, BinaryIO, Mapping, Sequence
+
+import multiprocessing
+from multiprocessing import connection as mp_connection
+
+from ..core.cut import InfeasiblePartition
+from ..core.partitioner import PartitionResult
+from ..platforms import get_platform
+from ..profiler.profiler import Profiler
+from ..runtime.frames import FrameError, recv_message, send_message
+from . import artifacts
+from .scenarios import WorkbenchError, get_scenario, list_scenarios
+from .session import (
+    PartitionRequest,
+    Session,
+    build_group_probe,
+    group_order,
+    solve_group,
+)
+from .store import ProfileStore, profiler_config
+
+#: Test hook: seconds each worker sleeps before starting a run (lets the
+#: fault-tolerance tests kill a worker reliably mid-batch).
+_TEST_DELAY_ENV = "REPRO_SERVER_TEST_DELAY"
+
+
+class ServerError(WorkbenchError):
+    """Raised for partition-server protocol or transport failures."""
+
+
+def _parse_address(address: Any) -> tuple[str, int]:
+    try:
+        if isinstance(address, (tuple, list)) and len(address) == 2:
+            return str(address[0]), int(address[1])
+        if isinstance(address, str):
+            host, sep, port = address.rpartition(":")
+            if sep:
+                return host or "127.0.0.1", int(port)
+    except (TypeError, ValueError):
+        pass
+    raise ServerError(f"address {address!r} is not host:port")
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _session_key(
+    scenario: str,
+    params: Mapping[str, Any],
+    platform: str,
+    profiler_cfg: Mapping[str, Any] | None,
+) -> str:
+    return json.dumps(
+        {
+            "scenario": scenario,
+            "params": dict(params),
+            "platform": platform,
+            "profiler": dict(profiler_cfg) if profiler_cfg else None,
+        },
+        sort_keys=True,
+        default=str,
+    )
+
+
+def _session_for(
+    sessions: dict[str, Session],
+    store: ProfileStore,
+    scenario: str,
+    params: Mapping[str, Any],
+    platform: str,
+    profiler_cfg: Mapping[str, Any] | None,
+) -> Session:
+    key = _session_key(scenario, params, platform, profiler_cfg)
+    session = sessions.get(key)
+    if session is None:
+        profiler = Profiler(**profiler_cfg) if profiler_cfg else None
+        session = Session(
+            scenario,
+            store=store,
+            platform=platform,
+            profiler=profiler,
+            params=params,
+        )
+        sessions[key] = session
+    return session
+
+
+def _run_job(
+    payload: Mapping[str, Any],
+    store: ProfileStore,
+    sessions: dict[str, Session],
+) -> list[tuple[int, dict | None, dict | None]]:
+    """Solve one run (same-budget slice of one group) and serialize it.
+
+    Returns ``(original_index, document, arrays)`` per request;
+    ``(index, None, None)`` marks an infeasible request under
+    ``skip_infeasible``.
+    """
+    delay = float(os.environ.get(_TEST_DELAY_ENV, "0") or 0.0)
+    if delay > 0.0:
+        time.sleep(delay)
+    scenario = payload["scenario"]
+    params = payload["params"]
+    platform = payload["platform"]
+    entries = payload["entries"]
+    requests = [
+        PartitionRequest.from_payload(request) for _, request in entries
+    ]
+    budgets = [tuple(budget) for budget in payload["budgets"]]
+    graph_ref = {"scenario": scenario, "params": dict(params)}
+
+    blob = payload.get("probe_blob")
+    if blob is not None:
+        probe = pickle.loads(blob)
+    else:
+        session = _session_for(
+            sessions, store, scenario, params, platform,
+            payload.get("profiler"),
+        )
+        profile = session.service.profile(requests[0].platform or platform)
+        probe = build_group_probe(requests[0], profile, graph_ref=graph_ref)
+
+    results = solve_group(
+        probe,
+        list(zip(requests, budgets)),
+        skip_infeasible=payload["skip_infeasible"],
+    )
+    out: list[tuple[int, dict | None, dict | None]] = []
+    for (index, _), result in zip(entries, results):
+        if result is None:
+            out.append((index, None, None))
+        else:
+            document, arrays = artifacts.to_document(result, graph_ref)
+            out.append((index, document, arrays))
+    return out
+
+
+def _worker_main(conn, store_root: str | None) -> None:
+    """Worker process loop: recv job, solve, send result, repeat."""
+    store = ProfileStore(store_root)
+    sessions: dict[str, Session] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            return
+        job_id, payload = message
+        try:
+            result = _run_job(payload, store, sessions)
+            reply = (job_id, "ok", result)
+        except Exception as exc:
+            reply = (job_id, "error", (type(exc).__name__, str(exc)))
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return
+
+
+# ---------------------------------------------------------------------------
+# Parent side: the worker pool
+# ---------------------------------------------------------------------------
+
+
+class _Job:
+    """One submitted run: payload, completion event, outcome."""
+
+    __slots__ = ("job_id", "payload", "event", "result", "error")
+
+    def __init__(self, job_id: int, payload: Mapping[str, Any]) -> None:
+        self.job_id = job_id
+        self.payload = payload
+        self.event = threading.Event()
+        self.result: list | None = None
+        self.error: tuple[str, str] | None = None
+
+
+class _WorkerHandle:
+    __slots__ = ("wid", "process", "conn", "current")
+
+    def __init__(self, wid: int, process, conn) -> None:
+        self.wid = wid
+        self.process = process
+        self.conn = conn
+        self.current: _Job | None = None
+
+
+class WorkerPool:
+    """A pool of solver processes with requeue-on-death fault tolerance.
+
+    Jobs are assigned over per-worker pipes (a killed worker can corrupt
+    only its own channel, never a shared queue), worker death is observed
+    through process sentinels, results that were fully sent before a
+    crash are still honored, and unfinished jobs are requeued to the
+    survivors while a replacement worker spawns.
+
+    Replacement workers are forked from a parent that by then runs
+    server threads — the same pattern ``multiprocessing.Pool`` uses when
+    its handler thread respawns workers.  Should a replacement ever
+    wedge on an inherited lock, it answers nothing and trips the
+    server's per-job timeout, which abandons the job and retires the
+    stuck worker (:meth:`abandon`) instead of hanging the client.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        store_root: str | None = None,
+        mp_context=None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("worker pool needs at least one worker")
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in methods else None
+            mp_context = multiprocessing.get_context(method)
+        self._ctx = mp_context
+        self._store_root = store_root
+        self._lock = threading.RLock()
+        self._pending: deque[_Job] = deque()
+        self._jobs: dict[int, _Job] = {}
+        self._handles: dict[int, _WorkerHandle] = {}
+        self._next_wid = 0
+        self._next_job_id = 0
+        self._closed = False
+        self.jobs_requeued = 0
+        self.workers_respawned = 0
+        with self._lock:
+            for _ in range(workers):
+                self._spawn_locked()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="pool-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _spawn_locked(self) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._store_root),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle = _WorkerHandle(self._next_wid, process, parent_conn)
+        self._next_wid += 1
+        self._handles[handle.wid] = handle
+        return handle
+
+    def worker_pids(self) -> list[int]:
+        with self._lock:
+            return [h.process.pid for h in self._handles.values()]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            handles = list(self._handles.values())
+            self._handles.clear()
+            for job in self._jobs.values():
+                if job.error is None and job.result is None:
+                    job.error = ("ServerError", "worker pool closed")
+                job.event.set()
+            self._jobs.clear()
+            self._pending.clear()
+        for handle in handles:
+            try:
+                handle.conn.send(None)
+            except (BrokenPipeError, OSError, ValueError):
+                pass
+        for handle in handles:
+            handle.process.join(timeout=0.5)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+            handle.conn.close()
+        self._dispatcher.join(timeout=2.0)
+
+    # -- submission --------------------------------------------------------
+
+    def abandon(self, job: _Job) -> None:
+        """Give up on a job: strike it from the books and retire the
+        worker stuck on it (the sentinel path then spawns a
+        replacement; the job is NOT retried — its waiter gets an
+        error)."""
+        stuck: _WorkerHandle | None = None
+        with self._lock:
+            self._jobs.pop(job.job_id, None)
+            try:
+                self._pending.remove(job)
+            except ValueError:
+                pass
+            for handle in self._handles.values():
+                if handle.current is job:
+                    stuck = handle
+                    break
+        if stuck is not None:
+            stuck.process.terminate()
+        if job.error is None and job.result is None:
+            job.error = ("ServerError", "job abandoned after timeout")
+        job.event.set()
+
+    def submit(self, payload: Mapping[str, Any]) -> _Job:
+        with self._lock:
+            if self._closed:
+                raise ServerError("worker pool is closed")
+            job = _Job(self._next_job_id, payload)
+            self._next_job_id += 1
+            self._jobs[job.job_id] = job
+            self._pending.append(job)
+            self._assign_locked()
+        return job
+
+    def _assign_locked(self) -> None:
+        for handle in list(self._handles.values()):
+            if not self._pending:
+                return
+            if handle.current is not None:
+                continue
+            job = self._pending.popleft()
+            try:
+                handle.conn.send((job.job_id, job.payload))
+            except (BrokenPipeError, OSError, ValueError):
+                # Dead or dying worker: give the job back and let the
+                # sentinel path retire the worker.
+                self._pending.appendleft(job)
+                continue
+            handle.current = job
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._closed:
+                    return
+                conn_map = {
+                    h.conn: h for h in self._handles.values()
+                }
+                sentinel_map = {
+                    h.process.sentinel: h for h in self._handles.values()
+                }
+            try:
+                ready = mp_connection.wait(
+                    list(conn_map) + list(sentinel_map), timeout=0.1
+                )
+            except OSError:
+                ready = []
+            for item in ready:
+                handle = conn_map.get(item) or sentinel_map.get(item)
+                if handle is None:
+                    continue
+                if item is handle.conn:
+                    self._on_readable(handle)
+                else:
+                    self._on_death(handle)
+
+    def _complete_locked(self, handle: _WorkerHandle, message) -> None:
+        job_id, status, data = message
+        job = self._jobs.pop(job_id, None)
+        if handle.current is not None and handle.current.job_id == job_id:
+            handle.current = None
+        if job is None:
+            return
+        if status == "ok":
+            job.result = data
+        else:
+            job.error = tuple(data)
+        job.event.set()
+
+    def _on_readable(self, handle: _WorkerHandle) -> None:
+        try:
+            message = handle.conn.recv()
+        except (EOFError, OSError, pickle.UnpicklingError):
+            self._on_death(handle)
+            return
+        with self._lock:
+            if handle.wid not in self._handles:
+                return
+            self._complete_locked(handle, message)
+            self._assign_locked()
+
+    def _on_death(self, handle: _WorkerHandle) -> None:
+        with self._lock:
+            if handle.wid not in self._handles:
+                return
+            del self._handles[handle.wid]
+            # Results that were fully sent before the crash still count:
+            # honoring them is what makes "no request answered twice"
+            # hold when a worker dies between send and exit.
+            while True:
+                try:
+                    if not handle.conn.poll(0):
+                        break
+                    message = handle.conn.recv()
+                except Exception:
+                    break
+                self._complete_locked(handle, message)
+            handle.conn.close()
+            job = handle.current
+            if job is not None and job.job_id in self._jobs:
+                self.jobs_requeued += 1
+                self._pending.appendleft(job)
+            if not self._closed:
+                self._spawn_locked()
+                self.workers_respawned += 1
+                self._assign_locked()
+        handle.process.join(timeout=1.0)
+
+
+# ---------------------------------------------------------------------------
+# The server
+# ---------------------------------------------------------------------------
+
+
+class PartitionServer:
+    """Serves ``partition_many`` batches over TCP, sharded across workers.
+
+    Args:
+        host, port: bind address (``port=0`` picks an ephemeral port;
+            read :attr:`address` after :meth:`start`).
+        workers: worker process count.
+        store: directory for the durable profile store every worker (and
+            the parent) shares; ``None`` keeps stores in memory.
+        ship_probes: prepare each group's formulation once in the parent
+            and hand the pickle-safe probe to workers (default).  With
+            ``False`` workers formulate from their own store views.
+        default_platform: platform for requests that do not name one.
+        job_timeout: seconds one sharded run may take before it is
+            abandoned (error to the client, stuck worker retired);
+            ``None`` waits forever.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        store: str | None = None,
+        ship_probes: bool = True,
+        default_platform: str = "tmote",
+        mp_context=None,
+        job_timeout: float | None = 900.0,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self.workers = workers
+        self.ship_probes = ship_probes
+        self.default_platform = default_platform
+        self._store_root = str(store) if store is not None else None
+        self._mp_context = mp_context
+        self.job_timeout = job_timeout
+        self._store = ProfileStore(self._store_root)
+        self._sessions: dict[str, Session] = {}
+        self._sessions_lock = threading.Lock()
+        self.pool: WorkerPool | None = None
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._conn_lock = threading.Lock()
+        self._conns: set[socket.socket] = set()
+        self._closed = threading.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._listener is None:
+            raise ServerError("server is not started")
+        return self._listener.getsockname()[:2]
+
+    def worker_pids(self) -> list[int]:
+        if self.pool is None:
+            return []
+        return self.pool.worker_pids()
+
+    def start(self) -> tuple[str, int]:
+        """Spawn the pool, bind, and begin accepting; returns the address."""
+        if self._listener is not None:
+            return self.address
+        # Workers fork before any server thread exists.
+        self.pool = WorkerPool(
+            self.workers,
+            store_root=self._store_root,
+            mp_context=self._mp_context,
+        )
+        self._listener = socket.create_server(
+            (self._host, self._port), backlog=16
+        )
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="server-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address
+
+    def close(self) -> None:
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._conn_lock:
+            conns = list(self._conns)
+            self._conns.clear()
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+        if self.pool is not None:
+            self.pool.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+
+    def __enter__(self) -> "PartitionServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def serve_forever(self) -> None:
+        """Start and block until :meth:`close` (or KeyboardInterrupt)."""
+        self.start()
+        try:
+            while not self._closed.wait(timeout=0.5):
+                pass
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.close()
+
+    # -- connection handling -----------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._closed.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            with self._conn_lock:
+                self._conns.add(conn)
+            threading.Thread(
+                target=self._handle_conn, args=(conn,), daemon=True
+            ).start()
+
+    def _handle_conn(self, conn: socket.socket) -> None:
+        try:
+            stream = conn.makefile("rwb")
+            while not self._closed.is_set():
+                try:
+                    message = recv_message(stream)
+                except (FrameError, OSError):
+                    return
+                if message is None:
+                    return
+                document, _ = message
+                try:
+                    self._serve_op(stream, document)
+                except (BrokenPipeError, OSError):
+                    return
+        finally:
+            with self._conn_lock:
+                self._conns.discard(conn)
+            conn.close()
+
+    def _serve_op(self, stream: BinaryIO, document: Mapping[str, Any]):
+        op = document.get("op")
+        if op == "ping":
+            send_message(
+                stream,
+                {
+                    "ok": True,
+                    "workers": len(self.worker_pids()),
+                    "requeued": self.pool.jobs_requeued if self.pool else 0,
+                    "respawned": (
+                        self.pool.workers_respawned if self.pool else 0
+                    ),
+                },
+            )
+        elif op == "scenarios":
+            send_message(
+                stream,
+                {
+                    "ok": True,
+                    "scenarios": [s.name for s in list_scenarios()],
+                },
+            )
+        elif op == "partition_many":
+            self._op_partition_many(stream, document)
+        else:
+            send_message(
+                stream,
+                {
+                    "ok": False,
+                    "kind": "WorkbenchError",
+                    "error": f"unknown op {op!r}",
+                },
+            )
+
+    # -- partition_many ----------------------------------------------------
+
+    def _parent_session(
+        self,
+        scenario: str,
+        params: Mapping[str, Any],
+        platform: str,
+        profiler_cfg: Mapping[str, Any] | None,
+    ) -> Session:
+        with self._sessions_lock:
+            return _session_for(
+                self._sessions, self._store, scenario, params, platform,
+                profiler_cfg,
+            )
+
+    def _op_partition_many(
+        self, stream: BinaryIO, document: Mapping[str, Any]
+    ) -> None:
+        try:
+            jobs, n_requests, platform = self._submit_batch(document)
+        except (WorkbenchError, InfeasiblePartition, ValueError) as exc:
+            send_message(
+                stream,
+                {
+                    "ok": False,
+                    "kind": type(exc).__name__,
+                    "error": str(exc),
+                },
+            )
+            return
+
+        slots: list[tuple[dict | None, dict | None] | None]
+        slots = [None] * n_requests
+        failure: tuple[str, str] | None = None
+        for job in jobs:
+            if not job.event.wait(self.job_timeout):
+                self.pool.abandon(job)
+            if job.error is not None:
+                failure = failure or job.error
+                continue
+            for index, doc, arrays in job.result or []:
+                slots[index] = (doc, arrays)
+        if failure is not None:
+            send_message(
+                stream,
+                {"ok": False, "kind": failure[0], "error": failure[1]},
+            )
+            return
+        send_message(
+            stream,
+            {"ok": True, "count": n_requests, "platform": platform},
+        )
+        for index in range(n_requests):
+            slot = slots[index]
+            if slot is None or slot[0] is None:
+                send_message(stream, {"index": index, "result": None})
+            else:
+                send_message(
+                    stream, {"index": index, "result": slot[0]}, slot[1]
+                )
+
+    def _submit_batch(
+        self, document: Mapping[str, Any]
+    ) -> tuple[list[_Job], int, str]:
+        if self.pool is None:
+            raise ServerError("server is not started")
+        scenario_name = document.get("scenario")
+        if not scenario_name:
+            raise WorkbenchError("partition_many needs a scenario name")
+        scenario = get_scenario(scenario_name)
+        params = scenario.resolve_params(document.get("params") or {})
+        platform = document.get("platform") or self.default_platform
+        profiler_cfg = document.get("profiler")
+        skip_infeasible = bool(document.get("skip_infeasible", False))
+        payloads = list(document.get("requests") or [])
+        requests = [PartitionRequest.from_payload(p) for p in payloads]
+
+        # Group + order + resolve budgets exactly as the in-process
+        # service does; shard each ordered group at budget boundaries.
+        order: dict[tuple, list[int]] = {}
+        for index, request in enumerate(requests):
+            order.setdefault(request.probe_group(platform), []).append(index)
+        resolved: dict[int, tuple[float, float]] = {}
+        for index, request in enumerate(requests):
+            platform_obj = get_platform(request.platform or platform)
+            resolved[index] = request.partitioner().resolve_budgets(
+                platform_obj
+            )
+
+        jobs: list[_Job] = []
+        for indices in order.values():
+            ordered = group_order(indices, requests, resolved)
+            probe_blob = None
+            if self.ship_probes:
+                lead = requests[ordered[0]]
+                session = self._parent_session(
+                    scenario.name, params, platform, profiler_cfg
+                )
+                profile = session.service.profile(lead.platform or platform)
+                graph_ref = {
+                    "scenario": scenario.name,
+                    "params": dict(params),
+                }
+                probe = build_group_probe(lead, profile, graph_ref=graph_ref)
+                try:
+                    probe_blob = pickle.dumps(probe)
+                except Exception:
+                    probe_blob = None  # workers formulate from their stores
+            for run in _budget_runs(ordered, resolved):
+                payload = {
+                    "scenario": scenario.name,
+                    "params": dict(params),
+                    "platform": platform,
+                    "profiler": profiler_cfg,
+                    "skip_infeasible": skip_infeasible,
+                    "entries": [(i, payloads[i]) for i in run],
+                    "budgets": [resolved[i] for i in run],
+                    "probe_blob": probe_blob,
+                }
+                jobs.append(self.pool.submit(payload))
+        return jobs, len(requests), platform
+
+
+def _budget_runs(
+    ordered: Sequence[int], resolved: Mapping[int, tuple[float, float]]
+) -> list[list[int]]:
+    """Split an ordered group into maximal same-budget runs."""
+    runs: list[list[int]] = []
+    for index in ordered:
+        if runs and resolved[runs[-1][-1]] == resolved[index]:
+            runs[-1].append(index)
+        else:
+            runs.append([index])
+    return runs
+
+
+# ---------------------------------------------------------------------------
+# The client
+# ---------------------------------------------------------------------------
+
+
+class ServerClient:
+    """A connection to a :class:`PartitionServer`.
+
+    Thread-safe (one in-flight call at a time per client).  ``address``
+    is ``"host:port"``, an ``(host, port)`` pair, or a server's
+    :attr:`~PartitionServer.address`.  ``connect_timeout`` retries the
+    initial connection, so a client can be started alongside a server
+    that is still binding.
+    """
+
+    def __init__(
+        self,
+        address: Any,
+        timeout: float | None = 300.0,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        host, port = _parse_address(address)
+        deadline = time.monotonic() + connect_timeout
+        while True:
+            try:
+                self._sock = socket.create_connection(
+                    (host, port), timeout=timeout
+                )
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise ServerError(
+                        f"cannot connect to partition server at "
+                        f"{host}:{port}"
+                    ) from None
+                time.sleep(0.05)
+        self._stream = self._sock.makefile("rwb")
+        self._lock = threading.Lock()
+
+    def close(self) -> None:
+        try:
+            self._stream.close()
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _recv(self) -> tuple[dict[str, Any], dict]:
+        message = recv_message(self._stream)
+        if message is None:
+            raise ServerError("server closed the connection")
+        return message
+
+    def _call(self, document: Mapping[str, Any]) -> dict[str, Any]:
+        with self._lock:
+            send_message(self._stream, document)
+            reply, _ = self._recv()
+        if not reply.get("ok"):
+            _raise_remote(reply)
+        return reply
+
+    # -- operations --------------------------------------------------------
+
+    def ping(self) -> dict[str, Any]:
+        """Liveness + pool stats (worker count, requeues, respawns)."""
+        return self._call({"op": "ping"})
+
+    def scenarios(self) -> list[str]:
+        return list(self._call({"op": "scenarios"})["scenarios"])
+
+    def partition_many(
+        self,
+        scenario: str,
+        requests: Sequence[PartitionRequest | Mapping[str, Any]],
+        params: Mapping[str, Any] | None = None,
+        platform: str | None = None,
+        profiler: Profiler | None = None,
+        skip_infeasible: bool = False,
+    ) -> list[PartitionResult | None]:
+        """Serve a batch remotely; mirrors
+        :meth:`Session.partition_many` (results in request order,
+        ``None`` for infeasible requests under ``skip_infeasible``)."""
+        request_objs = [
+            r if isinstance(r, PartitionRequest)
+            else PartitionRequest.from_payload(r)
+            for r in requests
+        ]
+        document = {
+            "op": "partition_many",
+            "scenario": scenario,
+            "params": dict(params or {}),
+            "platform": platform,
+            "profiler": (
+                profiler_config(profiler) if profiler is not None else None
+            ),
+            "skip_infeasible": skip_infeasible,
+            "requests": [r.to_payload() for r in request_objs],
+        }
+        with self._lock:
+            send_message(self._stream, document)
+            ack, _ = self._recv()
+            if not ack.get("ok"):
+                _raise_remote(ack)
+            count = int(ack["count"])
+            served_platform = ack.get("platform")
+            scenario_obj = get_scenario(scenario)
+            graph = scenario_obj.build(
+                scenario_obj.resolve_params(params or {})
+            )
+            results: list[PartitionResult | None] = [None] * count
+            for _ in range(count):
+                body, arrays = self._recv()
+                index = int(body["index"])
+                payload = body.get("result")
+                if payload is not None:
+                    results[index] = artifacts.from_document(
+                        payload, arrays, graph
+                    )
+        for request, result in zip(request_objs, results):
+            if result is not None:
+                # Reattach serving context (the artifact does not carry
+                # it), mirroring PartitionService._with_platform.
+                result.request = (
+                    request
+                    if request.platform is not None
+                    else replace(request, platform=served_platform)
+                )
+        return results
+
+
+def _raise_remote(reply: Mapping[str, Any]) -> None:
+    kind = reply.get("kind", "ServerError")
+    error = reply.get("error", "unknown server error")
+    if kind == "InfeasiblePartition":
+        raise InfeasiblePartition(error)
+    raise ServerError(f"{kind}: {error}")

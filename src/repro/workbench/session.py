@@ -24,6 +24,7 @@ solves stay similar, and results return in request order.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, replace
 from typing import Any, Mapping, Sequence
 
@@ -114,6 +115,42 @@ class PartitionRequest:
             if name not in self._PROBE_FREE_FIELDS
         )
 
+    def to_payload(self) -> dict[str, Any]:
+        """A JSON-ready dict (enums by value); inverse of
+        :meth:`from_payload`.  The partition server's wire format."""
+        payload: dict[str, Any] = {}
+        for name in self.__dataclass_fields__:
+            value = getattr(self, name)
+            if isinstance(value, enum.Enum):
+                value = value.value
+            payload[name] = value
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "PartitionRequest":
+        """Rebuild a request from :meth:`to_payload` output."""
+        fields = cls.__dataclass_fields__
+        unknown = set(payload) - set(fields)
+        if unknown:
+            raise WorkbenchError(
+                f"unknown partition-request fields: {sorted(unknown)}"
+            )
+        enum_types = {
+            "mode": RelocationMode,
+            "formulation": Formulation,
+            "solver": SolverBackend,
+        }
+        kwargs: dict[str, Any] = {}
+        for name, value in payload.items():
+            enum_type = enum_types.get(name)
+            if enum_type is not None and not isinstance(value, enum_type):
+                try:
+                    value = enum_type(value)
+                except ValueError as exc:
+                    raise WorkbenchError(f"bad request field {name!r}: {exc}")
+            kwargs[name] = value
+        return cls(**kwargs)
+
 
 @dataclass(frozen=True)
 class RateSearchRequest:
@@ -125,6 +162,81 @@ class RateSearchRequest:
     max_factor: float = 1024.0
     max_probes: int = 60
     incremental: bool = True
+
+
+# ---------------------------------------------------------------------------
+# The group-serving core, shared by the in-process service and the
+# partition server's worker processes (repro.workbench.server).  Both
+# layers MUST run requests through these exact functions: the server's
+# byte-identical-to-in-process guarantee rests on the probe recipe, the
+# within-group order, and the per-request solve loop being literally the
+# same code on both sides of the socket.
+# ---------------------------------------------------------------------------
+
+
+def build_group_probe(
+    request: "PartitionRequest",
+    profile,
+    graph_ref: Mapping[str, Any] | None = None,
+) -> ScaledProbe:
+    """The shared-formulation recipe for one compatibility group.
+
+    The probe's base formulation uses the platform-default budgets; every
+    request overrides them explicitly, so the base values never leak into
+    results.  ``graph_ref`` (a scenario reference) makes the probe
+    pickle-safe for cross-process handoff.
+    """
+    probe = request.partitioner().with_overrides(
+        cpu_budget=None, net_budget=None
+    ).prepare_probe(profile)
+    if graph_ref is not None:
+        probe.graph_ref = dict(graph_ref)
+    return probe
+
+
+def group_order(
+    indices: Sequence[int],
+    requests: Sequence["PartitionRequest"],
+    resolved: Mapping[int, tuple[float, float]],
+) -> list[int]:
+    """Solve order within one group: sorted (cpu, net, rate), stable.
+
+    Consecutive solves differ by a handful of right-hand-side entries, so
+    the persistent relaxation's basis stays hot; the stable tie-break on
+    the original position keeps the order a pure function of the batch.
+    """
+    return sorted(
+        indices, key=lambda i: (*resolved[i], requests[i].rate_factor)
+    )
+
+
+def solve_group(
+    probe: ScaledProbe,
+    ordered: Sequence[tuple["PartitionRequest", tuple[float, float]]],
+    skip_infeasible: bool = False,
+) -> list[PartitionResult | None]:
+    """Solve pre-ordered compatible requests through one shared probe.
+
+    ``ordered`` pairs each request with its resolved (cpu, net) budgets.
+    Results align with ``ordered``; with ``skip_infeasible`` an
+    infeasible request yields ``None`` instead of raising.
+    """
+    results: list[PartitionResult | None] = []
+    for request, (cpu_budget, net_budget) in ordered:
+        if skip_infeasible:
+            result = probe.try_partition(
+                request.rate_factor,
+                cpu_budget=cpu_budget,
+                net_budget=net_budget,
+            )
+        else:
+            result = probe.partition(
+                request.rate_factor,
+                cpu_budget=cpu_budget,
+                net_budget=net_budget,
+            )
+        results.append(result)
+    return results
 
 
 class PartitionService:
@@ -166,12 +278,9 @@ class PartitionService:
         key = request.probe_group(self.default_platform)
         probe = self._probes.get(key)
         if probe is None:
-            # The probe's base formulation uses the platform-default
-            # budgets; every request overrides them explicitly, so the
-            # base values never leak into results.
-            probe = request.partitioner().with_overrides(
-                cpu_budget=None, net_budget=None
-            ).prepare_probe(self.profile(self._platform_name(request)))
+            probe = build_group_probe(
+                request, self.profile(self._platform_name(request))
+            )
             self._probes[key] = probe
         return probe
 
@@ -225,24 +334,21 @@ class PartitionService:
             resolved = {
                 i: self._resolved_budgets(requests[i]) for i in group_indices
             }
-            group_indices.sort(
-                key=lambda i: (*resolved[i], requests[i].rate_factor)
+            ordered_indices = group_order(group_indices, requests, resolved)
+            probe = self._probe(requests[ordered_indices[0]])
+            # Batch answers are a pure function of the batch: a cached
+            # probe must not carry the previous batch's (or a previous
+            # single call's) warm-start state into this one, or repeated
+            # identical batches could pick different within-gap/tie
+            # solutions — and stop matching what a cold-started server
+            # worker returns for the same requests.
+            probe.reset_solver_state()
+            group_results = solve_group(
+                probe,
+                [(requests[i], resolved[i]) for i in ordered_indices],
+                skip_infeasible=skip_infeasible,
             )
-            probe = self._probe(requests[group_indices[0]])
-            for i in group_indices:
-                cpu_budget, net_budget = resolved[i]
-                if skip_infeasible:
-                    result = probe.try_partition(
-                        requests[i].rate_factor,
-                        cpu_budget=cpu_budget,
-                        net_budget=net_budget,
-                    )
-                else:
-                    result = probe.partition(
-                        requests[i].rate_factor,
-                        cpu_budget=cpu_budget,
-                        net_budget=net_budget,
-                    )
+            for i, result in zip(ordered_indices, group_results):
                 if result is not None:
                     result.request = self._with_platform(requests[i])
                 results[i] = result
@@ -340,8 +446,39 @@ class Session:
         self,
         requests: Sequence[PartitionRequest],
         skip_infeasible: bool = False,
+        server: Any = None,
     ) -> list[PartitionResult | None]:
-        """Batched partitioning (see :meth:`PartitionService.partition_many`)."""
+        """Batched partitioning (see :meth:`PartitionService.partition_many`).
+
+        With ``server`` set — an address string (``"host:port"``), an
+        ``(host, port)`` pair, or an open
+        :class:`~repro.workbench.server.ServerClient` — the batch is
+        served by a remote partition server instead of solved in
+        process.  Served results are reconstructed from their wire
+        artifacts and are equivalent to the in-process answers (see
+        ``tests/workbench/test_server.py``).
+        """
+        if server is not None:
+            from .server import ServerClient
+
+            if isinstance(server, ServerClient):
+                return server.partition_many(
+                    self.scenario.name,
+                    requests,
+                    params=self.params,
+                    platform=self.platform,
+                    profiler=self.profiler,
+                    skip_infeasible=skip_infeasible,
+                )
+            with ServerClient(server) as client:
+                return client.partition_many(
+                    self.scenario.name,
+                    requests,
+                    params=self.params,
+                    platform=self.platform,
+                    profiler=self.profiler,
+                    skip_infeasible=skip_infeasible,
+                )
         return self.service.partition_many(
             requests, skip_infeasible=skip_infeasible
         )

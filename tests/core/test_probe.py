@@ -158,3 +158,109 @@ def test_highs_relaxation_update_problem_matches_fresh_build(
     fresh = fresh_engine.solve(scaled.lb, scaled.ub)
     assert warm.status == fresh.status
     assert warm.objective == pytest.approx(fresh.objective, rel=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Budget-override isolation and cross-process handoff
+# ---------------------------------------------------------------------------
+
+
+def test_budget_override_does_not_leak_into_default_calls(
+    tmote_speech_profile,
+):
+    """A request that omits budgets after a prior request set them must
+    get the fresh-probe answer — the overridden solve's relaxation state
+    (basis, within-gap incumbent steering) may not carry over."""
+    import numpy as np
+
+    probe = make_partitioner(gap_tolerance=5e-3).prepare_probe(
+        tmote_speech_profile
+    )
+    factor = 0.05
+    baseline = probe.partition(factor)
+    # An overridden solve with different (still feasible) budgets...
+    overridden = probe.try_partition(
+        factor,
+        cpu_budget=0.9,
+        net_budget=baseline.partition.network_bytes_per_sec * 2.0,
+    )
+    assert overridden is not None
+    # ...then a default-budget call again: identical to the first call
+    # and to a brand-new probe, down to the solution vector.
+    after = probe.partition(factor)
+    fresh = make_partitioner(gap_tolerance=5e-3).prepare_probe(
+        tmote_speech_profile
+    ).partition(factor)
+    assert after.partition.node_set == baseline.partition.node_set
+    assert after.partition.node_set == fresh.partition.node_set
+    assert np.array_equal(after.solution.x, baseline.solution.x)
+    assert np.array_equal(after.solution.x, fresh.solution.x)
+    assert after.problem.cpu_budget == baseline.problem.cpu_budget
+    assert after.problem.net_budget == baseline.problem.net_budget
+
+
+def test_budget_override_reported_in_problem(tmote_speech_profile):
+    """Overridden budgets land in the result's problem metadata."""
+    probe = make_partitioner().prepare_probe(tmote_speech_profile)
+    factor = 0.05
+    result = probe.try_partition(factor, cpu_budget=0.75)
+    if result is None:
+        pytest.skip("override infeasible on this profile")
+    assert result.problem.cpu_budget == pytest.approx(0.75)
+
+
+def test_relaxation_persists_within_one_budget_configuration(
+    tmote_speech_profile,
+):
+    """The budget-change reset must not kill same-budget warm starts."""
+    probe = make_partitioner().prepare_probe(tmote_speech_profile)
+    probe.try_partition(0.05, cpu_budget=0.9)
+    engine = probe._relaxation
+    if engine is None or engine is False:
+        pytest.skip("private HiGHS bindings unavailable")
+    probe.try_partition(0.1, cpu_budget=0.9)  # same budgets, new rate
+    assert probe._relaxation is engine
+    probe.try_partition(0.1, cpu_budget=0.8)  # budget change: discarded
+    assert probe._relaxation is not engine
+
+
+def test_probe_pickles_with_graph_reference():
+    """A probe carrying a scenario graph_ref crosses process boundaries;
+    work functions travel by reference and are rebuilt on load."""
+    import pickle
+
+    import numpy as np
+
+    from repro.experiments.common import profile_for
+    from repro.workbench.artifacts import _graph_ref_payload
+
+    profile = profile_for("speech", "tmote")
+    probe = make_partitioner(gap_tolerance=5e-3).prepare_probe(profile)
+    probe.graph_ref = _graph_ref_payload(
+        profile.graph, {"scenario": "speech", "params": {}}
+    )
+    baseline = probe.partition(0.05)
+
+    clone = pickle.loads(pickle.dumps(probe))
+    assert clone._relaxation is None  # live engine never travels
+    result = clone.partition(0.05)
+    assert result.partition.node_set == baseline.partition.node_set
+    assert np.array_equal(result.solution.x, baseline.solution.x)
+    # The rebuilt graph is structurally the one the probe was built on.
+    assert result.partition.graph.name == baseline.partition.graph.name
+
+
+def test_probe_pickle_rejects_mismatched_graph_ref(tmote_speech_profile):
+    """A stale scenario reference fails loudly at unpickle time."""
+    import pickle
+
+    from repro.workbench.artifacts import ArtifactError, _graph_ref_payload
+
+    probe = make_partitioner().prepare_probe(tmote_speech_profile)
+    ref = _graph_ref_payload(
+        tmote_speech_profile.graph, {"scenario": "eeg", "params": {}}
+    )
+    probe.graph_ref = ref  # eeg will not rebuild to the speech fingerprint
+    blob = pickle.dumps(probe)
+    with pytest.raises(ArtifactError, match="fingerprint"):
+        pickle.loads(blob)

@@ -1,0 +1,88 @@
+"""The pre-workbench helpers in ``experiments.common`` stay honest.
+
+Each deprecated shim must (a) emit exactly one ``DeprecationWarning``
+naming its replacement and (b) return results *identical* to the
+workbench path it delegates to — pinned via the artifact layer's
+bit-exact serialization rather than spot-checked fields.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.experiments import common
+from repro.workbench.artifacts import to_json
+
+#: (shim name, shim kwargs, replacement callable, replacement args).
+SHIMS = [
+    (
+        "speech_measurement",
+        {},
+        lambda: common.measurement_for("speech"),
+    ),
+    (
+        "eeg_measurement",
+        {"n_channels": 2},
+        lambda: common.measurement_for("eeg", n_channels=2),
+    ),
+    (
+        "speech_profile",
+        {"platform_name": "tmote"},
+        lambda: common.profile_for("speech", "tmote"),
+    ),
+    (
+        "eeg_profile",
+        {"platform_name": "tmote", "n_channels": 2},
+        lambda: common.profile_for("eeg", "tmote", n_channels=2),
+    ),
+]
+
+
+def _call_shim(name: str, kwargs) -> tuple[object, list]:
+    shim = getattr(common, name)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = shim(**kwargs)
+    deprecations = [
+        w
+        for w in caught
+        if issubclass(w.category, DeprecationWarning)
+        and "repro.experiments.common" in str(w.message)
+    ]
+    return result, deprecations
+
+
+@pytest.mark.parametrize(
+    "name,kwargs,replacement", SHIMS, ids=[s[0] for s in SHIMS]
+)
+def test_shim_warns_exactly_once_and_matches_workbench(
+    name, kwargs, replacement
+):
+    result, deprecations = _call_shim(name, kwargs)
+    assert len(deprecations) == 1, (
+        f"{name} emitted {len(deprecations)} DeprecationWarnings, "
+        "expected exactly 1"
+    )
+    message = str(deprecations[0].message)
+    assert f"repro.experiments.common.{name} is deprecated" in message
+    assert "measurement_for" in message or "profile_for" in message
+
+    replacement_result = replacement()
+    if isinstance(result, tuple):  # (graph, measurement) helpers
+        _, measurement = result
+        _, expected = replacement_result
+        assert to_json(measurement) == to_json(expected)
+    else:  # GraphProfile helpers
+        assert to_json(result) == to_json(replacement_result)
+
+
+def test_measurement_for_itself_does_not_warn():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        common.measurement_for("eeg", n_channels=2)
+        common.profile_for("eeg", "tmote", n_channels=2)
+    assert not [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]

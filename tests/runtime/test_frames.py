@@ -1,0 +1,120 @@
+"""The length-prefixed frame protocol (repro.runtime.frames)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.runtime.frames import (
+    LENGTH_PREFIX,
+    FrameError,
+    pack_arrays,
+    read_frame,
+    recv_message,
+    send_message,
+    unpack_arrays,
+    write_frame,
+)
+
+
+def test_frame_roundtrip():
+    stream = io.BytesIO()
+    write_frame(stream, b"hello")
+    write_frame(stream, b"")
+    write_frame(stream, b"\x00" * 1000)
+    stream.seek(0)
+    assert read_frame(stream) == b"hello"
+    assert read_frame(stream) == b""
+    assert read_frame(stream) == b"\x00" * 1000
+    assert read_frame(stream) is None  # clean EOF
+
+
+def test_truncated_payload_raises():
+    stream = io.BytesIO()
+    write_frame(stream, b"payload")
+    data = stream.getvalue()[:-3]
+    with pytest.raises(FrameError, match="truncated"):
+        read_frame(io.BytesIO(data))
+
+
+def test_truncated_prefix_raises():
+    with pytest.raises(FrameError, match="truncated"):
+        read_frame(io.BytesIO(b"\x01\x02"))
+
+
+def test_oversized_length_rejected():
+    stream = io.BytesIO(LENGTH_PREFIX.pack(0xFFFFFFFF))
+    with pytest.raises(FrameError, match="limit"):
+        read_frame(stream)
+
+
+def test_marshal_shares_the_prefix_convention():
+    """A marshalled byte string embeds the same <I length prefix."""
+    from repro.runtime.marshal import pack
+
+    payload = pack(b"abcd")
+    assert payload[0:1] == b"R"
+    (length,) = LENGTH_PREFIX.unpack_from(payload, 1)
+    assert length == 4
+
+
+def test_message_roundtrip_with_arrays():
+    arrays = {
+        "a0": np.arange(12, dtype=np.float64).reshape(3, 4),
+        "a1": np.array([1, 2, 3], dtype=np.int32),
+    }
+    document = {"op": "test", "nested": {"x": [1, 2.5, None]}}
+    stream = io.BytesIO()
+    send_message(stream, document, arrays)
+    send_message(stream, {"second": True})
+    stream.seek(0)
+    got_doc, got_arrays = recv_message(stream)
+    assert got_doc == document
+    assert set(got_arrays) == {"a0", "a1"}
+    for key in arrays:
+        assert got_arrays[key].dtype == arrays[key].dtype
+        assert np.array_equal(got_arrays[key], arrays[key])
+    got_doc2, got_arrays2 = recv_message(stream)
+    assert got_doc2 == {"second": True}
+    assert got_arrays2 == {}
+    assert recv_message(stream) is None
+
+
+def test_message_truncated_after_header_raises():
+    stream = io.BytesIO()
+    write_frame(stream, b'{"op": "x"}')
+    stream.seek(0)
+    with pytest.raises(FrameError, match="truncated after"):
+        recv_message(stream)
+
+
+def test_malformed_document_frame_raises():
+    stream = io.BytesIO()
+    write_frame(stream, b"not json")
+    write_frame(stream, b"")
+    stream.seek(0)
+    with pytest.raises(FrameError, match="malformed"):
+        recv_message(stream)
+
+
+def test_non_object_document_rejected():
+    stream = io.BytesIO()
+    write_frame(stream, b"[1, 2]")
+    write_frame(stream, b"")
+    stream.seek(0)
+    with pytest.raises(FrameError, match="expected object"):
+        recv_message(stream)
+
+
+def test_corrupt_array_frame_raises_typed_error():
+    arrays = {"a0": np.arange(64, dtype=np.float64)}
+    blob = bytearray(pack_arrays(arrays))
+    blob[len(blob) // 2] ^= 0xFF  # flip a byte inside the archive
+    with pytest.raises(FrameError, match="corrupt array sidecar"):
+        unpack_arrays(bytes(blob))
+
+
+def test_truncated_array_frame_raises_typed_error():
+    blob = pack_arrays({"a0": np.arange(64, dtype=np.float64)})
+    with pytest.raises(FrameError, match="corrupt array sidecar"):
+        unpack_arrays(blob[: len(blob) // 2])

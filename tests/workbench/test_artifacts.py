@@ -146,7 +146,10 @@ def test_save_and_load_with_npz_sidecar(tmp_path, eeg_session):
     path = tmp_path / "result.json"
     save_artifact(result, path, graph_ref=ref)
     assert path.exists()
-    assert (tmp_path / "result.json.npz").exists()  # arrays in the sidecar
+    # Arrays land in a content-addressed npz sidecar next to the JSON.
+    sidecar = json.loads(path.read_text())["npz"]
+    assert sidecar.startswith("result.json.") and sidecar.endswith(".npz")
+    assert (tmp_path / sidecar).exists()
     loaded = load_artifact(path)
     assert loaded.partition.node_set == result.partition.node_set
     np.testing.assert_array_equal(loaded.solution.x, result.solution.x)

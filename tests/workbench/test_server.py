@@ -1,0 +1,462 @@
+"""Cross-layer equivalence and fault tolerance of the partition server.
+
+The server's contract: a served batch returns artifacts *byte-identical*
+(canonical form — wall-clock telemetry zeroed) to the in-process
+``Session.partition_many`` answers, regardless of worker count, request
+order, concurrent clients, or a worker being SIGKILLed mid-batch.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import InfeasiblePartition
+from repro.workbench import (
+    PartitionRequest,
+    PartitionServer,
+    ProfileStore,
+    ServerClient,
+    ServerError,
+    Session,
+)
+from repro.workbench.artifacts import canonical_json
+from repro.workbench.server import _budget_runs
+
+#: Small scenario parameterizations so profiling (shared via a durable
+#: store) and the per-request solves stay fast.
+SCENARIO_PARAMS = {
+    "eeg": {"n_channels": 3},
+    "speech": {"duration_s": 1.0},
+    "leak": {"duration_s": 5.0},
+}
+
+
+def batch_for(scenario: str) -> list[PartitionRequest]:
+    """Mixed budgets and rates, including one hopeless request."""
+    requests = [
+        PartitionRequest(
+            rate_factor=rate,
+            cpu_budget=cpu,
+            net_budget=float("inf"),
+            gap_tolerance=5e-3,
+        )
+        for cpu in (1.0, 0.9)
+        for rate in (1.0, 2.0, 6.0)
+    ]
+    # A CPU budget no partition can satisfy: exercises the None path.
+    requests.append(
+        PartitionRequest(
+            rate_factor=500000.0, cpu_budget=1e-9, gap_tolerance=5e-3
+        )
+    )
+    return requests
+
+
+@pytest.fixture(scope="module")
+def store_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("server-store"))
+
+
+@pytest.fixture(scope="module")
+def server(store_dir):
+    with PartitionServer(workers=2, store=store_dir) as srv:
+        yield srv
+
+
+def local_session(scenario: str, store_dir: str) -> Session:
+    return Session(
+        scenario, store=ProfileStore(store_dir),
+        params=SCENARIO_PARAMS[scenario],
+    )
+
+
+def assert_equivalent(local_results, served_results):
+    assert len(local_results) == len(served_results)
+    for index, (local, served) in enumerate(
+        zip(local_results, served_results)
+    ):
+        assert (local is None) == (served is None), f"request {index}"
+        if local is None:
+            continue
+        assert np.array_equal(local.solution.x, served.solution.x), (
+            f"request {index}: solution vectors differ"
+        )
+        assert canonical_json(local) == canonical_json(served), (
+            f"request {index}: canonical artifacts differ"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Equivalence
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIO_PARAMS))
+def test_served_equals_inprocess(server, store_dir, scenario):
+    requests = batch_for(scenario)
+    local = local_session(scenario, store_dir).partition_many(
+        requests, skip_infeasible=True
+    )
+    with ServerClient(server.address) as client:
+        served = client.partition_many(
+            scenario,
+            requests,
+            params=SCENARIO_PARAMS[scenario],
+            skip_infeasible=True,
+        )
+    assert any(r is None for r in served)  # the hopeless request
+    assert any(r is not None for r in served)
+    assert_equivalent(local, served)
+
+
+def test_served_results_carry_requests_for_deploy(server, store_dir):
+    """Served results re-enter the workflow: deploy() recovers context."""
+    session = local_session("eeg", store_dir)
+    request = PartitionRequest(rate_factor=2.0, gap_tolerance=5e-3)
+    with ServerClient(server.address) as client:
+        (served,) = client.partition_many(
+            "eeg", [request], params=SCENARIO_PARAMS["eeg"]
+        )
+    assert served.request.platform == "tmote"
+    assert served.request.rate_factor == 2.0
+    prediction = session.deploy(served, n_nodes=2)
+    local = session.partition(request)
+    expected = session.deploy(local, n_nodes=2)
+    assert prediction.goodput == pytest.approx(expected.goodput)
+
+
+def test_session_partition_many_server_kwarg(server, store_dir):
+    """Session.partition_many(server=...) is the same as going direct."""
+    requests = batch_for("eeg")[:4]
+    session = local_session("eeg", store_dir)
+    local = session.partition_many(requests, skip_infeasible=True)
+    # A session with *no* local profile store: all solving is remote.
+    remote_session = Session("eeg", params=SCENARIO_PARAMS["eeg"])
+    host, port = server.address
+    served = remote_session.partition_many(
+        requests, skip_infeasible=True, server=f"{host}:{port}"
+    )
+    assert remote_session.store.stats.misses == 0  # nothing profiled here
+    assert_equivalent(local, served)
+
+
+def test_shuffled_request_order_is_normalized(server, store_dir):
+    """The answers are a pure function of each request, not of batch
+    order: serving a shuffled batch returns the same artifact per
+    request."""
+    requests = batch_for("eeg")
+    order = list(range(len(requests)))
+    rng = np.random.default_rng(7)
+    rng.shuffle(order)
+    shuffled = [requests[i] for i in order]
+    with ServerClient(server.address) as client:
+        plain = client.partition_many(
+            "eeg", requests, params=SCENARIO_PARAMS["eeg"],
+            skip_infeasible=True,
+        )
+        served = client.partition_many(
+            "eeg", shuffled, params=SCENARIO_PARAMS["eeg"],
+            skip_infeasible=True,
+        )
+    for position, original_index in enumerate(order):
+        a, b = plain[original_index], served[position]
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert canonical_json(a) == canonical_json(b)
+
+
+def test_repeated_batches_are_pure_functions_of_the_batch(
+    server, store_dir
+):
+    """Running one batch twice through one session returns identical
+    canonical artifacts both times — a cached probe's warm-start state
+    does not leak across batch boundaries — and both match the served
+    answers.  (A single-budget rate sweep is the sharpest case: no
+    budget change inside the batch ever resets the relaxation.)"""
+    requests = [
+        PartitionRequest(rate_factor=r, cpu_budget=0.9, gap_tolerance=5e-3)
+        for r in (1.0, 2.0, 4.0, 6.0)
+    ]
+    session = local_session("eeg", store_dir)
+    first = session.partition_many(requests, skip_infeasible=True)
+    second = session.partition_many(requests, skip_infeasible=True)
+    assert_equivalent(first, second)
+    with ServerClient(server.address) as client:
+        served = client.partition_many(
+            "eeg", requests, params=SCENARIO_PARAMS["eeg"],
+            skip_infeasible=True,
+        )
+    assert_equivalent(first, served)
+
+
+def test_job_timeout_abandons_stuck_worker(store_dir, monkeypatch):
+    """A wedged run errors out to the client instead of hanging, and
+    the pool retires the stuck worker."""
+    monkeypatch.setenv("REPRO_SERVER_TEST_DELAY", "30")
+    with PartitionServer(
+        workers=1, store=store_dir, job_timeout=1.0
+    ) as srv:
+        with ServerClient(srv.address) as client:
+            with pytest.raises(ServerError, match="abandoned"):
+                client.partition_many(
+                    "eeg",
+                    [PartitionRequest(rate_factor=1.0, gap_tolerance=5e-3)],
+                    params=SCENARIO_PARAMS["eeg"],
+                    skip_infeasible=True,
+                )
+            # terminate -> sentinel -> respawn is asynchronous.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                stats = client.ping()
+                if stats["respawned"] >= 1:
+                    break
+                time.sleep(0.1)
+            assert stats["respawned"] >= 1
+            assert stats["requeued"] == 0  # abandoned, not retried
+
+
+def test_bad_server_address_is_a_typed_error():
+    with pytest.raises(ServerError, match="not host:port"):
+        ServerClient("127.0.0.1:not-a-port")
+    with pytest.raises(ServerError, match="not host:port"):
+        ServerClient(12345)
+
+
+def test_worker_built_probes_are_equivalent(store_dir):
+    """ship_probes=False: workers formulate from their own store views
+    and still return byte-identical artifacts."""
+    requests = batch_for("eeg")[:5]
+    local = local_session("eeg", store_dir).partition_many(
+        requests, skip_infeasible=True
+    )
+    with PartitionServer(
+        workers=2, store=store_dir, ship_probes=False
+    ) as srv:
+        with ServerClient(srv.address) as client:
+            served = client.partition_many(
+                "eeg", requests, params=SCENARIO_PARAMS["eeg"],
+                skip_infeasible=True,
+            )
+    assert_equivalent(local, served)
+
+
+def test_equivalence_across_distinct_hash_seeds(server, store_dir):
+    """The byte-identity contract holds between *unrelated* processes.
+
+    Every other test forks the comparator from this process, so both
+    sides share one string-hash seed; a hash-order-dependent float
+    summation (set iteration!) would slip through.  Here the in-process
+    comparator runs in a subprocess with a different PYTHONHASHSEED and
+    must still reproduce the served artifacts byte for byte.
+    """
+    import os as _os
+    import subprocess
+    import sys
+
+    requests = batch_for("eeg")
+    with ServerClient(server.address) as client:
+        served = client.partition_many(
+            "eeg", requests, params=SCENARIO_PARAMS["eeg"],
+            skip_infeasible=True,
+        )
+    script = """
+import sys
+from repro.workbench import PartitionRequest, ProfileStore, Session
+from repro.workbench.artifacts import canonical_json
+import json
+spec = json.loads(sys.stdin.read())
+session = Session("eeg", store=ProfileStore(spec["store"]),
+                  params=spec["params"])
+requests = [PartitionRequest.from_payload(p) for p in spec["requests"]]
+for result in session.partition_many(requests, skip_infeasible=True):
+    print(json.dumps(None) if result is None else canonical_json(result))
+"""
+    # Inherits PYTHONPATH (the tier-1 invocation sets it to src/) but
+    # pins a hash seed that differs from this process's randomized one.
+    env = {**_os.environ, "PYTHONHASHSEED": "4242"}
+    import json as _json
+
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        input=_json.dumps(
+            {
+                "store": store_dir,
+                "params": SCENARIO_PARAMS["eeg"],
+                "requests": [r.to_payload() for r in requests],
+            }
+        ),
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    lines = proc.stdout.strip().splitlines()
+    assert len(lines) == len(served)
+    for line, result in zip(lines, served):
+        if result is None:
+            assert line == "null"
+        else:
+            assert line == canonical_json(result)
+
+
+# ---------------------------------------------------------------------------
+# Concurrency
+# ---------------------------------------------------------------------------
+
+
+def test_concurrent_clients(server, store_dir):
+    scenarios = ["eeg", "speech", "leak"]
+    local = {
+        name: local_session(name, store_dir).partition_many(
+            batch_for(name), skip_infeasible=True
+        )
+        for name in scenarios
+    }
+    outcomes: dict[str, list] = {}
+    errors: list[BaseException] = []
+
+    def run(name: str) -> None:
+        try:
+            with ServerClient(server.address) as client:
+                outcomes[name] = client.partition_many(
+                    name,
+                    batch_for(name),
+                    params=SCENARIO_PARAMS[name],
+                    skip_infeasible=True,
+                )
+        except BaseException as exc:  # surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=run, args=(name,)) for name in scenarios
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300)
+    assert not errors, errors
+    for name in scenarios:
+        assert_equivalent(local[name], outcomes[name])
+
+
+# ---------------------------------------------------------------------------
+# Fault tolerance
+# ---------------------------------------------------------------------------
+
+
+def test_worker_sigkill_mid_batch_loses_nothing(store_dir, monkeypatch):
+    """SIGKILL one worker mid-batch: every request is answered exactly
+    once, the answers match the in-process run, and a replacement worker
+    joins the pool."""
+    requests = [
+        PartitionRequest(
+            rate_factor=rate, cpu_budget=cpu, net_budget=float("inf"),
+            gap_tolerance=5e-3,
+        )
+        for cpu in (1.0, 0.95, 0.9, 0.85)
+        for rate in (1.0, 2.0, 4.0)
+    ]
+    local = local_session("eeg", store_dir).partition_many(
+        requests, skip_infeasible=True
+    )
+    # Slow each run down so the kill reliably lands mid-batch.  The env
+    # var is read by the (forked) workers at job start.
+    monkeypatch.setenv("REPRO_SERVER_TEST_DELAY", "0.25")
+    with PartitionServer(workers=2, store=store_dir) as srv:
+        pids = srv.worker_pids()
+        assert len(pids) == 2
+        with ServerClient(srv.address) as client:
+            killer = threading.Timer(
+                0.4, os.kill, args=(pids[0], signal.SIGKILL)
+            )
+            killer.start()
+            try:
+                served = client.partition_many(
+                    "eeg", requests, params=SCENARIO_PARAMS["eeg"],
+                    skip_infeasible=True,
+                )
+            finally:
+                killer.cancel()
+            stats = client.ping()
+            assert stats["respawned"] >= 1
+            assert stats["requeued"] >= 1
+            assert stats["workers"] == 2  # replacement joined
+            # The victim is really gone.
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                try:
+                    os.kill(pids[0], 0)
+                except ProcessLookupError:
+                    break
+                time.sleep(0.05)
+            assert pids[0] not in srv.worker_pids()
+            # The pool keeps serving after the failure.
+            monkeypatch.setenv("REPRO_SERVER_TEST_DELAY", "0")
+            followup = client.partition_many(
+                "eeg", requests[:2], params=SCENARIO_PARAMS["eeg"],
+                skip_infeasible=True,
+            )
+    assert_equivalent(local, served)
+    assert_equivalent(local[:2], followup)
+
+
+# ---------------------------------------------------------------------------
+# Error paths and wire details
+# ---------------------------------------------------------------------------
+
+
+def test_unknown_scenario_is_a_typed_remote_error(server):
+    with ServerClient(server.address) as client:
+        with pytest.raises(ServerError, match="unknown scenario"):
+            client.partition_many("no-such-scenario", batch_for("eeg")[:1])
+
+
+def test_infeasible_without_skip_raises_like_inprocess(server, store_dir):
+    hopeless = [
+        PartitionRequest(rate_factor=500000.0, cpu_budget=1e-9,
+                         gap_tolerance=5e-3)
+    ]
+    session = local_session("eeg", store_dir)
+    with pytest.raises(InfeasiblePartition):
+        session.partition_many(hopeless, skip_infeasible=False)
+    with ServerClient(server.address) as client:
+        with pytest.raises(InfeasiblePartition):
+            client.partition_many(
+                "eeg", hopeless, params=SCENARIO_PARAMS["eeg"],
+                skip_infeasible=False,
+            )
+
+
+def test_unknown_op_is_reported(server):
+    client = ServerClient(server.address)
+    try:
+        with pytest.raises(ServerError, match="unknown op"):
+            client._call({"op": "frobnicate"})
+    finally:
+        client.close()
+
+
+def test_request_payload_roundtrip():
+    request = PartitionRequest(
+        platform="imote2", rate_factor=3.5, cpu_budget=0.8,
+        net_budget=float("inf"), gap_tolerance=1e-4,
+    )
+    payload = request.to_payload()
+    assert payload["mode"] == "permissive"
+    assert PartitionRequest.from_payload(payload) == request
+    with pytest.raises(Exception, match="unknown partition-request"):
+        PartitionRequest.from_payload({"bogus": 1})
+
+
+def test_budget_runs_split_at_budget_boundaries():
+    resolved = {0: (1.0, 10.0), 1: (1.0, 10.0), 2: (0.9, 10.0),
+                3: (0.9, 20.0)}
+    assert _budget_runs([0, 1, 2, 3], resolved) == [[0, 1], [2], [3]]
+    assert _budget_runs([], resolved) == []
