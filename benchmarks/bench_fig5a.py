@@ -12,10 +12,7 @@ def test_fig5a_eeg_rate_sweep(benchmark):
     )
     tmote = dict(fig5a.series(points, "tmote"))
     n80 = dict(fig5a.series(points, "n80"))
-    rows = [
-        [f"{rate:.1f}", tmote[rate], n80[rate]]
-        for rate in sorted(tmote)
-    ]
+    rows = [[f"{rate:.1f}", tmote[rate], n80[rate]] for rate in sorted(tmote)]
     table = series_table(
         ["rate (x native)", "TmoteSky/TinyOS ops", "NokiaN80/Java ops"],
         rows,

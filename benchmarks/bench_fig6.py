@@ -55,6 +55,4 @@ def test_fig6_solver_cdf(benchmark):
         table + summary + "\n\n" + chart,
     )
     assert feasible
-    assert result.percentile("prove", 50) >= result.percentile(
-        "discover", 50
-    )
+    assert result.percentile("prove", 50) >= result.percentile("discover", 50)

@@ -219,9 +219,7 @@ def main() -> None:
     report["element_throughput"] = bench_element_throughput(
         scenarios, repeats=2 if args.smoke else 3
     )
-    report["peak_tracking"] = bench_peak_tracking(
-        report["element_throughput"]
-    )
+    report["peak_tracking"] = bench_peak_tracking(report["element_throughput"])
     report["end_to_end"] = bench_end_to_end(args.smoke)
     report["total_seconds"] = time.perf_counter() - total_start
 

@@ -19,6 +19,12 @@ Measures the two paths this repo's headline figures depend on:
    partition server: served vs in-process, and 1 vs 2 worker processes
    (the sharding payoff; results must stay canonically byte-identical).
 
+5. ``result_cache`` — the repeated-batch hit path (in-memory, disk, and
+   served through the server's shared cache) against the solve path
+   that populated it; hits must be canonically byte-identical and the
+   hardware-independent hit-vs-solve ratio is gated in CI (≥10x
+   target).
+
 Results are written as machine-readable JSON (default:
 ``BENCH_solver.json`` in the current directory) so the perf trajectory is
 tracked PR over PR; CI runs ``--smoke`` and uploads the file as an
@@ -258,14 +264,21 @@ def bench_partition_many_served(smoke: bool) -> dict:
     with tempfile.TemporaryDirectory() as store_dir:
         from repro.workbench import ProfileStore
 
-        session = Session("eeg", store=ProfileStore(store_dir), **params)
+        # Result caching is off on both sides here: this section times
+        # the sharded *solve* path (bench_result_cache times the hits).
+        session = Session(
+            "eeg", store=ProfileStore(store_dir), result_cache=False,
+            **params,
+        )
         session.profile()  # profile once, durably, outside all timings
         inproc, inproc_s = _timed(
             lambda: session.partition_many(requests, skip_infeasible=True)
         )
 
         def served(workers: int) -> tuple[list, float]:
-            with PartitionServer(workers=workers, store=store_dir) as srv:
+            with PartitionServer(
+                workers=workers, store=store_dir, result_cache=False
+            ) as srv:
                 with ServerClient(srv.address) as client:
                     # Warm the parent's session/profile caches so the
                     # timing measures serving, not first-touch setup.
@@ -302,6 +315,80 @@ def bench_partition_many_served(smoke: bool) -> dict:
         "served_two_vs_inproc_speedup": inproc_s / two_s,
         "mismatches_one_worker": mismatches(served_one),
         "mismatches_two_workers": mismatches(served_two),
+    }
+
+
+def bench_result_cache(smoke: bool) -> dict:
+    """Hit path vs solve path for repeated identical EEG batches.
+
+    The solve pass populates a durable result cache; the warm pass
+    (same session, memory hits) and a fresh session (disk hits — a new
+    process's view of the shared store) must answer the identical batch
+    canonically byte-identically, ≥10x faster than solving.  Served
+    hits ride the same store through the partition server's parent-side
+    cache, so one figure covers both layers.
+    """
+    import tempfile
+
+    from repro.workbench import PartitionServer, ProfileStore, ServerClient
+    from repro.workbench.artifacts import canonical_json
+
+    n_channels = 6 if smoke else 22
+    requests = _partition_many_requests(20)
+    with tempfile.TemporaryDirectory() as store_dir:
+        session = Session(
+            "eeg", store=ProfileStore(store_dir), n_channels=n_channels
+        )
+        session.profile()  # profiling is shared and outside all timings
+        solved, solve_s = _timed(
+            lambda: session.partition_many(requests, skip_infeasible=True)
+        )
+        warm, warm_s = _timed(
+            lambda: session.partition_many(requests, skip_infeasible=True)
+        )
+        fresh = Session(
+            "eeg", store=ProfileStore(store_dir), n_channels=n_channels
+        )
+        fresh.profile()
+        disk, disk_s = _timed(
+            lambda: fresh.partition_many(requests, skip_infeasible=True)
+        )
+        with PartitionServer(workers=1, store=store_dir) as srv:
+            with ServerClient(srv.address) as client:
+                params = {"n_channels": n_channels}
+                client.partition_many(  # warm the parent session cache
+                    "eeg", requests[:1], params=params, skip_infeasible=True
+                )
+                served, served_s = _timed(
+                    lambda: client.partition_many(
+                        "eeg", requests, params=params, skip_infeasible=True
+                    )
+                )
+                served_stats = dict(client.last_batch_stats)
+
+    def mismatches(results: list) -> int:
+        count = 0
+        for a, b in zip(solved, results):
+            if (a is None) != (b is None):
+                count += 1
+            elif a is not None and canonical_json(a) != canonical_json(b):
+                count += 1
+        return count
+
+    return {
+        "requests": len(requests),
+        "channels": n_channels,
+        "solve_seconds": solve_s,
+        "hit_seconds": warm_s,
+        "disk_hit_seconds": disk_s,
+        "served_hit_seconds": served_s,
+        "hit_vs_solve_speedup": solve_s / warm_s,
+        "disk_hit_vs_solve_speedup": solve_s / disk_s,
+        "served_hit_vs_solve_speedup": solve_s / served_s,
+        "served_cache_hits": served_stats.get("cache_hits", 0),
+        "mismatches_hit": mismatches(warm),
+        "mismatches_disk_hit": mismatches(disk),
+        "mismatches_served_hit": mismatches(served),
     }
 
 
@@ -360,6 +447,7 @@ def main() -> None:
     report["rate_search"] = bench_rate_search(args.smoke)
     report["partition_many"] = bench_partition_many(args.smoke)
     report["partition_many_served"] = bench_partition_many_served(args.smoke)
+    report["result_cache"] = bench_result_cache(args.smoke)
     report["end_to_end"] = bench_end_to_end(args.smoke)
     report["total_seconds"] = time.perf_counter() - total_start
 
@@ -395,6 +483,21 @@ def main() -> None:
         f"{pms['served_two_worker_seconds']:.2f}s served/2w "
         f"({pms['two_worker_speedup']:.2f}x for 2 workers, "
         f"{pms['mismatches_two_workers']} mismatches)"
+    )
+    rc = report["result_cache"]
+    rc_mismatches = (
+        rc["mismatches_hit"]
+        + rc["mismatches_disk_hit"]
+        + rc["mismatches_served_hit"]
+    )
+    print(
+        f"result_cache: {rc['solve_seconds']:.2f}s solve vs "
+        f"{rc['hit_seconds'] * 1000:.0f}ms warm / "
+        f"{rc['disk_hit_seconds'] * 1000:.0f}ms disk / "
+        f"{rc['served_hit_seconds'] * 1000:.0f}ms served "
+        f"({rc['hit_vs_solve_speedup']:.0f}x warm, "
+        f"{rc['disk_hit_vs_solve_speedup']:.0f}x disk, "
+        f"{rc_mismatches} mismatches)"
     )
     print(
         f"fig6: {report['end_to_end']['fig6']['seconds']:.2f}s  "

@@ -13,8 +13,6 @@ Run:  python examples/eeg_seizure.py           (trimmed channel count)
 
 import sys
 
-import numpy as np
-
 from repro import (
     PartitionObjective,
     Profiler,
@@ -63,7 +61,8 @@ def main(full: bool = False):
         features[:n], train.window_labels[:n]
     )
     print(f"SVM trained on {n} windows "
-          f"(train accuracy {svm.accuracy(features[:n], train.window_labels[:n]):.1%})")
+          "(train accuracy "
+          f"{svm.accuracy(features[:n], train.window_labels[:n]):.1%})")
 
     # -- 3. deploy the trained graph on held-out data -----------------------
     graph = build_eeg_pipeline(
@@ -112,8 +111,7 @@ def main(full: bool = False):
             result = wishbone.try_partition(profile.scaled(factor))
             ops = len(result.partition.node_set) if result else 0
             cpu = result.partition.cpu_utilization if result else 0.0
-            rows.append([platform_name, f"x{factor:.0f}", ops,
-                         f"{cpu:.0%}"])
+            rows.append([platform_name, f"x{factor:.0f}", ops, f"{cpu:.0%}"])
     print(series_table(
         ["platform", "rate", "node operators", "node CPU"], rows
     ))

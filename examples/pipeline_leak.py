@@ -56,7 +56,8 @@ def main():
         aggregate_fanin=N_NODES,
     ).partition(profile)
     print("partitioning the leak app for the TMote:")
-    print(f"  plain two-tier ILP:      node = {sorted(plain.partition.node_set)}")
+    print("  plain two-tier ILP:      node = "
+          f"{sorted(plain.partition.node_set)}")
     print(f"  aggregation-aware (N={N_NODES}): node = "
           f"{sorted(aware.partition.node_set)}")
 

@@ -55,9 +55,7 @@ def main(output_dir: str = "platform-partitions"):
         profile = measurement.on(platform)
 
         all_on_node = profile.node_cpu_utilization(set(PIPELINE_ORDER))
-        compute_bound = 1.0 / all_on_node if all_on_node > 0 else float(
-            "inf"
-        )
+        compute_bound = 1.0 / all_on_node if all_on_node > 0 else float("inf")
 
         wishbone = Wishbone(
             objective=PartitionObjective(alpha=0.0, beta=1.0),

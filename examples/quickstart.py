@@ -29,8 +29,7 @@ def build_app():
 
         def average(ctx, port, window):
             window = np.asarray(window, dtype=np.float64)
-            ctx.count(float_ops=float(len(window)),
-                      mem_ops=float(len(window)))
+            ctx.count(float_ops=float(len(window)), mem_ops=float(len(window)))
             ctx.emit(float(window.mean()))
 
         means = builder.iterate("average", samples, average)
@@ -52,9 +51,7 @@ def main():
 
     # 1. Profile on sample data (10 windows/s of synthetic readings).
     rng = np.random.default_rng(0)
-    windows = [
-        (rng.normal(40, 20, 64)).astype(np.int16) for _ in range(50)
-    ]
+    windows = [(rng.normal(40, 20, 64)).astype(np.int16) for _ in range(50)]
     profiler = Profiler()
     measurement = profiler.measure(
         graph, {"sensor": windows}, {"sensor": 10.0}

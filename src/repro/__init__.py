@@ -87,9 +87,11 @@ from .workbench import (
     PartitionService,
     ProfileStore,
     RateSearchRequest,
+    ResultCache,
     Scenario,
     ServerClient,
     Session,
+    StoreJanitor,
     WorkbenchError,
     get_scenario,
     list_scenarios,
@@ -134,11 +136,13 @@ __all__ = [
     "RateSearchRequest",
     "RateSearchResult",
     "RelocationMode",
+    "ResultCache",
     "RoutingTree",
     "Scenario",
     "ServerClient",
     "Session",
     "SolverBackend",
+    "StoreJanitor",
     "Stream",
     "StreamGraph",
     "Testbed",

@@ -9,6 +9,9 @@ Commands:
   serve    [--host H] [--port P] [--workers N] [--store DIR]
   partition SCENARIO [--rates CSV] [--cpu-budgets CSV] [--net-budgets CSV]
            [--param k=v ...] [--server HOST:PORT] [--out DIR] [--canonical]
+           [--stats]
+  store    stats|gc --store DIR [--ttl S] [--max-bytes N] [--max-entries N]
+           [--grace S] [--dry-run]
 
 Each application command opens a workbench :class:`~repro.workbench.Session`
 on the named scenario, profiles it (through the session's profile store —
@@ -20,7 +23,11 @@ behaviour, and can emit a colorized GraphViz file.
 ``serve`` runs the partition server (socket-served ``partition_many``
 sharded over worker processes); ``partition`` builds a budget x rate
 request grid and solves it either in process or — with ``--server`` —
-against a running server, optionally writing one artifact per request.
+against a running server, optionally writing one artifact per request
+(``--stats`` reports how much of the batch the result cache answered).
+``store`` is the lifecycle side: ``stats`` summarizes a durable store
+directory, ``gc`` applies TTL/LRU/size eviction policies and sweeps
+orphaned sidecars and temp files.
 """
 
 from __future__ import annotations
@@ -65,13 +72,9 @@ def _partition_and_report(args, scenario: str, fanin: float = 1.0,
     session = _session(args, scenario, **scenario_params)
     profile = session.profile()
     platform = profile.platform
-    request = PartitionRequest(
-        platform=args.platform, aggregate_fanin=fanin
-    )
+    request = PartitionRequest(platform=args.platform, aggregate_fanin=fanin)
     if args.rate == "auto":
-        outcome = session.rate_search(
-            tolerance=0.02, aggregate_fanin=fanin
-        )
+        outcome = session.rate_search(tolerance=0.02, aggregate_fanin=fanin)
         if outcome.result is None:
             print("no feasible partition at any rate", file=sys.stderr)
             return 1
@@ -136,9 +139,7 @@ def cmd_scenarios(_args) -> int:
     rows = [
         [
             s.name,
-            ", ".join(
-                f"{k}={v!r}" for k, v in sorted(s.defaults.items())
-            ),
+            ", ".join(f"{k}={v!r}" for k, v in sorted(s.defaults.items())),
             s.description,
         ]
         for s in list_scenarios()
@@ -148,6 +149,8 @@ def cmd_scenarios(_args) -> int:
 
 
 def cmd_serve(args) -> int:
+    import signal
+
     server = PartitionServer(
         host=args.host,
         port=args.port,
@@ -155,7 +158,17 @@ def cmd_serve(args) -> int:
         store=args.store,
         ship_probes=not args.worker_probes,
         default_platform=args.platform,
+        result_cache=not args.no_result_cache,
     )
+
+    # SIGTERM (what `kill` and CI cleanup send) must shut down like
+    # Ctrl-C: through serve_forever's close(), which stops the worker
+    # pool.  The default handler kills only this process and leaks the
+    # forked workers.
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
     host, port = server.start()
     print(
         f"serving partition requests on {host}:{port} "
@@ -209,9 +222,28 @@ def cmd_partition(args) -> int:
     session = Session(
         args.scenario, store=store, platform=args.platform, params=params
     )
-    results = session.partition_many(
-        requests, skip_infeasible=True, server=args.server
-    )
+    cache_line = None
+    if args.server:
+        from .workbench.server import ServerClient
+
+        # An explicit client (rather than a bare address) so the
+        # server's result-cache counters can be read off the ack.
+        with ServerClient(args.server) as client:
+            results = session.partition_many(
+                requests, skip_infeasible=True, server=client
+            )
+            stats = client.last_batch_stats
+            cache_line = (
+                f"result cache: {stats.get('cache_hits', 0)} hits, "
+                f"{stats.get('cache_misses', 0)} misses (server-side)"
+            )
+    else:
+        results = session.partition_many(requests, skip_infeasible=True)
+        if session.result_cache is not None:
+            stats = session.result_cache.stats
+            cache_line = (
+                f"result cache: {stats.hits} hits, {stats.misses} misses"
+            )
 
     graph_ref = {"scenario": session.scenario.name, "params": session.params}
     if args.out:
@@ -219,11 +251,14 @@ def cmd_partition(args) -> int:
 
         out_dir = Path(args.out)
         out_dir.mkdir(parents=True, exist_ok=True)
+    def _budget_label(value) -> str:
+        return "default" if value is None else f"{value}"
+
     for index, (request, result) in enumerate(zip(requests, results)):
         label = (
             f"rate x{request.rate_factor:g}"
-            f" cpu={request.cpu_budget if request.cpu_budget is not None else 'default'}"
-            f" net={request.net_budget if request.net_budget is not None else 'default'}"
+            f" cpu={_budget_label(request.cpu_budget)}"
+            f" net={_budget_label(request.net_budget)}"
         )
         if result is None:
             print(f"[{index:03d}] {label}: infeasible")
@@ -244,6 +279,65 @@ def cmd_partition(args) -> int:
     feasible = sum(1 for r in results if r is not None)
     print(f"{feasible}/{len(results)} feasible"
           + (f"; artifacts in {args.out}" if args.out else ""))
+    if args.stats and cache_line is not None:
+        print(cache_line)
+    return 0
+
+
+def _format_bytes(count: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(count) < 1024.0 or unit == "GiB":
+            return f"{count:.1f} {unit}" if unit != "B" else f"{count:.0f} B"
+        count /= 1024.0
+    return f"{count:.1f} GiB"  # pragma: no cover - unreachable
+
+
+def cmd_store_stats(args) -> int:
+    from .workbench import StoreJanitor
+
+    stats = StoreJanitor(args.store).stats()
+    by_kind = ", ".join(
+        f"{count} {kind}" for kind, count in stats["entries_by_kind"].items()
+    ) or "empty"
+    print(f"store {stats['root']}")
+    print(
+        f"entries: {stats['entries']} ({by_kind}), "
+        f"{_format_bytes(stats['entry_bytes'])}"
+    )
+    print(
+        f"garbage: {stats['orphan_sidecars']} orphan sidecar(s) "
+        f"({_format_bytes(stats['orphan_bytes'])}), "
+        f"{stats['temp_files']} temp file(s), "
+        f"{stats['corrupt_entries']} corrupt entries"
+    )
+    return 0
+
+
+def cmd_store_gc(args) -> int:
+    from .workbench import StoreJanitor
+
+    janitor = StoreJanitor(
+        args.store,
+        ttl=args.ttl,
+        max_bytes=args.max_bytes,
+        max_entries=args.max_entries,
+        grace_seconds=args.grace,
+    )
+    gc = janitor.sweep(dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print(
+        f"scanned {gc.scanned_entries} entries; {verb} "
+        f"{gc.removed_expired} expired, {gc.removed_lru} over-budget, "
+        f"{gc.removed_corrupt} corrupt, "
+        f"{gc.removed_orphan_sidecars} orphan sidecar(s), "
+        f"{gc.removed_temp_files} temp file(s)"
+    )
+    print(
+        f"{'reclaimable' if args.dry_run else 'reclaimed'} "
+        f"{_format_bytes(gc.reclaimed_bytes)}; "
+        f"{gc.live_entries} live entries remain "
+        f"({_format_bytes(gc.live_bytes)})"
+    )
     return 0
 
 
@@ -289,9 +383,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="aggregation-tree fan-in (§9)")
     leak.set_defaults(func=cmd_leak)
 
-    serve = sub.add_parser(
-        "serve", help="run the socket partition server"
-    )
+    serve = sub.add_parser("serve", help="run the socket partition server")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=7453)
     serve.add_argument("--workers", type=int, default=2,
@@ -305,6 +397,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--worker-probes", action="store_true",
                        help="let workers build their own formulations "
                        "instead of shipping prepared probes")
+    serve.add_argument("--no-result-cache", action="store_true",
+                       help="disable server-side result memoization")
     serve.set_defaults(func=cmd_serve)
 
     part = sub.add_parser(
@@ -312,8 +406,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="solve a budget x rate request grid (in-process or --server)",
     )
     part.add_argument("scenario", help="registered scenario name")
-    part.add_argument("--platform", default="tmote",
-                      choices=sorted(PLATFORMS))
+    part.add_argument("--platform", default="tmote", choices=sorted(PLATFORMS))
     part.add_argument("--rates", default="1.0",
                       help="comma-separated rate factors")
     part.add_argument("--cpu-budgets", default=None,
@@ -336,7 +429,34 @@ def build_parser() -> argparse.ArgumentParser:
     part.add_argument("--canonical", action="store_true",
                       help="write canonical (wall-clock-free) artifacts "
                       "for byte comparison")
+    part.add_argument("--stats", action="store_true",
+                      help="report result-cache hits/misses for the batch")
     part.set_defaults(func=cmd_partition)
+
+    store = sub.add_parser("store", help="durable-store lifecycle (stats, gc)")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    stats = store_sub.add_parser("stats", help="summarize a store directory")
+    stats.add_argument("--store", required=True,
+                       help="durable store directory")
+    stats.set_defaults(func=cmd_store_stats)
+    gc = store_sub.add_parser(
+        "gc", help="evict by TTL/LRU/size and sweep orphaned sidecars"
+    )
+    gc.add_argument("--store", required=True, help="durable store directory")
+    gc.add_argument("--ttl", type=float, default=None,
+                    help="evict entries unused for more than TTL seconds")
+    gc.add_argument("--max-bytes", type=int, default=None,
+                    help="evict least-recently-used entries over this "
+                    "total size")
+    gc.add_argument("--max-entries", type=int, default=None,
+                    help="evict least-recently-used entries over this "
+                    "count")
+    gc.add_argument("--grace", type=float, default=60.0,
+                    help="never touch files younger than this many "
+                    "seconds (protects in-flight writes; default 60)")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="report what would be removed without removing")
+    gc.set_defaults(func=cmd_store_gc)
     return parser
 
 

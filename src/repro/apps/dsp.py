@@ -206,13 +206,13 @@ def mel_filterbank(
         mel_scale(low_hz), mel_scale(high_hz), n_filters + 2
     )
     hz_points = np.array([mel_inverse(m) for m in mel_points])
-    bin_points = np.floor(
-        (fft_size + 1) * hz_points / sample_rate
-    ).astype(int)
+    bin_points = np.floor((fft_size + 1) * hz_points / sample_rate).astype(int)
     bin_points = np.clip(bin_points, 0, bins - 1)
     bank = np.zeros((n_filters, bins), dtype=np.float32)
     for i in range(n_filters):
-        left, center, right = bin_points[i], bin_points[i + 1], bin_points[i + 2]
+        left, center, right = (
+            bin_points[i], bin_points[i + 1], bin_points[i + 2]
+        )
         if center == left:
             center = min(left + 1, bins - 1)
         if right <= center:

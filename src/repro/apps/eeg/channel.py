@@ -64,9 +64,7 @@ def feature_window_samples(level: int) -> int:
     return max(1, WINDOW_SECONDS * rate)
 
 
-def get_channel_features(
-    builder: GraphBuilder, channel: int
-) -> Stream:
+def get_channel_features(builder: GraphBuilder, channel: int) -> Stream:
     """Build one channel: source through per-channel feature zip.
 
     Returns the stream of per-window feature triples

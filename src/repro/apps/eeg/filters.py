@@ -101,9 +101,7 @@ def _add_and_quantize(
             n = min(len(a), len(b))
             ctx.count(float_ops=2.0 * n, mem_ops=2.0 * n,
                       loop_iterations=float(n))
-            outs.append(
-                np.clip(a[:n] + b[:n], -32768, 32767).astype(np.int16)
-            )
+            outs.append(np.clip(a[:n] + b[:n], -32768, 32767).astype(np.int16))
         return outs
 
     return builder.merge(name, [left, right], work, make_state=make_state,
@@ -123,9 +121,7 @@ def _polyphase_stage(
     filtered_even = fir_filter_block(
         builder, f"{prefix}.firEven", even, even_taps
     )
-    filtered_odd = fir_filter_block(
-        builder, f"{prefix}.firOdd", odd, odd_taps
-    )
+    filtered_odd = fir_filter_block(builder, f"{prefix}.firOdd", odd, odd_taps)
     return _add_and_quantize(
         builder, f"{prefix}.add", filtered_even, filtered_odd
     )

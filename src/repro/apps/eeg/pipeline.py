@@ -100,7 +100,10 @@ def build_eeg_pipeline(
             for channel in range(n_channels)
         ]
         vector = zip_n(
-            builder, "featureVector", channel_streams, output_size=4 * n_features
+            builder,
+            "featureVector",
+            channel_streams,
+            output_size=4 * n_features,
         )
 
         def svm_work(ctx: OperatorContext, port: int, item: Any) -> None:

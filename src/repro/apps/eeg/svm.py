@@ -82,6 +82,4 @@ class LinearSVM:
 
     def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
         predictions = self.predict(features)
-        return float(
-            (predictions == np.asarray(labels, dtype=bool)).mean()
-        )
+        return float((predictions == np.asarray(labels, dtype=bool)).mean())

@@ -56,8 +56,7 @@ def build_leak_pipeline(threshold: float = 2.0,
     """Build the leak-detection graph (source through alarm sink)."""
     builder = GraphBuilder(name)
     with builder.node():
-        source = builder.source("vibration",
-                                output_size=WINDOW_SAMPLES * 2)
+        source = builder.source("vibration", output_size=WINDOW_SAMPLES * 2)
         filtered = fir_filter_block(
             builder, "bandpass", source, band_pass_taps()
         )
@@ -141,8 +140,7 @@ def synth_leak_data(
         start = int(leak_start_s * SAMPLE_RATE)
         leak = np.zeros(total)
         for freq in (80.0, 140.0, 220.0):
-            leak += np.sin(2 * np.pi * freq * t
-                           + rng.uniform(0, 2 * np.pi))
+            leak += np.sin(2 * np.pi * freq * t + rng.uniform(0, 2 * np.pi))
         signal[start:] += leak_gain * leak[start:] / 3.0
 
     samples = np.clip(signal * 3000.0, -32768, 32767).astype(np.int16)

@@ -66,9 +66,7 @@ def synth_speech_audio(
         freq = k * pitch_hz
         if freq > SAMPLE_RATE / 2:
             break
-        gain = sum(
-            1.0 / (1.0 + ((freq - f) / 150.0) ** 2) for f in formants
-        )
+        gain = sum(1.0 / (1.0 + ((freq - f) / 150.0) ** 2) for f in formants)
         voice += gain * np.sin(
             2 * np.pi * freq * t + rng.uniform(0, 2 * np.pi)
         )

@@ -82,9 +82,7 @@ class LinearMfccDetector:
         return self._svm.predict(features)
 
 
-def detection_accuracy(
-    predicted: np.ndarray, truth: np.ndarray
-) -> float:
+def detection_accuracy(predicted: np.ndarray, truth: np.ndarray) -> float:
     """Frame-level accuracy of a detection run."""
     predicted = np.asarray(predicted, dtype=bool)
     truth = np.asarray(truth, dtype=bool)

@@ -56,9 +56,7 @@ def brute_force_partition(
     for bits in itertools.product((False, True), repeat=len(movable)):
         evaluated += 1
         node_set = set(pinned_node)
-        node_set.update(
-            name for name, chosen in zip(movable, bits) if chosen
-        )
+        node_set.update(name for name, chosen in zip(movable, bits) if chosen)
         if single_crossing and not problem.respects_precedence(node_set):
             continue
         if not problem.is_feasible(node_set):

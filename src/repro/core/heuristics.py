@@ -78,9 +78,7 @@ def balanced_mincut_partition(
     node_side = side_a if len(side_a & pinned_node) >= len(
         side_b & pinned_node
     ) else side_b
-    return HeuristicResult.evaluate(
-        "balanced-mincut", problem, set(node_side)
-    )
+    return HeuristicResult.evaluate("balanced-mincut", problem, set(node_side))
 
 
 def list_schedule_partition(
@@ -108,9 +106,7 @@ def list_schedule_partition(
     order = _topological(problem)
     bottom: dict[str, float] = {}
     for v in reversed(order):
-        child_level = max(
-            (bottom[w] + bw for w, bw in succ[v]), default=0.0
-        )
+        child_level = max((bottom[w] + bw for w, bw in succ[v]), default=0.0)
         bottom[v] = problem.cpu.get(v, 0.0) + child_level
 
     node_ready = 0.0

@@ -114,9 +114,7 @@ def lagrangian_partition(
 
     # Step scaling: relate CPU violation units to objective units.
     cpu_scale = max(problem.cpu.values(), default=1.0) or 1.0
-    net_scale = max(
-        (e.bandwidth for e in problem.edges), default=1.0
-    ) or 1.0
+    net_scale = max((e.bandwidth for e in problem.edges), default=1.0) or 1.0
     step = initial_step if initial_step is not None else net_scale / cpu_scale
 
     for k in range(iterations):

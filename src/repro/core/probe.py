@@ -94,7 +94,10 @@ class ScaledProbe:
         structural[self._budget_rows] = False
         self.incremental = bool(
             np.all(self._base_b_ub[structural] == 0.0)
-            and (self._arrays.b_eq.size == 0 or np.all(self._arrays.b_eq == 0.0))
+            and (
+                self._arrays.b_eq.size == 0
+                or np.all(self._arrays.b_eq == 0.0)
+            )
         )
         # Persistent HiGHS relaxation shared across probes: each probe only
         # rescales c and the budget rhs, so the model is edited in place

@@ -124,9 +124,9 @@ class PartitionProblem:
         )
 
     def objective(self, node_set: set[str]) -> float:
-        return self.alpha * self.cpu_load(node_set) + self.beta * self.net_load(
+        return self.alpha * self.cpu_load(
             node_set
-        )
+        ) + self.beta * self.net_load(node_set)
 
     def respects_pins(self, node_set: set[str]) -> bool:
         for v, pin in self.pins.items():

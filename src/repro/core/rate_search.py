@@ -86,7 +86,9 @@ class RateSearch:
         """
         probes = 0
         prober = (
-            self.partitioner.prepare_probe(profile) if self.incremental else None
+            self.partitioner.prepare_probe(profile)
+            if self.incremental
+            else None
         )
 
         def probe(factor: float) -> PartitionResult | None:

@@ -7,7 +7,13 @@ emit semantics and records the measurements the profiler consumes.
 """
 
 from .builder import GraphBuilder, Stream
-from .execute import EdgeStats, ExecutionStats, Executor, OperatorStats, run_graph
+from .execute import (
+    EdgeStats,
+    ExecutionStats,
+    Executor,
+    OperatorStats,
+    run_graph,
+)
 from .graph import (
     Edge,
     GraphError,

@@ -31,7 +31,14 @@ from typing import Any, Iterator
 
 import numpy as np
 
-from .graph import Edge, GraphError, Operator, OperatorContext, StreamGraph, WorkCounts
+from .graph import (
+    Edge,
+    GraphError,
+    Operator,
+    OperatorContext,
+    StreamGraph,
+    WorkCounts,
+)
 from .sink import SinkBuffer, rows_to_array
 from .sizing import element_size
 
@@ -67,14 +74,14 @@ class ExecutionStats:
             edge: EdgeStats() for edge in graph.edges
         }
         #: total elements pushed into each source
-        self.source_inputs: dict[str, int] = {name: 0 for name in graph.sources}
+        self.source_inputs: dict[str, int] = {
+            name: 0 for name in graph.sources
+        }
         # Per-operator out-edge stats, resolved once: ``output_bytes`` is
         # called per operator per profile, and rebuilding the candidate
         # list by scanning every edge each call was quadratic in practice.
         self._out_stats_of: dict[str, list[EdgeStats]] = {
-            name: [
-                self.edge_traffic[edge] for edge in graph.out_edges(name)
-            ]
+            name: [self.edge_traffic[edge] for edge in graph.out_edges(name)]
             for name in graph.operators
         }
 
@@ -389,7 +396,9 @@ def merge_schedule(
     if grouped:
         # One run per (bucket, source); ordered by bucket then source.
         keyed: list[tuple[int, int, int, int]] = []
-        for order, (name, buckets) in enumerate(zip(names, buckets_per_source)):
+        for order, (name, buckets) in enumerate(
+            zip(names, buckets_per_source)
+        ):
             boundaries = np.flatnonzero(np.diff(buckets)) + 1
             starts = np.concatenate(([0], boundaries))
             stops = np.concatenate((boundaries, [len(buckets)]))
@@ -402,7 +411,10 @@ def merge_schedule(
 
     # Strict merge: exact heap order, computed vectorially.
     src_ids = np.concatenate(
-        [np.full(len(t), i, dtype=np.int64) for i, t in enumerate(times_per_source)]
+        [
+            np.full(len(t), i, dtype=np.int64)
+            for i, t in enumerate(times_per_source)
+        ]
     )
     indices = np.concatenate(
         [np.arange(len(t), dtype=np.int64) for t in times_per_source]

@@ -143,9 +143,7 @@ def fir_filter_block(
         else:
             blocks = [np.asarray(b, dtype=float) for b in values]
             lens = np.array([len(b) for b in blocks])
-            flat = (
-                np.concatenate(blocks) if blocks else np.zeros(0)
-            )
+            flat = (np.concatenate(blocks) if blocks else np.zeros(0))
             width = None
         padded = np.concatenate([ctx.state["tail"], flat])
         out = np.convolve(padded, kernel, mode="valid")
@@ -213,9 +211,7 @@ def paired_pops(queues: dict | list, port: int, values: Any) -> list[tuple]:
     q = queues[port]
     q.extend(values)
     ready = min(len(queues[0]), len(queues[1]))
-    return [
-        (queues[0].popleft(), queues[1].popleft()) for _ in range(ready)
-    ]
+    return [(queues[0].popleft(), queues[1].popleft()) for _ in range(ready)]
 
 
 def add_streams(
@@ -297,8 +293,7 @@ def zip_n(
         ready = min(len(q) for q in queues)
         if not ready:
             return None
-        ctx.count(mem_ops=float(n) * ready,
-                  loop_iterations=float(n) * ready)
+        ctx.count(mem_ops=float(n) * ready, loop_iterations=float(n) * ready)
         return [tuple(q.popleft() for q in queues) for _ in range(ready)]
 
     return builder.merge(name, streams, work, make_state=make_state,

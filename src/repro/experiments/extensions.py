@@ -65,9 +65,7 @@ def aggregation_sweep(
     graph, measurement = leak_measurement()
     platform = get_platform(platform_name)
     profile = measurement.on(platform)
-    with_reduce = frozenset(
-        {"vibration", "bandpass", "rms", "netAverage"}
-    )
+    with_reduce = frozenset({"vibration", "bandpass", "rms", "netAverage"})
     without_reduce = frozenset({"vibration", "bandpass", "rms"})
     rows: list[AggregationRow] = []
     for n in node_counts:

@@ -75,9 +75,7 @@ def run(budgets: tuple[float, ...] = (2.0, 3.0, 4.0)) -> list[Fig3Row]:
             Fig3Row(
                 budget=budget,
                 bandwidth=bandwidth,
-                node_operators=tuple(
-                    sorted(node_set - {"s1", "s2"})
-                ),
+                node_operators=tuple(sorted(node_set - {"s1", "s2"})),
                 matches_brute_force=abs(
                     brute.objective - solution.objective
                 ) < 1e-9,

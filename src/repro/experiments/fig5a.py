@@ -73,9 +73,7 @@ def run(
             result = wishbone.try_partition(profile.scaled(factor))
             if result is None:
                 # Not even the pinned sources fit: report the floor.
-                points.append(
-                    Fig5aPoint(platform_name, factor, 0, 0.0, 0.0)
-                )
+                points.append(Fig5aPoint(platform_name, factor, 0, 0.0, 0.0))
                 continue
             partition = result.partition
             points.append(

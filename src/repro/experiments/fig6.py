@@ -62,9 +62,7 @@ class Fig6Result:
         else:
             raise ValueError("which must be 'discover' or 'prove'")
         data = np.sort(np.array(values))
-        percentiles = (
-            100.0 * (np.arange(len(data)) + 1) / max(len(data), 1)
-        )
+        percentiles = (100.0 * (np.arange(len(data)) + 1) / max(len(data), 1))
         return data, percentiles
 
     def percentile(self, which: str, pct: float) -> float:
@@ -115,9 +113,7 @@ def run(
         try:
             result = wishbone.partition(scaled)
         except InfeasiblePartition:
-            samples.append(
-                Fig6Sample(float(factor), 0.0, 0.0, 0, False, 0)
-            )
+            samples.append(Fig6Sample(float(factor), 0.0, 0.0, 0, False, 0))
             continue
         solution = result.solution
         samples.append(

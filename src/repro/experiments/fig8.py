@@ -36,9 +36,7 @@ class Fig8Result:
     rows: list[Fig8Row]
     platforms: tuple[str, ...]
 
-    def max_relative_misestimate(
-        self, reference: str = "server"
-    ) -> float:
+    def max_relative_misestimate(self, reference: str = "server") -> float:
         """Worst-case per-operator cost ratio if one assumed the reference
         platform's relative costs everywhere."""
         worst = 1.0
@@ -54,9 +52,7 @@ class Fig8Result:
 
 def run(platforms: tuple[str, ...] = DEFAULT_PLATFORMS) -> Fig8Result:
     _, measurement = measurement_for("speech")
-    profiles = {
-        name: measurement.on(get_platform(name)) for name in platforms
-    }
+    profiles = {name: measurement.on(get_platform(name)) for name in platforms}
     totals = {
         name: sum(
             profiles[name].operators[op].seconds for op in PIPELINE_ORDER

@@ -45,9 +45,7 @@ def random_pipeline_dag(
     """
     rng = np.random.default_rng(seed)
     names = [f"v{i}" for i in range(n_vertices)]
-    cpu = {
-        name: float(rng.uniform(0.01, 0.1)) for name in names
-    }
+    cpu = {name: float(rng.uniform(0.01, 0.1)) for name in names}
     edges: list[WeightedEdge] = []
     bandwidth = {names[0]: 1000.0}
     for i in range(1, n_vertices):

@@ -91,7 +91,9 @@ class RadioSpec:
         ratio = offered_pps / self.saturation_pps
         if ratio <= 1.0:
             return self.base_delivery
-        return self.base_delivery * math.exp(-self.collapse_rate * (ratio - 1.0))
+        return self.base_delivery * math.exp(
+            -self.collapse_rate * (ratio - 1.0)
+        )
 
     def goodput_pps(self, offered_pps: float) -> float:
         """Delivered packets per second at an aggregate offered rate."""

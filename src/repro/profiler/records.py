@@ -172,9 +172,7 @@ class GraphProfile:
             graph=self.graph,
             platform=self.platform,
             duration=self.duration,
-            operators={
-                n: p for n, p in self.operators.items() if n in names
-            },
+            operators={n: p for n, p in self.operators.items() if n in names},
             edges=self.edges,
             rate_factor=self.rate_factor,
         )

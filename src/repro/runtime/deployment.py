@@ -239,9 +239,7 @@ class Deployment:
 
         node_stats = {node.node_id: node.stats for node in nodes}
         total_inputs = sum(s.input_events for s in node_stats.values())
-        total_processed = sum(
-            s.processed_events for s in node_stats.values()
-        )
+        total_processed = sum(s.processed_events for s in node_stats.values())
         input_fraction = (
             total_processed / total_inputs if total_inputs else 1.0
         )

@@ -233,9 +233,7 @@ class Reassembler:
         fragments[packet.frag_index] = packet.chunk
         self._expected[key] = packet.frag_count
         if len(fragments) == packet.frag_count:
-            data = b"".join(
-                fragments[i] for i in range(packet.frag_count)
-            )
+            data = b"".join(fragments[i] for i in range(packet.frag_count))
             del self._pending[key]
             del self._expected[key]
             self.completed += 1

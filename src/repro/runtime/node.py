@@ -133,7 +133,10 @@ class NodeRuntime:
             else 0.0
         )
         backlog = max(0.0, self._busy_until - arrival)
-        if work_per_event > 0 and backlog / work_per_event >= self.buffer_depth:
+        if (
+            work_per_event > 0
+            and backlog / work_per_event >= self.buffer_depth
+        ):
             stats.dropped_events += 1
             return []
 

@@ -152,7 +152,9 @@ class BranchAndBound:
         return lambda lb, ub, warm: solve_lp(arrays.with_bounds(lb, ub))
 
     @staticmethod
-    def _fractionality(x: np.ndarray, int_indices: np.ndarray) -> tuple[int, float]:
+    def _fractionality(
+        x: np.ndarray, int_indices: np.ndarray
+    ) -> tuple[int, float]:
         """Return (most fractional integer index, its fractionality score).
 
         The score is ``0.5 - |frac - 0.5|``: 0.5 means exactly half-integral
@@ -307,7 +309,9 @@ class BranchAndBound:
         and the basis reached here is exported for the next caller.
         """
         arrays = (
-            program.to_arrays() if isinstance(program, LinearProgram) else program
+            program.to_arrays()
+            if isinstance(program, LinearProgram)
+            else program
         )
         start = time.perf_counter()
         int_indices = np.flatnonzero(arrays.integrality)
@@ -394,7 +398,9 @@ class BranchAndBound:
                 names=arrays.names,
                 bound=bound,
                 incumbents=incumbents,
-                discover_elapsed=incumbents[-1].elapsed if incumbents else elapsed,
+                discover_elapsed=(
+                    incumbents[-1].elapsed if incumbents else elapsed
+                ),
                 prove_elapsed=elapsed,
                 nodes_explored=nodes_explored,
                 iterations=total_iterations,
@@ -448,8 +454,16 @@ class BranchAndBound:
                 np.abs(ubi[ub_integral] - np.round(ubi[ub_integral]))
                 <= _INT_TOL
             )
-            at_lb = (np.abs(xi - lbi) <= _INT_TOL) & open_interval & lb_integral
-            at_ub = (np.abs(xi - ubi) <= _INT_TOL) & open_interval & ub_integral
+            at_lb = (
+                (np.abs(xi - lbi) <= _INT_TOL)
+                & open_interval
+                & lb_integral
+            )
+            at_ub = (
+                (np.abs(xi - ubi) <= _INT_TOL)
+                & open_interval
+                & ub_integral
+            )
             fix_down = int_indices[at_lb & (rc >= slack)]
             fix_up = int_indices[at_ub & (-rc >= slack)]
             ub0[fix_down] = lb0[fix_down]
@@ -615,7 +629,9 @@ class BranchAndBound:
 
         if incumbent_x is None:
             status = (
-                SolveStatus.INFEASIBLE if remaining == INF else SolveStatus.LIMIT
+                SolveStatus.INFEASIBLE
+                if remaining == INF
+                else SolveStatus.LIMIT
             )
             return Solution(
                 status=status,

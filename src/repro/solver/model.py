@@ -136,7 +136,9 @@ class LinearProgram:
     def variable(self, name: str) -> Variable:
         return self._by_name[name]
 
-    def set_objective_coefficient(self, var: Variable, coefficient: float) -> None:
+    def set_objective_coefficient(
+        self, var: Variable, coefficient: float
+    ) -> None:
         if coefficient:
             self._objective[var.index] = coefficient
         else:
@@ -245,7 +247,9 @@ class LinearProgram:
             b_eq=np.asarray(eq_rhs, dtype=float),
             lb=np.array([v.lb for v in self.variables], dtype=float),
             ub=np.array([v.ub for v in self.variables], dtype=float),
-            integrality=np.array([1 if v.integer else 0 for v in self.variables]),
+            integrality=np.array(
+                [1 if v.integer else 0 for v in self.variables]
+            ),
             names=[v.name for v in self.variables],
             ub_row_names=tuple(ub_names),
             eq_row_names=tuple(eq_names),

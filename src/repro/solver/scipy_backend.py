@@ -188,12 +188,16 @@ class HighsRelaxation:
         core = _highs_core
         iterations = int(self._highs.getInfo().simplex_iteration_count)
         if status == core.HighsModelStatus.kInfeasible:
-            return Solution(status=SolveStatus.INFEASIBLE, iterations=iterations)
+            return Solution(
+                status=SolveStatus.INFEASIBLE, iterations=iterations
+            )
         if status in (
             core.HighsModelStatus.kUnbounded,
             core.HighsModelStatus.kUnboundedOrInfeasible,
         ):
-            return Solution(status=SolveStatus.UNBOUNDED, iterations=iterations)
+            return Solution(
+                status=SolveStatus.UNBOUNDED, iterations=iterations
+            )
         if status != core.HighsModelStatus.kOptimal:
             return Solution(status=SolveStatus.LIMIT, iterations=iterations)
         highs_solution = self._highs.getSolution()
@@ -317,7 +321,9 @@ def solve_milp_scipy(
     if result.x is None:
         return Solution(status=SolveStatus.LIMIT, prove_elapsed=elapsed)
     objective = float(result.fun)
-    status = SolveStatus.OPTIMAL if result.status == 0 else SolveStatus.FEASIBLE
+    status = (
+        SolveStatus.OPTIMAL if result.status == 0 else SolveStatus.FEASIBLE
+    )
     return Solution(
         status=status,
         objective=objective,

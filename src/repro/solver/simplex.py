@@ -201,9 +201,7 @@ def _simplex_iterate(
     return "iteration_limit", iters
 
 
-def _warm_tableau(
-    std: _StandardForm, basis: np.ndarray
-) -> np.ndarray | None:
+def _warm_tableau(std: _StandardForm, basis: np.ndarray) -> np.ndarray | None:
     """Build a phase-2 tableau for ``basis``; None if stale/infeasible.
 
     The basis is reusable when its column set still indexes into this

@@ -25,7 +25,8 @@ def profile_table(
             is shown as microseconds per event instead of utilization.
     """
     rows = [
-        f"{'operator':<14} {'cpu':>14} {'cumulative':>14} {'out bandwidth':>16}"
+        f"{'operator':<14} {'cpu':>14} {'cumulative':>14} "
+        f"{'out bandwidth':>16}"
     ]
     cumulative = 0.0
     for name in order:
@@ -78,9 +79,7 @@ def series_table(
         text_rows.append([_fmt(cell) for cell in row])
         for i, cell in enumerate(text_rows[-1]):
             widths[i] = max(widths[i], len(cell))
-    lines = [
-        "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header))
-    ]
+    lines = ["  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header))]
     lines.append("  ".join("-" * w for w in widths))
     for cells in text_rows:
         lines.append(

@@ -25,11 +25,7 @@ def line_plot(
     with min/max annotations.
     """
     markers = "*o+x#@%&"
-    points = [
-        (x, y)
-        for values in series.values()
-        for x, y in values
-    ]
+    points = [(x, y) for values in series.values() for x, y in values]
     if not points:
         return "(no data)"
 

@@ -18,7 +18,11 @@ an embeddable service API:
 * :mod:`~repro.workbench.server` — :class:`PartitionServer` /
   :class:`ServerClient`, the same ``partition_many`` served over a
   socket and sharded across a fault-tolerant pool of worker processes
-  (``python -m repro serve``).
+  (``python -m repro serve``);
+* :mod:`~repro.workbench.cache` — :class:`ResultCache` memoization of
+  solved requests (shared with the server through the store directory)
+  and the :class:`StoreJanitor` eviction/GC policies
+  (``python -m repro store gc|stats``).
 """
 
 from .artifacts import (
@@ -30,6 +34,13 @@ from .artifacts import (
     load_artifact,
     save_artifact,
     to_json,
+)
+from .cache import (
+    GCStats,
+    ResultCache,
+    ResultCacheStats,
+    StoreJanitor,
+    result_key,
 )
 from .scenarios import (
     Scenario,
@@ -51,16 +62,20 @@ from .store import ProfileStore, StoreStats
 
 __all__ = [
     "ArtifactError",
+    "GCStats",
     "PartitionRequest",
     "PartitionServer",
     "PartitionService",
     "ProfileStore",
     "RateSearchRequest",
+    "ResultCache",
+    "ResultCacheStats",
     "SCHEMA_VERSION",
     "Scenario",
     "ServerClient",
     "ServerError",
     "Session",
+    "StoreJanitor",
     "StoreStats",
     "WorkbenchError",
     "canonical_json",
@@ -71,6 +86,7 @@ __all__ = [
     "load_artifact",
     "register_builtin_scenarios",
     "register_scenario",
+    "result_key",
     "save_artifact",
     "to_json",
     "unregister_scenario",

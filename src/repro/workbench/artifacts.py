@@ -81,9 +81,7 @@ def graph_fingerprint(graph: StreamGraph) -> str:
         ]
         for op in sorted(graph.operators.values(), key=lambda o: o.name)
     ]
-    edges = sorted(
-        [e.src, e.dst, e.dst_port] for e in graph.edges
-    )
+    edges = sorted([e.src, e.dst, e.dst_port] for e in graph.edges)
     blob = json.dumps(
         {"name": graph.name, "operators": ops, "edges": edges},
         sort_keys=True,
@@ -264,9 +262,7 @@ def _problem_payload(problem: PartitionProblem) -> dict[str, Any]:
     return {
         "vertices": list(problem.vertices),
         "cpu": {v: problem.cpu[v] for v in sorted(problem.cpu)},
-        "edges": [
-            [e.src, e.dst, e.bandwidth] for e in problem.edges
-        ],
+        "edges": [[e.src, e.dst, e.bandwidth] for e in problem.edges],
         "pins": _pins_payload(problem.pins),
         "cpu_budget": problem.cpu_budget,
         "net_budget": problem.net_budget,
@@ -835,7 +831,9 @@ def canonical_document(document: Mapping[str, Any]) -> dict[str, Any]:
     return scrub(dict(document))
 
 
-def canonical_json(obj: Any, graph_ref: Mapping[str, Any] | None = None) -> str:
+def canonical_json(
+    obj: Any, graph_ref: Mapping[str, Any] | None = None
+) -> str:
     """:func:`to_json` with wall-clock fields zeroed.
 
     Two runs that made the same decisions produce identical strings; two

@@ -17,7 +17,8 @@ one cached measurement — across processes when the store is on disk.
 from __future__ import annotations
 
 import inspect
-from dataclasses import dataclass, field
+import json
+from dataclasses import dataclass, field, replace as _replace
 from typing import Any, Callable, Mapping
 
 from ..dataflow.graph import StreamGraph
@@ -34,9 +35,7 @@ ScenarioInputs = tuple[dict[str, list[Any]], dict[str, float]]
 def _accepted_params(fn: Callable[..., Any]) -> set[str] | None:
     """Parameter names ``fn`` accepts, or ``None`` if it takes **kwargs."""
     params = inspect.signature(fn).parameters
-    if any(
-        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
-    ):
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
         return None
     return {
         name
@@ -72,6 +71,14 @@ class Scenario:
             must name one of these.
         version: bumped when the scenario's semantics change, so stale
             store entries stop matching.
+        fingerprint: explicit content fingerprint of the scenario's
+            application code.  ``None`` (the default) derives a
+            *structural* fingerprint from the built graph per parameter
+            set (:meth:`content_fingerprint`), so topology changes in
+            the graph builder invalidate store and result-cache keys
+            automatically; set it explicitly when work-function
+            *internals* change without the topology changing (or bump
+            ``version``, which is the same lever with a counter).
     """
 
     name: str
@@ -80,6 +87,38 @@ class Scenario:
     make_inputs: Callable[..., ScenarioInputs]
     defaults: Mapping[str, Any] = field(default_factory=dict)
     version: int = 1
+    fingerprint: str | None = None
+
+    def __post_init__(self) -> None:
+        # Per-instance memo of structural fingerprints by params blob;
+        # object.__setattr__ because the dataclass is frozen.
+        object.__setattr__(self, "_fingerprint_memo", {})
+
+    def content_fingerprint(self, params: Mapping[str, Any]) -> str:
+        """The fingerprint keying this scenario's cached artifacts.
+
+        The explicit :attr:`fingerprint` wins when set; otherwise the
+        structural fingerprint of the graph built at ``params``
+        (memoized per instance — re-registering a changed builder gets
+        a fresh :class:`Scenario` and therefore a fresh memo).
+        """
+        if self.fingerprint is not None:
+            return self.fingerprint
+        blob = json.dumps(
+            {k: params[k] for k in sorted(params)},
+            sort_keys=True,
+            separators=(",", ":"),
+            default=str,
+        )
+        # (set in __post_init__; the dataclass is frozen)
+        memo: dict[str, str] = self._fingerprint_memo
+        cached = memo.get(blob)
+        if cached is None:
+            from .artifacts import graph_fingerprint
+
+            cached = graph_fingerprint(self.build(params))
+            memo[blob] = cached
+        return cached
 
     def resolve_params(self, overrides: Mapping[str, Any]) -> dict[str, Any]:
         """Defaults merged with ``overrides``; rejects unknown names."""
@@ -114,8 +153,44 @@ class Scenario:
 _REGISTRY: dict[str, Scenario] = {}
 
 
-def register_scenario(scenario: Scenario, replace: bool = False) -> Scenario:
-    """Add a scenario to the global registry; returns it for chaining."""
+def register_scenario(
+    scenario: Scenario | None = None,
+    replace: bool = False,
+    *,
+    version: int | None = None,
+    fingerprint: str | None = None,
+    **fields: Any,
+) -> Scenario:
+    """Add a scenario to the global registry; returns it for chaining.
+
+    Accepts either a prebuilt :class:`Scenario` or the scenario fields
+    as keywords (``name=``, ``build_graph=``, ``make_inputs=``, ...).
+    ``version`` and ``fingerprint`` override the corresponding fields
+    either way — they are the versioning hooks: bumping the version or
+    changing the fingerprint (structural by default) retires every
+    store/result-cache entry recorded under the old application code.
+    """
+    if scenario is None:
+        missing = {"name", "build_graph", "make_inputs"} - set(fields)
+        if missing:
+            raise WorkbenchError(
+                f"register_scenario needs a Scenario or the fields "
+                f"{sorted(missing)}"
+            )
+        fields.setdefault("description", "")
+        scenario = Scenario(**fields)
+    elif fields:
+        raise WorkbenchError(
+            "pass either a Scenario or scenario fields, not both: "
+            f"{sorted(fields)}"
+        )
+    overrides: dict[str, Any] = {}
+    if version is not None:
+        overrides["version"] = version
+    if fingerprint is not None:
+        overrides["fingerprint"] = fingerprint
+    if overrides:
+        scenario = _replace(scenario, **overrides)
     if scenario.name in _REGISTRY and not replace:
         raise WorkbenchError(
             f"scenario {scenario.name!r} is already registered "

@@ -57,6 +57,7 @@ from ..platforms import get_platform
 from ..profiler.profiler import Profiler
 from ..runtime.frames import FrameError, recv_message, send_message
 from . import artifacts
+from .cache import ResultCache, result_key
 from .scenarios import WorkbenchError, get_scenario, list_scenarios
 from .session import (
     PartitionRequest,
@@ -388,9 +389,7 @@ class WorkerPool:
             with self._lock:
                 if self._closed:
                     return
-                conn_map = {
-                    h.conn: h for h in self._handles.values()
-                }
+                conn_map = {h.conn: h for h in self._handles.values()}
                 sentinel_map = {
                     h.process.sentinel: h for h in self._handles.values()
                 }
@@ -483,6 +482,13 @@ class PartitionServer:
         job_timeout: seconds one sharded run may take before it is
             abandoned (error to the client, stuck worker retired);
             ``None`` waits forever.
+        result_cache: memoize solved requests (default on).  The cache
+            shares the durable store directory, so every worker — and
+            every other server process on the same store — serves one
+            shared cache; with an in-memory store the cache lives (and
+            dies) with this server.  Hits are answered by the parent
+            without touching the pool and are byte-identical in
+            canonical form to the solve that populated them.
     """
 
     def __init__(
@@ -495,6 +501,7 @@ class PartitionServer:
         default_platform: str = "tmote",
         mp_context=None,
         job_timeout: float | None = 900.0,
+        result_cache: bool = True,
     ) -> None:
         self._host = host
         self._port = port
@@ -504,6 +511,9 @@ class PartitionServer:
         self._store_root = str(store) if store is not None else None
         self._mp_context = mp_context
         self.job_timeout = job_timeout
+        self.result_cache: ResultCache | None = (
+            ResultCache(self._store_root) if result_cache else None
+        )
         self._store = ProfileStore(self._store_root)
         self._sessions: dict[str, Session] = {}
         self._sessions_lock = threading.Lock()
@@ -625,6 +635,7 @@ class PartitionServer:
     def _serve_op(self, stream: BinaryIO, document: Mapping[str, Any]):
         op = document.get("op")
         if op == "ping":
+            cache = self.result_cache
             send_message(
                 stream,
                 {
@@ -634,6 +645,9 @@ class PartitionServer:
                     "respawned": (
                         self.pool.workers_respawned if self.pool else 0
                     ),
+                    "cache_hits": cache.stats.hits if cache else 0,
+                    "cache_misses": cache.stats.misses if cache else 0,
+                    "cache_stores": cache.stats.stores if cache else 0,
                 },
             )
         elif op == "scenarios":
@@ -675,7 +689,7 @@ class PartitionServer:
         self, stream: BinaryIO, document: Mapping[str, Any]
     ) -> None:
         try:
-            jobs, n_requests, platform = self._submit_batch(document)
+            batch = self._submit_batch(document)
         except (WorkbenchError, InfeasiblePartition, ValueError) as exc:
             send_message(
                 stream,
@@ -686,9 +700,12 @@ class PartitionServer:
                 },
             )
             return
+        jobs, n_requests, platform, prefilled, miss_keys = batch
 
         slots: list[tuple[dict | None, dict | None] | None]
         slots = [None] * n_requests
+        for index, slot in prefilled.items():
+            slots[index] = slot
         failure: tuple[str, str] | None = None
         for job in jobs:
             if not job.event.wait(self.job_timeout):
@@ -704,9 +721,24 @@ class PartitionServer:
                 {"ok": False, "kind": failure[0], "error": failure[1]},
             )
             return
+        if self.result_cache is not None:
+            # Populate the shared cache with the fresh solves; the
+            # workers already produced the wire documents, so this is a
+            # pure store (race-safe content-addressed writes).
+            for index, key in miss_keys.items():
+                slot = slots[index]
+                doc = slot[0] if slot is not None else None
+                arrays = slot[1] if slot is not None else None
+                self.result_cache.store_document(key, doc, arrays)
         send_message(
             stream,
-            {"ok": True, "count": n_requests, "platform": platform},
+            {
+                "ok": True,
+                "count": n_requests,
+                "platform": platform,
+                "cache_hits": len(prefilled),
+                "cache_misses": n_requests - len(prefilled),
+            },
         )
         for index in range(n_requests):
             slot = slots[index]
@@ -717,9 +749,13 @@ class PartitionServer:
                     stream, {"index": index, "result": slot[0]}, slot[1]
                 )
 
-    def _submit_batch(
-        self, document: Mapping[str, Any]
-    ) -> tuple[list[_Job], int, str]:
+    def _submit_batch(self, document: Mapping[str, Any]) -> tuple[
+        list[_Job],
+        int,
+        str,
+        dict[int, tuple[dict | None, dict | None]],
+        dict[int, str],
+    ]:
         if self.pool is None:
             raise ServerError("server is not started")
         scenario_name = document.get("scenario")
@@ -733,13 +769,40 @@ class PartitionServer:
         payloads = list(document.get("requests") or [])
         requests = [PartitionRequest.from_payload(p) for p in payloads]
 
+        # Result-cache pass: hits are answered by the parent; only the
+        # misses reach the grouping/sharding below — run through the
+        # same group/order/solve code an in-process session applies to
+        # *its* miss subset, so equivalence is preserved request by
+        # request whatever each side's cache already holds.
+        prefilled: dict[int, tuple[dict | None, dict | None]] = {}
+        miss_keys: dict[int, str] = {}
+        miss_indices: list[int] = list(range(len(requests)))
+        if self.result_cache is not None:
+            miss_indices = []
+            for index, request in enumerate(requests):
+                key = result_key(
+                    scenario, params, profiler_cfg, platform, request
+                )
+                entry = self.result_cache.lookup(key)
+                if entry is None:
+                    miss_keys[index] = key
+                    miss_indices.append(index)
+                elif self.result_cache.is_infeasible(entry[0]):
+                    if not skip_infeasible:
+                        self.result_cache.raise_infeasible(key)
+                    prefilled[index] = (None, None)
+                else:
+                    prefilled[index] = entry
+
         # Group + order + resolve budgets exactly as the in-process
         # service does; shard each ordered group at budget boundaries.
         order: dict[tuple, list[int]] = {}
-        for index, request in enumerate(requests):
+        for index in miss_indices:
+            request = requests[index]
             order.setdefault(request.probe_group(platform), []).append(index)
         resolved: dict[int, tuple[float, float]] = {}
-        for index, request in enumerate(requests):
+        for index in miss_indices:
+            request = requests[index]
             platform_obj = get_platform(request.platform or platform)
             resolved[index] = request.partitioner().resolve_budgets(
                 platform_obj
@@ -776,7 +839,7 @@ class PartitionServer:
                     "probe_blob": probe_blob,
                 }
                 jobs.append(self.pool.submit(payload))
-        return jobs, len(requests), platform
+        return jobs, len(requests), platform, prefilled, miss_keys
 
 
 def _budget_runs(
@@ -830,6 +893,10 @@ class ServerClient:
                 time.sleep(0.05)
         self._stream = self._sock.makefile("rwb")
         self._lock = threading.Lock()
+        #: Result-cache counters from the most recent
+        #: :meth:`partition_many` acknowledgement (the CLI's
+        #: ``--stats`` source).
+        self.last_batch_stats: dict[str, int] = {}
 
     def close(self) -> None:
         try:
@@ -904,6 +971,10 @@ class ServerClient:
                 _raise_remote(ack)
             count = int(ack["count"])
             served_platform = ack.get("platform")
+            self.last_batch_stats = {
+                "cache_hits": int(ack.get("cache_hits", 0)),
+                "cache_misses": int(ack.get("cache_misses", 0)),
+            }
             scenario_obj = get_scenario(scenario)
             graph = scenario_obj.build(
                 scenario_obj.resolve_params(params or {})

@@ -45,6 +45,7 @@ from ..profiler.profiler import Measurement, Profiler
 from ..profiler.records import GraphProfile
 from ..runtime.deployment import Deployment, DeploymentPrediction
 from ..dataflow.graph import StreamGraph
+from .cache import ResultCache, result_key
 from .scenarios import Scenario, WorkbenchError, get_scenario
 from .store import ProfileStore
 
@@ -365,6 +366,11 @@ class Session:
         platform: default platform for requests that do not name one.
         profiler: profiler configuration for measurements (defaults to
             the harness configuration: batched, mean-load).
+        result_cache: memoization of :meth:`partition_many` answers.
+            ``None`` (default) shares the store's directory — durable
+            when the store is, in-memory otherwise; pass a
+            :class:`~repro.workbench.cache.ResultCache` to share one
+            across sessions, or ``False`` to disable memoization.
         params: scenario parameter overrides (e.g. ``n_channels=4``),
             merged over the scenario's declared defaults.
     """
@@ -375,6 +381,7 @@ class Session:
         store: ProfileStore | None = None,
         platform: str = "tmote",
         profiler: Profiler | None = None,
+        result_cache: "ResultCache | bool | None" = None,
         params: Mapping[str, Any] | None = None,
         **param_overrides: Any,
     ) -> None:
@@ -382,6 +389,14 @@ class Session:
         self.store = store if store is not None else ProfileStore()
         self.platform = platform
         self.profiler = profiler
+        if result_cache is None or result_cache is True:
+            self.result_cache: ResultCache | None = ResultCache(
+                self.store.root
+            )
+        elif result_cache is False:
+            self.result_cache = None
+        else:
+            self.result_cache = result_cache
         merged = dict(params or {})
         merged.update(param_overrides)
         self.params = self.scenario.resolve_params(merged)
@@ -479,9 +494,56 @@ class Session:
                     profiler=self.profiler,
                     skip_infeasible=skip_infeasible,
                 )
-        return self.service.partition_many(
-            requests, skip_infeasible=skip_infeasible
-        )
+        cache = self.result_cache
+        if cache is None:
+            return self.service.partition_many(
+                requests, skip_infeasible=skip_infeasible
+            )
+
+        # Memoized path: serve hits from the cache byte-identically (in
+        # canonical form) and run only the misses through the service —
+        # grouped/ordered by the same code as always, so an all-miss
+        # batch behaves exactly like the uncached path.
+        keys = [
+            result_key(
+                self.scenario, self.params, self.profiler, self.platform,
+                request,
+            )
+            for request in requests
+        ]
+        results: list[PartitionResult | None] = [None] * len(requests)
+        misses: list[int] = []
+        graph: StreamGraph | None = None
+        for index, key in enumerate(keys):
+            entry = cache.lookup(key)
+            if entry is None:
+                misses.append(index)
+                continue
+            if cache.is_infeasible(entry[0]):
+                if not skip_infeasible:
+                    cache.raise_infeasible(key)
+                results[index] = None
+                continue
+            if graph is None:
+                graph = self.scenario.build(self.params)
+            result = cache.materialize(entry, graph)
+            result.request = self.service._with_platform(requests[index])
+            results[index] = result
+        if misses:
+            solved = self.service.partition_many(
+                [requests[i] for i in misses],
+                skip_infeasible=skip_infeasible,
+            )
+            graph_ref = {
+                "scenario": self.scenario.name,
+                "params": dict(self.params),
+            }
+            for index, result in zip(misses, solved):
+                # A None result only exists under skip_infeasible, and
+                # proven infeasibility is itself a cacheable answer.
+                cache.store(keys[index], result, graph_ref)
+                results[index] = result
+        return results
 
     def rate_search(
         self, request: RateSearchRequest | None = None, **overrides: Any

@@ -70,6 +70,22 @@ class StoreStats:
     disk_hits: int = 0
 
 
+def touch_entry(path: Path) -> None:
+    """Bump a durable entry's mtime: the store's LRU clock.
+
+    Disk hits call this so :class:`~repro.workbench.cache.StoreJanitor`
+    eviction (TTL and size-budget policies order by mtime) tracks *use*,
+    not just creation.  A file the janitor removed underneath us is
+    simply left alone — the caller already holds the payload.
+    """
+    import os
+
+    try:
+        os.utime(path)
+    except OSError:
+        pass
+
+
 @dataclass
 class _CacheEntry:
     document: dict[str, Any]
@@ -97,11 +113,19 @@ class ProfileStore:
         params: Mapping[str, Any],
         profiler: Profiler | None = None,
     ) -> str:
-        """Content hash identifying one measurement."""
+        """Content hash identifying one measurement.
+
+        The scenario's :meth:`~Scenario.content_fingerprint` is part of
+        the hash, so re-registering a scenario whose graph builder
+        changed structurally (or whose version/fingerprint was bumped)
+        stops matching measurements recorded under the old code instead
+        of silently serving them.
+        """
         blob = json.dumps(
             {
                 "scenario": scenario.name,
                 "scenario_version": scenario.version,
+                "scenario_fingerprint": scenario.content_fingerprint(params),
                 "params": {k: params[k] for k in sorted(params)},
                 "profiler": profiler_config(profiler),
             },
@@ -133,6 +157,7 @@ class ProfileStore:
             # killed) must degrade to a cache miss, not poison every
             # future run; the re-profile will overwrite it.
             return None
+        touch_entry(path)
         entry = _CacheEntry(document=document, arrays=arrays)
         self._memory[key] = entry
         self.stats.disk_hits += 1

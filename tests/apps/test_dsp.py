@@ -82,9 +82,7 @@ def test_apply_filterbank_reduces_dimensions():
     power = np.ones(129, dtype=np.float32)
     out, cost = apply_filterbank(power, bank)
     assert out.shape == (32,)
-    assert cost.float_ops == pytest.approx(
-        2.0 * np.count_nonzero(bank)
-    )
+    assert cost.float_ops == pytest.approx(2.0 * np.count_nonzero(bank))
 
 
 def test_log_energies_floors_zeros():

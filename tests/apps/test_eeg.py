@@ -51,12 +51,8 @@ def test_polyphase_halves_agree_with_full_filter():
 
 def test_qmf_relationship():
     """High-pass taps are the quadrature mirror of the low-pass."""
-    low = np.concatenate(
-        [[e, o] for e, o in zip(H_LOW_EVEN, H_LOW_ODD)]
-    )
-    high = np.concatenate(
-        [[e, o] for e, o in zip(H_HIGH_EVEN, H_HIGH_ODD)]
-    )
+    low = np.concatenate([[e, o] for e, o in zip(H_LOW_EVEN, H_LOW_ODD)])
+    high = np.concatenate([[e, o] for e, o in zip(H_HIGH_EVEN, H_HIGH_ODD)])
     assert np.allclose(np.abs(high), np.abs(low[::-1]), atol=1e-12)
     # Orthonormality of the scaling filter.
     assert np.sum(low**2) == pytest.approx(1.0, abs=1e-9)
@@ -94,9 +90,7 @@ def test_cascade_reduces_rates(tmp_path):
 
     rates = {}
     for level in range(1, CASCADE_LOWS + 1):
-        edges = [
-            e for e in graph.edges if e.src == f"ch00.low{level}.add"
-        ]
+        edges = [e for e in graph.edges if e.src == f"ch00.low{level}.add"]
         rates[level] = profile.edges[edges[0]].bytes_per_sec
     for level in range(1, CASCADE_LOWS):
         ratio = rates[level] / max(rates[level + 1], 1e-9)
@@ -106,9 +100,7 @@ def test_cascade_reduces_rates(tmp_path):
 def test_feature_extraction_shape():
     recording = synth_eeg(n_channels=3, duration_s=20.0,
                           seizure_intervals=(), seed=1)
-    features = extract_feature_vectors(
-        recording.source_data(), n_channels=3
-    )
+    features = extract_feature_vectors(recording.source_data(), n_channels=3)
     assert features.shape[1] == 9  # 3 channels x 3 subband energies
     assert features.shape[0] >= 8  # ~one vector per 2 s window
     assert np.isfinite(features).all()
@@ -117,9 +109,7 @@ def test_feature_extraction_shape():
 def test_seizure_energy_visible_in_features():
     recording = synth_eeg(n_channels=2, duration_s=40.0,
                           seizure_intervals=((15.0, 25.0),), seed=2)
-    features = extract_feature_vectors(
-        recording.source_data(), n_channels=2
-    )
+    features = extract_feature_vectors(recording.source_data(), n_channels=2)
     n = min(len(features), len(recording.window_labels))
     labels = recording.window_labels[:n]
     seizure_mean = features[:n][labels].mean()
@@ -150,8 +140,7 @@ def test_svm_validation_errors():
 
 def test_declare_onsets_run_rule():
     predictions = [0, 1, 1, 1, 1, 0, 1, 1, 0, 1, 1, 1]
-    onsets = declare_onsets(np.array(predictions, dtype=bool),
-                            run=ONSET_RUN)
+    onsets = declare_onsets(np.array(predictions, dtype=bool), run=ONSET_RUN)
     # First run of 3 at index 3; the 4th positive doesn't re-declare;
     # the final run declares again at index 11.
     assert onsets == [3, 11]

@@ -82,9 +82,7 @@ def leak_profile():
 
 def test_aggregation_keeps_root_link_flat(leak_profile):
     """§9: in-network aggregation decouples root-link load from N."""
-    with_reduce = frozenset(
-        {"vibration", "bandpass", "rms", "netAverage"}
-    )
+    with_reduce = frozenset({"vibration", "bandpass", "rms", "netAverage"})
     loads = []
     for n in (1, 10, 40):
         testbed = Testbed(get_platform("tmote"), n_nodes=n)
@@ -108,15 +106,11 @@ def test_without_aggregation_root_link_scales_with_n(leak_profile):
 
 
 def test_aggregation_preserves_goodput_at_scale(leak_profile):
-    with_reduce = frozenset(
-        {"vibration", "bandpass", "rms", "netAverage"}
-    )
+    with_reduce = frozenset({"vibration", "bandpass", "rms", "netAverage"})
     without_reduce = frozenset({"vibration", "bandpass", "rms"})
     testbed = Testbed(get_platform("tmote"), n_nodes=40)
     aggregated = Deployment(leak_profile, with_reduce, testbed).analyze()
-    centralised = Deployment(
-        leak_profile, without_reduce, testbed
-    ).analyze()
+    centralised = Deployment(leak_profile, without_reduce, testbed).analyze()
     assert aggregated.goodput > 10 * centralised.goodput
 
 

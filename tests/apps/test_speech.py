@@ -10,14 +10,13 @@ from repro.apps.speech import (
     LinearMfccDetector,
     PIPELINE_ORDER,
     VIABLE_CUTPOINTS,
-    build_speech_pipeline,
     cut_index,
     detection_accuracy,
     node_set_for_cut,
     reference_mfccs,
     synth_speech_audio,
 )
-from repro.dataflow import Executor, Namespace, run_graph
+from repro.dataflow import Namespace, run_graph
 
 
 def test_audio_geometry():
@@ -53,8 +52,7 @@ def test_pipeline_structure(speech_graph):
     assert speech_graph.operators["detect"].namespace is Namespace.SERVER
 
 
-def test_pipeline_frame_sizes(speech_graph, speech_audio,
-                              speech_measurement):
+def test_pipeline_frame_sizes(speech_graph, speech_audio, speech_measurement):
     """The Figure 7 byte counts: 400 -> ... -> 128 -> 128 -> 52."""
     expected = {
         "source": 400,

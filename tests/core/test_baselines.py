@@ -49,9 +49,7 @@ def test_chain_dp_matches_ilp(seed):
     model = build_restricted_ilp(problem)
     solution = solve_milp(model.program)
     assert result.best is not None
-    assert result.best.objective == pytest.approx(
-        solution.objective, abs=1e-9
-    )
+    assert result.best.objective == pytest.approx(solution.objective, abs=1e-9)
 
 
 def test_chain_dp_rejects_branching():
@@ -94,10 +92,7 @@ def test_brute_force_guard():
     problem = PartitionProblem(
         vertices=names,
         cpu={n: 0.1 for n in names},
-        edges=[
-            WeightedEdge(names[i], names[i + 1], 1.0)
-            for i in range(29)
-        ],
+        edges=[WeightedEdge(names[i], names[i + 1], 1.0) for i in range(29)],
         pins={},
         cpu_budget=100.0,
         net_budget=1e9,

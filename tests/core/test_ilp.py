@@ -21,8 +21,7 @@ def random_problem(seed, n=9, cpu_budget_frac=0.5):
     for i in range(1, n):
         parent = int(rng.integers(max(0, i - 3), i))
         edges.append(
-            WeightedEdge(names[parent], names[i],
-                         float(rng.uniform(1, 100)))
+            WeightedEdge(names[parent], names[i], float(rng.uniform(1, 100)))
         )
         if rng.random() < 0.3 and i >= 2:
             other = int(rng.integers(0, i - 1))

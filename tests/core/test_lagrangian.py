@@ -20,8 +20,7 @@ def random_problem(seed, n=10, budget_frac=0.5):
     for i in range(1, n):
         parent = int(rng.integers(max(0, i - 3), i))
         edges.append(
-            WeightedEdge(names[parent], names[i],
-                         float(rng.uniform(1, 50)))
+            WeightedEdge(names[parent], names[i], float(rng.uniform(1, 50)))
         )
     cpu = {name: float(rng.uniform(0.1, 1.0)) for name in names}
     return PartitionProblem(

@@ -23,9 +23,7 @@ def test_full_rate_infeasible_on_tmote(tmote_speech_profile):
 def test_reduced_rate_partitions_at_filterbank(tmote_speech_profile):
     wishbone = Wishbone(mode=RelocationMode.PERMISSIVE)
     result = wishbone.partition(tmote_speech_profile.scaled(0.075))
-    node_ops = sorted(
-        result.partition.node_set, key=PIPELINE_ORDER.index
-    )
+    node_ops = sorted(result.partition.node_set, key=PIPELINE_ORDER.index)
     assert node_ops == list(PIPELINE_ORDER[:6])  # through filtbank
     assert result.feasible
     assert result.partition.cpu_utilization <= 0.75 + 1e-9

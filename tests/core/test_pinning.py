@@ -11,7 +11,13 @@ from repro.core import (
     node_candidate_operators,
     propagate_pinnings,
 )
-from repro.dataflow import GraphBuilder, Namespace, Operator, Pinning, StreamGraph
+from repro.dataflow import (
+    GraphBuilder,
+    Namespace,
+    Operator,
+    Pinning,
+    StreamGraph,
+)
 
 
 def build_graph(stateful_node_op=False, loss_tolerant=False):

@@ -68,8 +68,7 @@ def test_node_pinned_vertex_never_merged():
         ["s", "pinned", "t"],
         {"s": 0.0, "pinned": 1.0, "t": 0.0},
         [("s", "pinned", 100.0), ("pinned", "t", 100.0)],
-        pins={"s": Pinning.NODE, "pinned": Pinning.NODE,
-              "t": Pinning.SERVER},
+        pins={"s": Pinning.NODE, "pinned": Pinning.NODE, "t": Pinning.SERVER},
     )
     reduced = preprocess(problem)
     assert reduced.cluster_of["pinned"] == "pinned"

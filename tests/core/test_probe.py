@@ -32,7 +32,9 @@ def test_probe_matches_full_rebuild(tmote_speech_profile, factor):
     probe = partitioner.prepare_probe(tmote_speech_profile)
     assert probe.incremental
     via_probe = probe.try_partition(factor)
-    via_rebuild = partitioner.try_partition(tmote_speech_profile.scaled(factor))
+    via_rebuild = partitioner.try_partition(
+        tmote_speech_profile.scaled(factor)
+    )
     assert (via_probe is None) == (via_rebuild is None)
     if via_probe is not None:
         assert via_probe.partition.node_set == via_rebuild.partition.node_set

@@ -86,7 +86,9 @@ def test_ilp_equals_brute_force(problem):
         # boundary assignment the exact check rejects.
         node_set = model.node_set(solution.values)
         load = problem.cpu_load(node_set)
-        assert problem.cpu_budget - 1e-9 <= load <= problem.cpu_budget + cpu_tol
+        assert (
+            problem.cpu_budget - 1e-9 <= load <= problem.cpu_budget + cpu_tol
+        )
     else:
         assert solution.status is SolveStatus.INFEASIBLE
 

@@ -28,9 +28,7 @@ def test_feasible_at_target_short_circuits(server_speech_profile):
 
 
 def test_overloaded_platform_finds_reduced_rate(tmote_speech_profile):
-    outcome = max_feasible_rate(
-        make_partitioner(), tmote_speech_profile
-    )
+    outcome = max_feasible_rate(make_partitioner(), tmote_speech_profile)
     assert not outcome.feasible_at_full_rate
     assert 0.05 < outcome.rate_factor < 0.2
     assert outcome.result is not None

@@ -69,9 +69,7 @@ def build_kitchen_sink():
         windows = rewindow(builder, "win", blocks, 12, hop=8)
         even = get_even(builder, "even", windows)
         odd = get_odd(builder, "odd", windows)
-        feven = fir_filter_block(
-            builder, "feven", even, np.array([0.5, 0.25])
-        )
+        feven = fir_filter_block(builder, "feven", even, np.array([0.5, 0.25]))
         fodd = fir_filter_block(builder, "fodd", odd, np.array([1.0, -1.0]))
         summed = add_streams(builder, "sum", feven, fodd)
         scaled = constant_cost_map(

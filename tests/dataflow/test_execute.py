@@ -63,9 +63,7 @@ def test_edge_bytes_measured_when_not_declared():
     builder = GraphBuilder()
     with builder.node():
         stream = builder.source("src")
-        mapped = builder.fmap(
-            "f", stream, lambda x: x.astype(np.float32)
-        )
+        mapped = builder.fmap("f", stream, lambda x: x.astype(np.float32))
     builder.sink("out", mapped)
     graph = builder.build()
     executor = run_graph(graph, {"src": [np.zeros(10, np.int16)]})

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.dataflow import (
-    Edge,
     GraphError,
     Namespace,
     Operator,

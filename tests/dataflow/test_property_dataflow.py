@@ -113,7 +113,5 @@ def test_zip_emits_min_length(a, b):
     graph = builder.build()
     if not a and not b:
         return  # run_graph needs at least one element somewhere
-    outputs = run_graph(graph, {"a": list(a), "b": list(b)}).sink_values(
-        "out"
-    )
+    outputs = run_graph(graph, {"a": list(a), "b": list(b)}).sink_values("out")
     assert outputs == list(zip(a, b))

@@ -113,9 +113,7 @@ def test_executor_sink_uses_columnar_buffer():
     assert isinstance(state, SinkBuffer)
     assert state.columnar
     assert executor.sink_values("out") == data
-    np.testing.assert_array_equal(
-        executor.sink_array("out"), np.arange(50.0)
-    )
+    np.testing.assert_array_equal(executor.sink_array("out"), np.arange(50.0))
 
 
 def test_batched_and_scalar_sinks_agree():

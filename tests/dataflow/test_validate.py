@@ -57,9 +57,7 @@ def test_missing_sink_rejected():
 
 def test_dangling_operator_rejected():
     graph = valid_graph()
-    graph.add_operator(
-        Operator(name="orphan", work=lambda c, p, i: None)
-    )
+    graph.add_operator(Operator(name="orphan", work=lambda c, p, i: None))
     with pytest.raises(GraphError, match="no inputs"):
         validate_graph(graph)
 
@@ -103,12 +101,7 @@ def test_non_contiguous_ports_rejected():
     graph.add_operator(
         Operator(name="src", is_source=True, namespace=Namespace.NODE)
     )
-    graph.add_operator(
-        Operator(
-            name="zip",
-            work=lambda c, p, i: None,
-        )
-    )
+    graph.add_operator(Operator(name="zip", work=lambda c, p, i: None,))
     graph.add_operator(
         Operator(
             name="sink",

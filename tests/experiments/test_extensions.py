@@ -37,9 +37,7 @@ def test_speech_three_tier_layering():
     # The float-heavy cepstral stage is off the mote.
     assert report.assignment["cepstrals"] is not Tier.MOTE
     # Budgets respected.
-    assert report.loads["mote_cpu"] <= (
-        report.problem.mote_cpu_budget + 1e-9
-    )
+    assert report.loads["mote_cpu"] <= (report.problem.mote_cpu_budget + 1e-9)
     assert report.loads["micro_cpu"] <= (
         report.problem.micro_cpu_budget + 1e-9
     )

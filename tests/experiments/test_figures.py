@@ -95,11 +95,7 @@ def test_fig5b_platform_ordering(fig5b_bars):
 
 def test_fig5b_deeper_cuts_need_more_cpu(fig5b_bars):
     for platform in ("tmote", "n80", "iphone"):
-        rates = [
-            b.rate_multiple
-            for b in fig5b_bars
-            if b.platform == platform
-        ]
+        rates = [b.rate_multiple for b in fig5b_bars if b.platform == platform]
         assert rates == sorted(rates, reverse=True)
 
 
@@ -136,9 +132,7 @@ def test_fig7_bandwidth_drops_from_filterbank_on(fig7_rows):
 
 
 def test_fig7_cepstrals_dominates_cpu(fig7_rows):
-    most_expensive = max(
-        fig7_rows, key=lambda r: r.microseconds_per_frame
-    )
+    most_expensive = max(fig7_rows, key=lambda r: r.microseconds_per_frame)
     assert most_expensive.operator == "cepstrals"
 
 
@@ -213,9 +207,7 @@ def test_fig10_network_is_worse_everywhere_but_compute_bound_cut():
     # per-node, so the 20-node aggregate is more potent overall.
     last_single = result.single[-1]
     last_net = result.network[-1]
-    assert last_net.goodput == pytest.approx(
-        last_single.goodput, rel=0.05
-    )
+    assert last_net.goodput == pytest.approx(last_single.goodput, rel=0.05)
 
 
 def test_meraki_ships_raw_data():

@@ -33,8 +33,7 @@ def test_testbed_requires_radio():
 
 def test_testbed_topology_size_mismatch():
     with pytest.raises(ValueError, match="size"):
-        Testbed(get_platform("tmote"), n_nodes=5,
-                topology=RoutingTree.star(4))
+        Testbed(get_platform("tmote"), n_nodes=5, topology=RoutingTree.star(4))
 
 
 def test_channel_report_below_knee():
@@ -83,9 +82,7 @@ def test_profiler_ramp_is_recorded_and_monotone():
     rates = [p.per_node_pps for p in profile.ramp]
     assert rates == sorted(rates)
     deliveries = [p.reception_fraction for p in profile.ramp]
-    assert all(
-        a >= b - 1e-12 for a, b in zip(deliveries, deliveries[1:])
-    )
+    assert all(a >= b - 1e-12 for a, b in zip(deliveries, deliveries[1:]))
 
 
 def test_profiler_bytes_consistent_with_pps():

@@ -86,13 +86,9 @@ def test_radio_delivery_flat_then_collapsing():
     assert TMOTE_RADIO.delivery_fraction(
         TMOTE_RADIO.saturation_pps
     ) == pytest.approx(base)
-    past_knee = TMOTE_RADIO.delivery_fraction(
-        2.0 * TMOTE_RADIO.saturation_pps
-    )
+    past_knee = TMOTE_RADIO.delivery_fraction(2.0 * TMOTE_RADIO.saturation_pps)
     assert past_knee < base / 5
-    far_past = TMOTE_RADIO.delivery_fraction(
-        10.0 * TMOTE_RADIO.saturation_pps
-    )
+    far_past = TMOTE_RADIO.delivery_fraction(10.0 * TMOTE_RADIO.saturation_pps)
     assert far_past < 1e-6, "reception driven to ~zero (paper §7.3)"
 
 
@@ -131,6 +127,4 @@ def test_meraki_cpu_and_bandwidth_ratios():
 
 def test_radio_spec_validation_fields():
     spec = RadioSpec(payload_bytes=28, saturation_pps=45.0)
-    assert spec.goodput_capacity_bytes == pytest.approx(
-        45.0 * 0.92 * 28
-    )
+    assert spec.goodput_capacity_bytes == pytest.approx(45.0 * 0.92 * 28)

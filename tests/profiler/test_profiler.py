@@ -46,9 +46,7 @@ def test_utilization_uses_platform_costs():
         500 * platform.cycle_costs.float_op
         + 10 * platform.cycle_costs.invocation
     )
-    assert op.seconds == pytest.approx(
-        expected_cycles / platform.effective_hz
-    )
+    assert op.seconds == pytest.approx(expected_cycles / platform.effective_hz)
     assert op.utilization == pytest.approx(op.seconds / 2.0)
 
 

@@ -54,8 +54,7 @@ def test_bad_budget_rejected():
 
 def test_records_from_counts_roundtrip():
     platform = get_platform("tmote")
-    counts = WorkCounts(float_ops=10_000, loop_iterations=200,
-                        invocations=10)
+    counts = WorkCounts(float_ops=10_000, loop_iterations=200, invocations=10)
     records = loop_records_from_counts("fft", counts, invocations=10,
                                        platform=platform)
     assert len(records) == 1

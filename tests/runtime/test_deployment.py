@@ -19,8 +19,7 @@ def tmote_testbed():
 
 def test_sources_must_be_on_node(tmote_speech_profile, tmote_testbed):
     with pytest.raises(ValueError, match="sources"):
-        Deployment(tmote_speech_profile, frozenset({"preemph"}),
-                   tmote_testbed)
+        Deployment(tmote_speech_profile, frozenset({"preemph"}), tmote_testbed)
 
 
 def test_analysis_fields_consistent(tmote_speech_profile, tmote_testbed):
@@ -104,8 +103,7 @@ def test_goodput_peaks_at_filterbank(tmote_speech_profile, tmote_testbed):
     """End-to-end: cut 4 wins on a single mote (paper §7.3)."""
     graph = tmote_speech_profile.graph
     goodputs = {}
-    for cut in ("source", "preemph", "fft", "filtbank", "logs",
-                "cepstrals"):
+    for cut in ("source", "preemph", "fft", "filtbank", "logs", "cepstrals"):
         deployment = Deployment(
             tmote_speech_profile, node_set_for_cut(graph, cut),
             tmote_testbed,

@@ -15,7 +15,6 @@ operator is stateful, then inject element loss on the cut edges and show:
 """
 
 import numpy as np
-import pytest
 
 from repro.core import RelocationMode, base_pinnings
 from repro.dataflow import GraphBuilder, Pinning
@@ -123,9 +122,7 @@ def test_per_node_state_isolation_under_loss():
     """Loss on one node's stream must not corrupt another node's state."""
     graph = split_add_graph()
     node_set = frozenset({"src", "even", "odd"})
-    server = ServerRuntime(
-        graph, frozenset(graph.operators) - node_set
-    )
+    server = ServerRuntime(graph, frozenset(graph.operators) - node_set)
     node_a = BoundedExecutor(graph, node_set)
     node_b = BoundedExecutor(graph, node_set)
     blocks = [np.arange(8.0) + 10 * k for k in range(3)]

@@ -1,6 +1,5 @@
 """Node-side bounded executor, node runtime, and server state tables."""
 
-import numpy as np
 import pytest
 
 from repro.dataflow import GraphBuilder
@@ -96,9 +95,7 @@ def test_node_runtime_drops_under_overload():
 def test_server_runtime_per_node_state_tables():
     """§2.1.1: relocated stateful operators keep state per node id."""
     graph = two_stage_graph()
-    server = ServerRuntime(
-        graph, frozenset({"acc", "out"})
-    )
+    server = ServerRuntime(graph, frozenset({"acc", "out"}))
     edge = [e for e in graph.edges if e.dst == "acc"][0]
     server.receive_element(edge, 10, node_id=0)
     server.receive_element(edge, 1, node_id=1)

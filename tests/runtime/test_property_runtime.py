@@ -1,9 +1,8 @@
 """Property-based tests over the network and deployment models."""
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.apps.speech import PIPELINE_ORDER, node_set_for_cut
+from repro.apps.speech import node_set_for_cut
 from repro.network import Testbed
 from repro.platforms import RadioSpec, get_platform
 from repro.runtime import Deployment

@@ -62,10 +62,7 @@ def test_splitting_reduces_radio_latency():
     whole_processed, whole_stats = run(slices=1)
     split_processed, split_stats = run(slices=8)
     assert split_stats.max_task_seconds < whole_stats.max_task_seconds
-    assert (
-        split_stats.max_system_latency
-        < whole_stats.max_system_latency
-    )
+    assert (split_stats.max_system_latency < whole_stats.max_system_latency)
     # Same total work either way.
     assert split_processed == whole_processed
 

@@ -135,9 +135,7 @@ def test_random_mixed_integer_match_scipy(seed):
     reference = solve_milp_scipy(lp)
     assert ours.status == reference.status
     if ours.status is SolveStatus.OPTIMAL:
-        assert ours.objective == pytest.approx(
-            reference.objective, abs=1e-5
-        )
+        assert ours.objective == pytest.approx(reference.objective, abs=1e-5)
 
 
 def test_gap_property():

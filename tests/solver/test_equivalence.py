@@ -94,7 +94,9 @@ def test_tuning_knobs_do_not_change_objective(seed):
 @pytest.mark.parametrize("seed", range(4))
 def test_persistent_highs_relaxation_matches_linprog(seed):
     """The warm-started HiGHS engine agrees with cold linprog solves."""
-    arrays = build_restricted_ilp(random_problem(400 + seed)).program.to_arrays()
+    arrays = build_restricted_ilp(
+        random_problem(400 + seed)
+    ).program.to_arrays()
     engine = make_highs_relaxation(arrays)
     assert engine is not None, "scipy HiGHS bindings should be available"
     rng = np.random.default_rng(seed)

@@ -111,9 +111,7 @@ def test_random_agreement_with_scipy(seed):
     reference = solve_lp_scipy(lp)
     assert ours.status == reference.status
     if ours.status is SolveStatus.OPTIMAL:
-        assert ours.objective == pytest.approx(
-            reference.objective, abs=1e-6
-        )
+        assert ours.objective == pytest.approx(reference.objective, abs=1e-6)
 
 
 def test_solution_is_feasible_vertex():

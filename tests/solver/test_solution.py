@@ -23,9 +23,7 @@ def test_gap_computation():
         status=SolveStatus.FEASIBLE, objective=110.0, bound=100.0
     )
     assert solution.gap == pytest.approx(10.0 / 110.0)
-    proven = Solution(
-        status=SolveStatus.OPTIMAL, objective=100.0, bound=100.0
-    )
+    proven = Solution(status=SolveStatus.OPTIMAL, objective=100.0, bound=100.0)
     assert proven.gap == pytest.approx(0.0)
     unknown = Solution(status=SolveStatus.LIMIT)
     assert unknown.gap == float("inf")

@@ -1,6 +1,5 @@
 """Coverage for less-travelled code paths across modules."""
 
-import numpy as np
 import pytest
 
 from repro.core import Partition, brute_force_partition

@@ -47,9 +47,7 @@ def test_end_to_end_workflow_on_custom_graph():
     assert result.feasible
 
     testbed = repro.Testbed(repro.get_platform("tmote"), n_nodes=3)
-    deployment = repro.Deployment(
-        profile, result.partition.node_set, testbed
-    )
+    deployment = repro.Deployment(profile, result.partition.node_set, testbed)
     prediction = deployment.analyze()
     assert 0.0 <= prediction.goodput <= 1.0
     stats = deployment.run({"sensor": data}, {"sensor": 5.0}, seed=0)
@@ -82,14 +80,10 @@ def test_eeg_deployment_integration():
     assert len(result.partition.node_set) > 50
 
     testbed = repro.Testbed(repro.get_platform("tmote"), n_nodes=4)
-    deployment = repro.Deployment(
-        profile, result.partition.node_set, testbed
-    )
+    deployment = repro.Deployment(profile, result.partition.node_set, testbed)
     prediction = deployment.analyze()
     assert prediction.input_fraction > 0.5
-    stats = deployment.run(
-        recording.source_data(), source_rates(2), seed=1
-    )
+    stats = deployment.run(recording.source_data(), source_rates(2), seed=1)
     assert stats.goodput > 0.3
 
 

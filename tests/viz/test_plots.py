@@ -1,7 +1,5 @@
 """ASCII plotting helpers."""
 
-import pytest
-
 from repro.viz.plots import cdf_plot, line_plot
 
 
@@ -29,9 +27,7 @@ def test_line_plot_log_x():
     )
     lines = chart.splitlines()
     # Log scaling spreads the three points across the width.
-    marked_columns = [
-        line.index("*") for line in lines if "*" in line
-    ]
+    marked_columns = [line.index("*") for line in lines if "*" in line]
     assert max(marked_columns) - min(marked_columns) > 15
 
 
@@ -60,6 +56,5 @@ def test_cdf_plot_two_series():
 
 
 def test_constant_series_no_crash():
-    chart = line_plot({"flat": [(0, 3), (1, 3), (2, 3)]}, width=10,
-                      height=4)
+    chart = line_plot({"flat": [(0, 3), (1, 3), (2, 3)]}, width=10, height=4)
     assert "*" in chart

@@ -1,6 +1,5 @@
 """GraphViz emission and terminal tables."""
 
-import numpy as np
 import pytest
 
 from repro.apps.speech import PIPELINE_ORDER, node_set_for_cut

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.core import (
-    InfeasiblePartition,
     PartitionObjective,
     RateSearch,
     RelocationMode,

@@ -144,10 +144,7 @@ def measurements(draw):
             else {}
         ),
         operator_peak_counts=(
-            {
-                name: draw(counts_strategy())
-                for name in graph.operators
-            }
+            {name: draw(counts_strategy()) for name in graph.operators}
             if track_peaks
             else {}
         ),
@@ -158,9 +155,7 @@ def measurements(draw):
 def partitions(draw):
     graph = draw(st.sampled_from([*GRAPHS.values(), EMPTY_GRAPH]))
     names = sorted(graph.operators)
-    node_set = frozenset(
-        name for name in names if draw(st.booleans())
-    )
+    node_set = frozenset(name for name in names if draw(st.booleans()))
     return Partition(
         graph=graph,
         node_set=node_set,

@@ -4,6 +4,13 @@ The server's contract: a served batch returns artifacts *byte-identical*
 (canonical form — wall-clock telemetry zeroed) to the in-process
 ``Session.partition_many`` answers, regardless of worker count, request
 order, concurrent clients, or a worker being SIGKILLed mid-batch.
+
+The result cache is disabled on *both* sides throughout this file: the
+sessions and servers here share one durable store, and a cache hit would
+answer from disk instead of exercising the sharded solve path these
+tests exist to pin.  Cached-path equivalence (hits byte-identical to the
+solves that populated them) is pinned by
+``tests/workbench/test_result_cache.py``.
 """
 
 from __future__ import annotations
@@ -65,14 +72,16 @@ def store_dir(tmp_path_factory):
 
 @pytest.fixture(scope="module")
 def server(store_dir):
-    with PartitionServer(workers=2, store=store_dir) as srv:
+    with PartitionServer(
+        workers=2, store=store_dir, result_cache=False
+    ) as srv:
         yield srv
 
 
 def local_session(scenario: str, store_dir: str) -> Session:
     return Session(
         scenario, store=ProfileStore(store_dir),
-        params=SCENARIO_PARAMS[scenario],
+        params=SCENARIO_PARAMS[scenario], result_cache=False,
     )
 
 
@@ -171,9 +180,7 @@ def test_shuffled_request_order_is_normalized(server, store_dir):
             assert canonical_json(a) == canonical_json(b)
 
 
-def test_repeated_batches_are_pure_functions_of_the_batch(
-    server, store_dir
-):
+def test_repeated_batches_are_pure_functions_of_the_batch(server, store_dir):
     """Running one batch twice through one session returns identical
     canonical artifacts both times — a cached probe's warm-start state
     does not leak across batch boundaries — and both match the served
@@ -200,7 +207,7 @@ def test_job_timeout_abandons_stuck_worker(store_dir, monkeypatch):
     the pool retires the stuck worker."""
     monkeypatch.setenv("REPRO_SERVER_TEST_DELAY", "30")
     with PartitionServer(
-        workers=1, store=store_dir, job_timeout=1.0
+        workers=1, store=store_dir, job_timeout=1.0, result_cache=False
     ) as srv:
         with ServerClient(srv.address) as client:
             with pytest.raises(ServerError, match="abandoned"):
@@ -236,7 +243,7 @@ def test_worker_built_probes_are_equivalent(store_dir):
         requests, skip_infeasible=True
     )
     with PartitionServer(
-        workers=2, store=store_dir, ship_probes=False
+        workers=2, store=store_dir, ship_probes=False, result_cache=False
     ) as srv:
         with ServerClient(srv.address) as client:
             served = client.partition_many(
@@ -272,7 +279,7 @@ from repro.workbench.artifacts import canonical_json
 import json
 spec = json.loads(sys.stdin.read())
 session = Session("eeg", store=ProfileStore(spec["store"]),
-                  params=spec["params"])
+                  params=spec["params"], result_cache=False)
 requests = [PartitionRequest.from_payload(p) for p in spec["requests"]]
 for result in session.partition_many(requests, skip_infeasible=True):
     print(json.dumps(None) if result is None else canonical_json(result))
@@ -369,7 +376,9 @@ def test_worker_sigkill_mid_batch_loses_nothing(store_dir, monkeypatch):
     # Slow each run down so the kill reliably lands mid-batch.  The env
     # var is read by the (forked) workers at job start.
     monkeypatch.setenv("REPRO_SERVER_TEST_DELAY", "0.25")
-    with PartitionServer(workers=2, store=store_dir) as srv:
+    with PartitionServer(
+        workers=2, store=store_dir, result_cache=False
+    ) as srv:
         pids = srv.worker_pids()
         assert len(pids) == 2
         with ServerClient(srv.address) as client:
@@ -456,7 +465,6 @@ def test_request_payload_roundtrip():
 
 
 def test_budget_runs_split_at_budget_boundaries():
-    resolved = {0: (1.0, 10.0), 1: (1.0, 10.0), 2: (0.9, 10.0),
-                3: (0.9, 20.0)}
+    resolved = {0: (1.0, 10.0), 1: (1.0, 10.0), 2: (0.9, 10.0), 3: (0.9, 20.0)}
     assert _budget_runs([0, 1, 2, 3], resolved) == [[0, 1], [2], [3]]
     assert _budget_runs([], resolved) == []

@@ -6,7 +6,6 @@ import pytest
 from repro.core import InfeasiblePartition, RateSearchResult
 from repro.workbench import (
     PartitionRequest,
-    RateSearchRequest,
     Scenario,
     Session,
     WorkbenchError,

@@ -72,9 +72,7 @@ def test_concurrent_same_key_writers_never_corrupt(tmp_path):
     )
     barrier = ctx.Barrier(2)
     writers = [
-        ctx.Process(
-            target=_writer, args=(str(tmp_path), wid, rounds, barrier)
-        )
+        ctx.Process(target=_writer, args=(str(tmp_path), wid, rounds, barrier))
         for wid in (0, 1)
     ]
     for process in writers:
@@ -109,9 +107,7 @@ def test_truncated_entry_degrades_to_miss(tmp_path):
     """A killed writer's half-written JSON is a miss, not a crash."""
     store = ProfileStore(str(tmp_path))
     store.put("victim", _payload(0))
-    (entry_path,) = [
-        p for p in tmp_path.iterdir() if p.suffix == ".json"
-    ]
+    (entry_path,) = [p for p in tmp_path.iterdir() if p.suffix == ".json"]
     text = entry_path.read_text()
     entry_path.write_text(text[: len(text) // 2])
 
@@ -123,12 +119,8 @@ def test_truncated_entry_degrades_to_miss(tmp_path):
 def test_truncated_sidecar_degrades_to_miss(tmp_path):
     store = ProfileStore(str(tmp_path))
     store.put("victim", _payload(0))
-    (entry_path,) = [
-        p for p in tmp_path.iterdir() if p.suffix == ".json"
-    ]
-    sidecar = entry_path.with_name(
-        json.loads(entry_path.read_text())["npz"]
-    )
+    (entry_path,) = [p for p in tmp_path.iterdir() if p.suffix == ".json"]
+    sidecar = entry_path.with_name(json.loads(entry_path.read_text())["npz"])
     blob = sidecar.read_bytes()
     sidecar.write_bytes(blob[: len(blob) // 3])
 
