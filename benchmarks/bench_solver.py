@@ -318,6 +318,85 @@ def bench_partition_many_served(smoke: bool) -> dict:
     }
 
 
+def bench_degraded_fallback(smoke: bool) -> dict:
+    """Graceful degradation: the served batch with *zero* live workers.
+
+    Scales a 1-worker server down to an empty pool (``min_workers=0``),
+    so every request is answered by the parent's in-process fallback,
+    and times that degraded batch against plain in-process
+    ``Session.partition_many``.  Degraded serving pays socket framing
+    plus per-job threads, so the ratio sits near (a little under) 1.0;
+    gating it keeps the fallback path measured, not merely believed.
+    Artifacts must stay byte-identical — degradation changes where a
+    run solves, never its answer.
+    """
+    import tempfile
+    import time as time_mod
+    import warnings
+
+    from repro.workbench import PartitionServer, ServerClient
+    from repro.workbench.artifacts import canonical_json
+
+    n_channels = 6 if smoke else 22
+    requests = _partition_many_requests(8)
+    params = {"n_channels": n_channels}
+
+    with tempfile.TemporaryDirectory() as store_dir:
+        from repro.workbench import ProfileStore
+
+        session = Session(
+            "eeg", store=ProfileStore(store_dir), result_cache=False,
+            **params,
+        )
+        session.profile()  # profile once, durably, outside all timings
+        inproc, inproc_s = _timed(
+            lambda: session.partition_many(requests, skip_infeasible=True)
+        )
+
+        with PartitionServer(
+            workers=1, min_workers=0, store=store_dir, result_cache=False
+        ) as srv:
+            with ServerClient(srv.address) as client:
+                # Warm the parent's caches, then empty the pool: every
+                # subsequent run lands on the degraded inline path.
+                client.partition_many(
+                    "eeg", requests[:1], params=params,
+                    skip_infeasible=True,
+                )
+                srv.scale_to(0)
+                deadline = time_mod.monotonic() + 10.0
+                while srv.worker_pids():
+                    if time_mod.monotonic() > deadline:
+                        raise RuntimeError("pool never drained to zero")
+                    time_mod.sleep(0.05)
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", RuntimeWarning)
+                    degraded, degraded_s = _timed(
+                        lambda: client.partition_many(
+                            "eeg", requests, params=params,
+                            skip_infeasible=True,
+                        )
+                    )
+                degraded_runs = srv.pool.degraded_runs
+
+    mismatches = 0
+    for a, b in zip(inproc, degraded):
+        if (a is None) != (b is None):
+            mismatches += 1
+        elif a is not None and canonical_json(a) != canonical_json(b):
+            mismatches += 1
+
+    return {
+        "requests": len(requests),
+        "channels": n_channels,
+        "inproc_seconds": inproc_s,
+        "degraded_seconds": degraded_s,
+        "degraded_vs_inproc_speedup": inproc_s / degraded_s,
+        "degraded_runs": degraded_runs,
+        "mismatches": mismatches,
+    }
+
+
 def bench_result_cache(smoke: bool) -> dict:
     """Hit path vs solve path for repeated identical EEG batches.
 
@@ -447,6 +526,7 @@ def main() -> None:
     report["rate_search"] = bench_rate_search(args.smoke)
     report["partition_many"] = bench_partition_many(args.smoke)
     report["partition_many_served"] = bench_partition_many_served(args.smoke)
+    report["degraded_fallback"] = bench_degraded_fallback(args.smoke)
     report["result_cache"] = bench_result_cache(args.smoke)
     report["end_to_end"] = bench_end_to_end(args.smoke)
     report["total_seconds"] = time.perf_counter() - total_start
@@ -483,6 +563,13 @@ def main() -> None:
         f"{pms['served_two_worker_seconds']:.2f}s served/2w "
         f"({pms['two_worker_speedup']:.2f}x for 2 workers, "
         f"{pms['mismatches_two_workers']} mismatches)"
+    )
+    dg = report["degraded_fallback"]
+    print(
+        f"degraded_fallback: {dg['inproc_seconds']:.2f}s in-process vs "
+        f"{dg['degraded_seconds']:.2f}s degraded (no workers) "
+        f"({dg['degraded_vs_inproc_speedup']:.2f}x, "
+        f"{dg['degraded_runs']} inline runs, {dg['mismatches']} mismatches)"
     )
     rc = report["result_cache"]
     rc_mismatches = (

@@ -7,6 +7,8 @@ Commands:
   eeg      [--platform P] [--channels C] [--rate R|auto] [--dot FILE]
   leak     [--platform P] [--nodes N] [--fanin F] [--dot FILE]
   serve    [--host H] [--port P] [--workers N] [--store DIR]
+           [--min-workers N] [--max-workers N] [--heartbeat S]
+           [--fault-plan JSON|@FILE]
   partition SCENARIO [--rates CSV] [--cpu-budgets CSV] [--net-budgets CSV]
            [--param k=v ...] [--server HOST:PORT] [--out DIR] [--canonical]
            [--stats]
@@ -151,6 +153,20 @@ def cmd_scenarios(_args) -> int:
 def cmd_serve(args) -> int:
     import signal
 
+    from repro.workbench.faults import FaultPlan
+
+    # Chaos testing only: a fault plan from --fault-plan (inline JSON or
+    # @file) or, failing that, the REPRO_FAULT_PLAN environment variable.
+    fault_plan = None
+    if getattr(args, "fault_plan", None):
+        spec = args.fault_plan
+        if spec.startswith("@"):
+            with open(spec[1:], "r", encoding="utf-8") as handle:
+                spec = handle.read()
+        fault_plan = FaultPlan.from_json(spec)
+    else:
+        fault_plan = FaultPlan.from_env()
+
     server = PartitionServer(
         host=args.host,
         port=args.port,
@@ -159,6 +175,10 @@ def cmd_serve(args) -> int:
         ship_probes=not args.worker_probes,
         default_platform=args.platform,
         result_cache=not args.no_result_cache,
+        min_workers=args.min_workers,
+        max_workers=args.max_workers,
+        heartbeat_interval=args.heartbeat,
+        fault_plan=fault_plan,
     )
 
     # SIGTERM (what `kill` and CI cleanup send) must shut down like
@@ -397,6 +417,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--worker-probes", action="store_true",
                        help="let workers build their own formulations "
                        "instead of shipping prepared probes")
+    serve.add_argument("--min-workers", type=int, default=None,
+                       help="lower bound for runtime scaling (0 allows "
+                       "a fully degraded in-process pool; default: "
+                       "min(1, --workers))")
+    serve.add_argument("--max-workers", type=int, default=None,
+                       help="upper bound for runtime scaling "
+                       "(default: unbounded)")
+    serve.add_argument("--heartbeat", type=float, default=1.0,
+                       help="worker heartbeat interval in seconds "
+                       "(0 disables; default 1.0)")
+    serve.add_argument("--fault-plan", default=None,
+                       help="chaos testing: a FaultPlan as inline JSON "
+                       "or @file (also honors REPRO_FAULT_PLAN)")
     serve.add_argument("--no-result-cache", action="store_true",
                        help="disable server-side result memoization")
     serve.set_defaults(func=cmd_serve)

@@ -28,8 +28,9 @@ from __future__ import annotations
 import io
 import json
 import struct
+import time
 import zipfile
-from typing import Any, BinaryIO, Mapping
+from typing import Any, BinaryIO, Callable, Mapping
 
 import numpy as np
 
@@ -44,6 +45,29 @@ MAX_FRAME_BYTES = 1 << 30
 
 class FrameError(Exception):
     """Raised for truncated or oversized frames on a byte stream."""
+
+
+class InjectedFault(OSError):
+    """A scheduled transport fault (see :mod:`repro.workbench.faults`).
+
+    An ``OSError`` subclass on purpose: every transport caller already
+    treats an ``OSError`` on a stream as "this connection is gone", so
+    injected drops and truncations exercise exactly the production
+    error paths.
+    """
+
+
+#: Fault-injection hook (``None`` in production).  When set — by
+#: :func:`repro.workbench.faults.install` — :func:`send_message` asks it
+#: for an action before every send; the hook returns ``None`` (no
+#: fault) or a rule-like object with ``action``/``delay`` attributes.
+_fault_hook: Callable[[str], Any] | None = None
+
+
+def set_fault_hook(hook: Callable[[str], Any] | None) -> None:
+    """Arm (or, with ``None``, disarm) the frame fault-injection hook."""
+    global _fault_hook
+    _fault_hook = hook
 
 
 def write_frame(stream: BinaryIO, payload: bytes) -> None:
@@ -123,9 +147,38 @@ def send_message(
     document: Mapping[str, Any],
     arrays: Mapping[str, np.ndarray] | None = None,
 ) -> None:
-    """Write one (document, arrays) message as two frames and flush."""
-    write_frame(stream, json.dumps(document, sort_keys=True).encode("utf-8"))
-    write_frame(stream, pack_arrays(arrays) if arrays else b"")
+    """Write one (document, arrays) message as two frames and flush.
+
+    With a fault hook armed (chaos testing only), a scheduled fault may
+    delay the send, corrupt the document frame in place (the stream
+    stays aligned; the receiver gets a typed :class:`FrameError`), or
+    drop/truncate the message and raise :class:`InjectedFault` — the
+    same ``OSError`` shape a dead peer produces, so the sender's
+    connection-teardown path runs.
+    """
+    header = json.dumps(document, sort_keys=True).encode("utf-8")
+    body = pack_arrays(arrays) if arrays else b""
+    hook = _fault_hook
+    if hook is not None:
+        rule = hook("frames.send")
+        if rule is not None:
+            if rule.action == "delay":
+                time.sleep(rule.delay)
+            elif rule.action == "drop":
+                # The frame never makes it out; on TCP an undeliverable
+                # message is a dead connection, so fail the stream.
+                raise InjectedFault("injected fault: frame dropped")
+            elif rule.action == "truncate":
+                stream.write(LENGTH_PREFIX.pack(len(header)))
+                stream.write(header[: max(len(header) // 2, 1)])
+                stream.flush()
+                raise InjectedFault("injected fault: frame truncated")
+            elif rule.action == "corrupt":
+                # A NUL can never start valid JSON: the receiver fails
+                # with a typed FrameError, never a silent bad payload.
+                header = b"\x00" + header[1:]
+    write_frame(stream, header)
+    write_frame(stream, body)
     stream.flush()
 
 

@@ -22,7 +22,14 @@ an embeddable service API:
 * :mod:`~repro.workbench.cache` — :class:`ResultCache` memoization of
   solved requests (shared with the server through the store directory)
   and the :class:`StoreJanitor` eviction/GC policies
-  (``python -m repro store gc|stats``).
+  (``python -m repro store gc|stats``);
+* :mod:`~repro.workbench.membership` — :class:`ElasticPolicy` and the
+  heartbeat/membership primitives behind the server's elastic,
+  self-healing worker pool (``repro serve --min-workers/--max-workers``);
+* :mod:`~repro.workbench.faults` — the deterministic fault-injection
+  (chaos) subsystem: a seeded :class:`FaultPlan` of scheduled worker
+  kills, heartbeat stalls, frame drops/corruption, and store-write
+  errors, a no-op unless installed.
 """
 
 from .artifacts import (
@@ -42,6 +49,13 @@ from .cache import (
     StoreJanitor,
     result_key,
 )
+from .faults import FaultPlan, FaultPlanError, FaultRule
+from .membership import (
+    ElasticPolicy,
+    HeartbeatMonitor,
+    MembershipEvent,
+    MembershipLog,
+)
 from .scenarios import (
     Scenario,
     WorkbenchError,
@@ -51,7 +65,12 @@ from .scenarios import (
     register_scenario,
     unregister_scenario,
 )
-from .server import PartitionServer, ServerClient, ServerError
+from .server import (
+    PartitionServer,
+    ServerClient,
+    ServerError,
+    ServerUnavailable,
+)
 from .session import (
     PartitionRequest,
     PartitionService,
@@ -62,7 +81,14 @@ from .store import ProfileStore, StoreStats
 
 __all__ = [
     "ArtifactError",
+    "ElasticPolicy",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRule",
     "GCStats",
+    "HeartbeatMonitor",
+    "MembershipEvent",
+    "MembershipLog",
     "PartitionRequest",
     "PartitionServer",
     "PartitionService",
@@ -74,6 +100,7 @@ __all__ = [
     "Scenario",
     "ServerClient",
     "ServerError",
+    "ServerUnavailable",
     "Session",
     "StoreJanitor",
     "StoreStats",

@@ -708,6 +708,13 @@ def write_document(path, document: dict[str, Any], arrays, indent=None):
     import threading
     from pathlib import Path
 
+    from . import faults
+
+    # Chaos-only hook: a scheduled ``store.write`` fault raises (or
+    # delays) here, before any byte lands — exercising every caller's
+    # failed-durable-write path.  No-op without an installed plan.
+    faults.maybe_raise("store.write")
+
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     # (pid, thread id, global counter): unique per in-flight write even

@@ -113,6 +113,7 @@ class ResultCacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    store_errors: int = 0
 
 
 class ResultCache:
@@ -262,9 +263,16 @@ class ResultCache:
             # it writes; hand it a copy so the caller's dict (which the
             # server ships over the wire after caching it) and the
             # remembered entry stay in the pure wire shape.
-            artifacts.write_document(
-                self._path_for(key), dict(document), arrays
-            )
+            try:
+                artifacts.write_document(
+                    self._path_for(key), dict(document), arrays
+                )
+            except OSError:
+                # A failed durable write must not fail the request:
+                # the in-memory entry below still answers this
+                # process; only cross-process sharing is lost.
+                with self._lock:
+                    self.stats.store_errors += 1
         self._remember(key, (document, arrays))
         with self._lock:
             self.stats.stores += 1
@@ -447,8 +455,10 @@ class StoreJanitor:
         gc = GCStats(scanned_entries=len(entries), dry_run=dry_run)
 
         def removable(path: Path) -> bool:
+            # Strictly older than the cutoff: an entry *exactly* at the
+            # grace edge is still inside its grace window and is kept.
             try:
-                return path.stat().st_mtime <= cutoff
+                return path.stat().st_mtime < cutoff
             except OSError:
                 return False
 
@@ -484,7 +494,7 @@ class StoreJanitor:
             expired = (
                 self.ttl is not None
                 and entry.mtime < now - self.ttl
-                and entry.mtime <= cutoff
+                and entry.mtime < cutoff
             )
             if expired:
                 evict(entry)
@@ -506,7 +516,7 @@ class StoreJanitor:
                 over_count = (
                     self.max_entries is not None and count > self.max_entries
                 )
-                if (over_bytes or over_count) and entry.mtime <= cutoff:
+                if (over_bytes or over_count) and entry.mtime < cutoff:
                     evict(entry)
                     gc.removed_lru += 1
                     total -= entry.size

@@ -41,11 +41,13 @@ from __future__ import annotations
 import json
 import os
 import pickle
+import random
 import socket
 import threading
 import time
+import warnings
 from collections import deque
-from dataclasses import replace
+from dataclasses import asdict, replace
 from typing import Any, BinaryIO, Mapping, Sequence
 
 import multiprocessing
@@ -56,8 +58,14 @@ from ..core.partitioner import PartitionResult
 from ..platforms import get_platform
 from ..profiler.profiler import Profiler
 from ..runtime.frames import FrameError, recv_message, send_message
-from . import artifacts
+from . import artifacts, faults
 from .cache import ResultCache, result_key
+from .membership import (
+    ElasticPolicy,
+    HeartbeatMonitor,
+    MembershipLog,
+    WorkerInfo,
+)
 from .scenarios import WorkbenchError, get_scenario, list_scenarios
 from .session import (
     PartitionRequest,
@@ -75,6 +83,18 @@ _TEST_DELAY_ENV = "REPRO_SERVER_TEST_DELAY"
 
 class ServerError(WorkbenchError):
     """Raised for partition-server protocol or transport failures."""
+
+
+class ServerUnavailable(ServerError):
+    """A transport-level failure: the server is gone, unreachable, or
+    the connection died mid-exchange.
+
+    This is the *retryable* subclass — the result cache makes re-sent
+    requests idempotent, so :class:`ServerClient` retries these with
+    exponential backoff.  Remote application errors (unknown scenario,
+    infeasible request, abandoned job) stay plain :class:`ServerError`
+    and are never retried.
+    """
 
 
 def _parse_address(address: Any) -> tuple[str, int]:
@@ -186,26 +206,96 @@ def _run_job(
     return out
 
 
-def _worker_main(conn, store_root: str | None) -> None:
-    """Worker process loop: recv job, solve, send result, repeat."""
+def _worker_main(
+    conn,
+    store_root: str | None,
+    wid: int = 0,
+    heartbeat_interval: float | None = 1.0,
+    plan_spec: Mapping[str, Any] | None = None,
+    job_runner=None,
+    close_fds: Sequence[int] = (),
+) -> None:
+    """Worker process loop: recv job, solve, send result, repeat.
+
+    A daemon thread heartbeats over the same pipe (``("hb", wid, seq)``
+    tuples interleaved with job replies, serialized by a send lock), so
+    the parent can tell a *wedged* worker — process alive, nothing
+    moving — from a busy one.  ``plan_spec`` installs the parent's
+    fault plan in this process (fresh occurrence counters); the
+    ``worker.run`` site fires at each job start and the
+    ``worker.heartbeat`` site before each beat.
+    """
+    # A worker forked while the server holds client connections (any
+    # respawn/scale-up after serving began) inherits those socket fds;
+    # until they close here, a connection the parent tears down never
+    # delivers EOF, and its client stalls out the full socket timeout
+    # instead of reconnecting.
+    for fd in close_fds:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    if plan_spec is not None:
+        faults.install(faults.FaultPlan.from_spec(plan_spec))
+    else:
+        # A fork-inherited plan would double-count against the parent's
+        # schedule; workers only ever run explicitly shipped plans.
+        faults.clear()
     store = ProfileStore(store_root)
     sessions: dict[str, Session] = {}
+    runner = job_runner if job_runner is not None else _run_job
+    send_lock = threading.Lock()
+    stop = threading.Event()
+
+    def _beat() -> None:
+        seq = 0
+        while not stop.wait(heartbeat_interval):
+            rule = faults.hit("worker.heartbeat", worker=wid)
+            if rule is not None and rule.action == "stall":
+                if rule.delay > 0:
+                    time.sleep(rule.delay)
+                    continue
+                return  # silent forever: the supervisor's retirement cue
+            seq += 1
+            try:
+                with send_lock:
+                    conn.send(("hb", wid, seq))
+            except (BrokenPipeError, OSError, ValueError):
+                return
+
+    if heartbeat_interval and heartbeat_interval > 0:
+        threading.Thread(
+            target=_beat, name=f"worker-{wid}-hb", daemon=True
+        ).start()
+
     while True:
         try:
             message = conn.recv()
         except (EOFError, OSError):
+            stop.set()
             return
         if message is None:
+            stop.set()
             return
         job_id, payload = message
         try:
-            result = _run_job(payload, store, sessions)
+            rule = faults.hit("worker.run", worker=wid)
+            if rule is not None:
+                if rule.action == "kill":
+                    os._exit(17)
+                elif rule.action == "delay":
+                    time.sleep(rule.delay)
+                elif rule.action == "raise":
+                    raise rule.build_error()
+            result = runner(payload, store, sessions)
             reply = (job_id, "ok", result)
         except Exception as exc:
             reply = (job_id, "error", (type(exc).__name__, str(exc)))
         try:
-            conn.send(reply)
+            with send_lock:
+                conn.send(reply)
         except (BrokenPipeError, OSError):
+            stop.set()
             return
 
 
@@ -228,30 +318,53 @@ class _Job:
 
 
 class _WorkerHandle:
-    __slots__ = ("wid", "process", "conn", "current")
+    __slots__ = ("wid", "process", "conn", "current", "draining", "jobs_done")
 
     def __init__(self, wid: int, process, conn) -> None:
         self.wid = wid
         self.process = process
         self.conn = conn
         self.current: _Job | None = None
+        self.draining = False
+        self.jobs_done = 0
 
 
 class WorkerPool:
-    """A pool of solver processes with requeue-on-death fault tolerance.
+    """An *elastic* pool of solver processes with self-healing membership.
 
     Jobs are assigned over per-worker pipes (a killed worker can corrupt
-    only its own channel, never a shared queue), worker death is observed
-    through process sentinels, results that were fully sent before a
-    crash are still honored, and unfinished jobs are requeued to the
-    survivors while a replacement worker spawns.
+    only its own channel, never a shared queue).  Three liveness layers
+    keep the pool serving:
+
+    * **Sentinel death** (the PR 4 path): a crashed/SIGKILLed worker is
+      observed through its process sentinel, results it fully sent
+      before dying are honored, its unfinished run requeues to the
+      survivors, and — under the policy's ``respawn`` — a replacement
+      spawns.
+    * **Heartbeats**: workers beat over their pipes from a dedicated
+      thread, so a *wedged* worker (process alive, GIL pinned, nothing
+      moving) is detected by the dispatch-loop supervisor after
+      ``heartbeat_miss_limit`` silent intervals, retired, and its run
+      requeued — membership is judged by liveness, not just death.
+    * **Degradation**: when no live worker remains (every respawn
+      failed, or the pool was scaled to zero) pending runs fall back to
+      the ``inline_runner`` — in-process solving in the parent — warned
+      once and counted in :attr:`degraded_runs`, so the service answers
+      slowly instead of never.
+
+    :meth:`scale_to` resizes membership at runtime within the policy's
+    ``[min_workers, max_workers]`` bounds: growth spawns and immediately
+    rebalances pending runs onto the joiners; shrink retires idle
+    workers outright and marks busy ones *draining* (they finish their
+    current run, then leave).  Every transition lands in the
+    :class:`~repro.workbench.membership.MembershipLog`.
 
     Replacement workers are forked from a parent that by then runs
     server threads — the same pattern ``multiprocessing.Pool`` uses when
     its handler thread respawns workers.  Should a replacement ever
-    wedge on an inherited lock, it answers nothing and trips the
-    server's per-job timeout, which abandons the job and retires the
-    stuck worker (:meth:`abandon`) instead of hanging the client.
+    wedge on an inherited lock, the heartbeat supervisor (or the
+    server's per-job timeout via :meth:`abandon`) retires it instead of
+    hanging the client.
     """
 
     def __init__(
@@ -259,8 +372,15 @@ class WorkerPool:
         workers: int = 2,
         store_root: str | None = None,
         mp_context=None,
+        policy: ElasticPolicy | None = None,
+        inline_runner=None,
+        job_runner=None,
+        fork_fd_snapshot=None,
     ) -> None:
-        if workers < 1:
+        self.policy = policy if policy is not None else ElasticPolicy()
+        if workers < 1 and (
+            self.policy.min_workers > 0 or inline_runner is None
+        ):
             raise ValueError("worker pool needs at least one worker")
         if mp_context is None:
             methods = multiprocessing.get_all_start_methods()
@@ -268,6 +388,11 @@ class WorkerPool:
             mp_context = multiprocessing.get_context(method)
         self._ctx = mp_context
         self._store_root = store_root
+        self._inline_runner = inline_runner
+        self._job_runner = job_runner
+        # Owner-supplied callable returning fds (listener, client
+        # connections) a freshly forked worker must close immediately.
+        self._fork_fd_snapshot = fork_fd_snapshot
         self._lock = threading.RLock()
         self._pending: deque[_Job] = deque()
         self._jobs: dict[int, _Job] = {}
@@ -275,10 +400,15 @@ class WorkerPool:
         self._next_wid = 0
         self._next_job_id = 0
         self._closed = False
+        self._target = self.policy.clamp(workers)
         self.jobs_requeued = 0
         self.workers_respawned = 0
+        self.degraded_runs = 0
+        self._degraded_active = False
+        self.membership = MembershipLog()
+        self.heartbeats = HeartbeatMonitor(self.policy.heartbeat_timeout)
         with self._lock:
-            for _ in range(workers):
+            for _ in range(self._target):
                 self._spawn_locked()
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="pool-dispatch", daemon=True
@@ -287,11 +417,37 @@ class WorkerPool:
 
     # -- lifecycle ---------------------------------------------------------
 
+    @property
+    def target(self) -> int:
+        """The desired live-worker count (set by :meth:`scale_to`)."""
+        return self._target
+
+    def _live_locked(self) -> list[_WorkerHandle]:
+        return [h for h in self._handles.values() if not h.draining]
+
     def _spawn_locked(self) -> _WorkerHandle:
+        rule = faults.hit("pool.spawn")
+        if rule is not None and rule.action == "raise":
+            raise rule.build_error()
         parent_conn, child_conn = self._ctx.Pipe()
+        plan = faults.active_plan()
+        close_fds: tuple[int, ...] = ()
+        if self._fork_fd_snapshot is not None:
+            try:
+                close_fds = tuple(self._fork_fd_snapshot())
+            except Exception:
+                close_fds = ()
         process = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, self._store_root),
+            args=(
+                child_conn,
+                self._store_root,
+                self._next_wid,
+                self.policy.heartbeat_interval,
+                plan.spec() if plan is not None else None,
+                self._job_runner,
+                close_fds,
+            ),
             daemon=True,
         )
         process.start()
@@ -299,11 +455,118 @@ class WorkerPool:
         handle = _WorkerHandle(self._next_wid, process, parent_conn)
         self._next_wid += 1
         self._handles[handle.wid] = handle
+        self.heartbeats.watch(handle.wid)
+        self.membership.record("join", handle.wid, f"pid {process.pid}")
         return handle
+
+    def _reap(self, handle: _WorkerHandle) -> None:
+        """Join a departed worker's process off the dispatch thread."""
+        threading.Thread(
+            target=handle.process.join, args=(5.0,), daemon=True,
+            name=f"reap-{handle.wid}",
+        ).start()
+
+    def _retire_locked(
+        self, handle: _WorkerHandle, kind: str, detail: str = ""
+    ) -> None:
+        """Graceful leave of an *idle* worker: close its pipe, log it."""
+        self._handles.pop(handle.wid, None)
+        self.heartbeats.forget(handle.wid)
+        self.membership.record(kind, handle.wid, detail)
+        try:
+            handle.conn.send(None)
+        except (BrokenPipeError, OSError, ValueError):
+            pass
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        self._reap(handle)
+
+    def _drain_conn_locked(self, handle: _WorkerHandle) -> None:
+        """Honor results a departing worker fully sent before the end:
+        this is what keeps "no request answered twice" true when a
+        worker dies (or is retired) between send and exit."""
+        while True:
+            try:
+                if not handle.conn.poll(0):
+                    break
+                message = handle.conn.recv()
+            except Exception:
+                break
+            if (
+                isinstance(message, tuple)
+                and message
+                and message[0] == "hb"
+            ):
+                continue
+            self._complete_locked(handle, message)
+
+    def _reconcile_locked(self) -> None:
+        """Make membership match the target: spawn up, drain down,
+        rebalance pending runs, degrade if the pool is empty."""
+        while len(self._live_locked()) < self._target and not self._closed:
+            try:
+                self._spawn_locked()
+            except OSError as exc:
+                self.membership.record("spawn-failed", None, str(exc))
+                break
+        excess = len(self._live_locked()) - self._target
+        if excess > 0:
+            # Newest joiners leave first: the longest-lived workers
+            # carry the warmest session/probe caches.
+            for handle in sorted(
+                self._live_locked(), key=lambda h: -h.wid
+            ):
+                if excess <= 0:
+                    break
+                if handle.current is None:
+                    self._retire_locked(handle, "leave", "scaled down")
+                else:
+                    handle.draining = True
+                    self.membership.record(
+                        "drain", handle.wid, "finishing current run"
+                    )
+                excess -= 1
+        self._assign_locked()
+
+    def scale_to(self, workers: int) -> int:
+        """Resize the pool at runtime; returns the (clamped) target.
+
+        Growth is immediate (joiners pick up pending runs); shrink is
+        graceful (busy workers drain).  The target is clamped into the
+        policy's ``[min_workers, max_workers]``.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServerError("worker pool is closed")
+            self._target = self.policy.clamp(int(workers))
+            self._reconcile_locked()
+            return self._target
 
     def worker_pids(self) -> list[int]:
         with self._lock:
             return [h.process.pid for h in self._handles.values()]
+
+    def worker_info(self) -> list[WorkerInfo]:
+        """A stats() row per live worker."""
+        now = time.monotonic()
+        with self._lock:
+            rows = []
+            for handle in self._handles.values():
+                last = self.heartbeats.last_beat(handle.wid)
+                rows.append(
+                    WorkerInfo(
+                        wid=handle.wid,
+                        pid=handle.process.pid,
+                        state="draining" if handle.draining else "active",
+                        jobs_done=handle.jobs_done,
+                        last_beat_age=(
+                            None if last is None else round(now - last, 3)
+                        ),
+                    )
+                )
+            return rows
 
     def close(self) -> None:
         with self._lock:
@@ -349,6 +612,10 @@ class WorkerPool:
                 if handle.current is job:
                     stuck = handle
                     break
+            if stuck is not None:
+                self.membership.record(
+                    "retire-stuck", stuck.wid, "job timeout"
+                )
         if stuck is not None:
             stuck.process.terminate()
         if job.error is None and job.result is None:
@@ -369,8 +636,8 @@ class WorkerPool:
     def _assign_locked(self) -> None:
         for handle in list(self._handles.values()):
             if not self._pending:
-                return
-            if handle.current is not None:
+                break
+            if handle.current is not None or handle.draining:
                 continue
             job = self._pending.popleft()
             try:
@@ -381,6 +648,58 @@ class WorkerPool:
                 self._pending.appendleft(job)
                 continue
             handle.current = job
+        self._maybe_degrade_locked()
+
+    # -- degraded (in-process) fallback ------------------------------------
+
+    def _maybe_degrade_locked(self) -> None:
+        """With zero live workers, answer pending runs in process."""
+        if self._handles:
+            if self._degraded_active and self._live_locked():
+                self._degraded_active = False
+                self.membership.record(
+                    "restored", None,
+                    f"{len(self._live_locked())} worker(s) live",
+                )
+            return
+        if self._closed or not self._pending:
+            return
+        if self._inline_runner is None:
+            while self._pending:
+                job = self._pending.popleft()
+                self._jobs.pop(job.job_id, None)
+                job.error = ("ServerError", "no live workers")
+                job.event.set()
+            return
+        if not self._degraded_active:
+            self._degraded_active = True
+            self.membership.record(
+                "degraded", None, "no live workers; solving in-process"
+            )
+            warnings.warn(
+                "partition worker pool has no live workers; "
+                "degrading to in-process solving",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        while self._pending:
+            job = self._pending.popleft()
+            threading.Thread(
+                target=self._run_inline, args=(job,), daemon=True,
+                name=f"degraded-{job.job_id}",
+            ).start()
+
+    def _run_inline(self, job: _Job) -> None:
+        try:
+            result = self._inline_runner(job.payload)
+        except Exception as exc:
+            job.error = (type(exc).__name__, str(exc))
+        else:
+            job.result = result
+        with self._lock:
+            self._jobs.pop(job.job_id, None)
+            self.degraded_runs += 1
+        job.event.set()
 
     # -- dispatch ----------------------------------------------------------
 
@@ -393,10 +712,15 @@ class WorkerPool:
                 sentinel_map = {
                     h.process.sentinel: h for h in self._handles.values()
                 }
+            waitables = list(conn_map) + list(sentinel_map)
+            if not waitables:
+                # Degraded (empty) pool: nothing to watch; idle until a
+                # scale_to() or respawn repopulates membership.
+                time.sleep(0.05)
+                self._supervise()
+                continue
             try:
-                ready = mp_connection.wait(
-                    list(conn_map) + list(sentinel_map), timeout=0.1
-                )
+                ready = mp_connection.wait(waitables, timeout=0.1)
             except OSError:
                 ready = []
             for item in ready:
@@ -407,12 +731,57 @@ class WorkerPool:
                     self._on_readable(handle)
                 else:
                     self._on_death(handle)
+            self._supervise()
+
+    def _supervise(self) -> None:
+        """Retire workers whose heartbeats went silent (wedged, not
+        dead: the sentinel never fires for these), requeue their runs,
+        and reconcile membership back to the target."""
+        overdue = self.heartbeats.overdue()
+        if not overdue:
+            return
+        with self._lock:
+            if self._closed:
+                return
+            retired = False
+            for wid in overdue:
+                handle = self._handles.get(wid)
+                if handle is None:
+                    continue
+                retired = True
+                self._handles.pop(wid, None)
+                self.heartbeats.forget(wid)
+                self.membership.record(
+                    "retire-heartbeat", wid,
+                    f"silent past {self.policy.heartbeat_timeout:.1f}s",
+                )
+                self._drain_conn_locked(handle)
+                handle.process.terminate()
+                job = handle.current
+                if job is not None and job.job_id in self._jobs:
+                    self.jobs_requeued += 1
+                    self._pending.appendleft(job)
+                handle.current = None
+                try:
+                    handle.conn.close()
+                except OSError:
+                    pass
+                self._reap(handle)
+            if retired and not self._closed:
+                before = len(self._handles)
+                self._reconcile_locked()
+                self.workers_respawned += max(
+                    len(self._handles) - before, 0
+                )
 
     def _complete_locked(self, handle: _WorkerHandle, message) -> None:
         job_id, status, data = message
+        if not isinstance(job_id, int):
+            return
         job = self._jobs.pop(job_id, None)
         if handle.current is not None and handle.current.job_id == job_id:
             handle.current = None
+            handle.jobs_done += 1
         if job is None:
             return
         if status == "ok":
@@ -427,10 +796,16 @@ class WorkerPool:
         except (EOFError, OSError, pickle.UnpicklingError):
             self._on_death(handle)
             return
+        # Any traffic is a sign of life, heartbeat or reply alike.
+        self.heartbeats.beat(handle.wid)
+        if isinstance(message, tuple) and message and message[0] == "hb":
+            return
         with self._lock:
             if handle.wid not in self._handles:
                 return
             self._complete_locked(handle, message)
+            if handle.draining and handle.current is None:
+                self._retire_locked(handle, "leave", "drained")
             self._assign_locked()
 
     def _on_death(self, handle: _WorkerHandle) -> None:
@@ -438,26 +813,32 @@ class WorkerPool:
             if handle.wid not in self._handles:
                 return
             del self._handles[handle.wid]
+            self.heartbeats.forget(handle.wid)
+            self.membership.record(
+                "death", handle.wid,
+                f"exit code {handle.process.exitcode}",
+            )
             # Results that were fully sent before the crash still count:
             # honoring them is what makes "no request answered twice"
             # hold when a worker dies between send and exit.
-            while True:
-                try:
-                    if not handle.conn.poll(0):
-                        break
-                    message = handle.conn.recv()
-                except Exception:
-                    break
-                self._complete_locked(handle, message)
+            self._drain_conn_locked(handle)
             handle.conn.close()
             job = handle.current
             if job is not None and job.job_id in self._jobs:
                 self.jobs_requeued += 1
                 self._pending.appendleft(job)
             if not self._closed:
-                self._spawn_locked()
-                self.workers_respawned += 1
-                self._assign_locked()
+                if not self.policy.respawn:
+                    # Let the pool drain toward degradation instead of
+                    # healing: the target follows the survivors down.
+                    self._target = max(
+                        len(self._live_locked()), self.policy.min_workers, 0
+                    )
+                before = len(self._handles)
+                self._reconcile_locked()
+                self.workers_respawned += max(
+                    len(self._handles) - before, 0
+                )
         handle.process.join(timeout=1.0)
 
 
@@ -482,6 +863,18 @@ class PartitionServer:
         job_timeout: seconds one sharded run may take before it is
             abandoned (error to the client, stuck worker retired);
             ``None`` waits forever.
+        min_workers, max_workers: elastic bounds for
+            :meth:`scale_to` / the ``scale`` op; ``min_workers=0``
+            permits a fully degraded (in-process) pool.  Defaults:
+            ``min(1, workers)`` and unbounded.
+        heartbeat_interval: seconds between worker heartbeats (``0``
+            disables heartbeating; sentinel death detection remains).
+        heartbeat_miss_limit: silent intervals before a wedged worker
+            is retired and its run requeued.
+        respawn: replace workers that die unexpectedly; with ``False``
+            the pool drains toward in-process degradation instead.
+        fault_plan: a :class:`~repro.workbench.faults.FaultPlan` (or
+            spec) installed at :meth:`start` — chaos testing only.
         result_cache: memoize solved requests (default on).  The cache
             shares the durable store directory, so every worker — and
             every other server process on the same store — serves one
@@ -502,6 +895,12 @@ class PartitionServer:
         mp_context=None,
         job_timeout: float | None = 900.0,
         result_cache: bool = True,
+        min_workers: int | None = None,
+        max_workers: int | None = None,
+        heartbeat_interval: float | None = 1.0,
+        heartbeat_miss_limit: int = 5,
+        respawn: bool = True,
+        fault_plan: "faults.FaultPlan | Mapping[str, Any] | None" = None,
     ) -> None:
         self._host = host
         self._port = port
@@ -511,6 +910,21 @@ class PartitionServer:
         self._store_root = str(store) if store is not None else None
         self._mp_context = mp_context
         self.job_timeout = job_timeout
+        self.policy = ElasticPolicy(
+            min_workers=(
+                min(1, workers) if min_workers is None else min_workers
+            ),
+            max_workers=max_workers,
+            heartbeat_interval=heartbeat_interval,
+            heartbeat_miss_limit=heartbeat_miss_limit,
+            respawn=respawn,
+        )
+        self.fault_plan = (
+            faults.FaultPlan.from_spec(fault_plan)
+            if fault_plan is not None
+            and not isinstance(fault_plan, faults.FaultPlan)
+            else fault_plan
+        )
         self.result_cache: ResultCache | None = (
             ResultCache(self._store_root) if result_cache else None
         )
@@ -537,15 +951,54 @@ class PartitionServer:
             return []
         return self.pool.worker_pids()
 
+    def scale_to(self, workers: int) -> int:
+        """Resize the worker pool at runtime (see
+        :meth:`WorkerPool.scale_to`); returns the clamped target."""
+        if self.pool is None:
+            raise ServerError("server is not started")
+        return self.pool.scale_to(workers)
+
+    def _solve_inline(self, payload: Mapping[str, Any]):
+        """Degraded-mode runner: solve one sharded run in process,
+        against the parent's own store and session cache."""
+        with self._sessions_lock:
+            return _run_job(payload, self._store, self._sessions)
+
+    def _fork_fds(self) -> list[int]:
+        """The socket fds a freshly forked worker must close: the
+        listener and every live client connection (inherited copies
+        would keep torn-down connections from ever delivering EOF)."""
+        fds: list[int] = []
+        if self._listener is not None:
+            try:
+                fds.append(self._listener.fileno())
+            except OSError:
+                pass
+        with self._conn_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                fd = conn.fileno()
+            except OSError:
+                continue
+            if fd >= 0:
+                fds.append(fd)
+        return fds
+
     def start(self) -> tuple[str, int]:
         """Spawn the pool, bind, and begin accepting; returns the address."""
         if self._listener is not None:
             return self.address
+        if self.fault_plan is not None:
+            faults.install(self.fault_plan)
         # Workers fork before any server thread exists.
         self.pool = WorkerPool(
             self.workers,
             store_root=self._store_root,
             mp_context=self._mp_context,
+            policy=self.policy,
+            inline_runner=self._solve_inline,
+            fork_fd_snapshot=self._fork_fds,
         )
         self._listener = socket.create_server(
             (self._host, self._port), backlog=16
@@ -645,11 +1098,37 @@ class PartitionServer:
                     "respawned": (
                         self.pool.workers_respawned if self.pool else 0
                     ),
+                    "degraded_runs": (
+                        self.pool.degraded_runs if self.pool else 0
+                    ),
                     "cache_hits": cache.stats.hits if cache else 0,
                     "cache_misses": cache.stats.misses if cache else 0,
                     "cache_stores": cache.stats.stores if cache else 0,
                 },
             )
+        elif op == "stats":
+            send_message(stream, self._stats_payload())
+        elif op == "scale":
+            try:
+                target = self.scale_to(int(document.get("workers", 0)))
+            except (ServerError, ValueError) as exc:
+                send_message(
+                    stream,
+                    {
+                        "ok": False,
+                        "kind": type(exc).__name__,
+                        "error": str(exc),
+                    },
+                )
+            else:
+                send_message(
+                    stream,
+                    {
+                        "ok": True,
+                        "target": target,
+                        "workers": len(self.worker_pids()),
+                    },
+                )
         elif op == "scenarios":
             send_message(
                 stream,
@@ -669,6 +1148,38 @@ class PartitionServer:
                     "error": f"unknown op {op!r}",
                 },
             )
+
+    def _stats_payload(self) -> dict[str, Any]:
+        """The ``stats`` op's reply: membership, cache, store, faults."""
+        pool = self.pool
+        cache = self.result_cache
+        payload: dict[str, Any] = {
+            "ok": True,
+            "workers": len(self.worker_pids()),
+            "target": pool.target if pool else 0,
+            "requeued": pool.jobs_requeued if pool else 0,
+            "respawned": pool.workers_respawned if pool else 0,
+            "degraded_runs": pool.degraded_runs if pool else 0,
+            "membership": (
+                pool.membership.to_payload()
+                if pool
+                else {"counters": {}, "events": []}
+            ),
+            "worker_info": (
+                [w.to_payload() for w in pool.worker_info()] if pool else []
+            ),
+            "cache": {
+                "hits": cache.stats.hits if cache else 0,
+                "misses": cache.stats.misses if cache else 0,
+                "stores": cache.stats.stores if cache else 0,
+                "store_errors": cache.stats.store_errors if cache else 0,
+            },
+            "store": {
+                "write_errors": self._store.stats.write_errors,
+            },
+            "faults": asdict(faults.stats()),
+        }
+        return payload
 
     # -- partition_many ----------------------------------------------------
 
@@ -868,6 +1379,17 @@ class ServerClient:
     :attr:`~PartitionServer.address`.  ``connect_timeout`` retries the
     initial connection, so a client can be started alongside a server
     that is still binding.
+
+    Transport failures (a reset connection, a dead server, a torn
+    frame) surface as :class:`ServerUnavailable` — never a raw
+    ``ConnectionResetError``/``BrokenPipeError`` — and are retried up
+    to ``retries`` times with exponential backoff plus jitter, over a
+    fresh connection each time.  Retrying a ``partition_many`` is safe
+    because the server's result cache makes re-sent requests
+    idempotent: a batch that solved before the failure is answered
+    from cache, not solved twice.  *Application* errors reported by
+    the server (infeasible request, unknown scenario) are never
+    retried.
     """
 
     def __init__(
@@ -875,35 +1397,71 @@ class ServerClient:
         address: Any,
         timeout: float | None = 300.0,
         connect_timeout: float = 10.0,
+        retries: int = 2,
+        backoff: float = 0.1,
+        stats_timeout: float = 5.0,
     ) -> None:
-        host, port = _parse_address(address)
-        deadline = time.monotonic() + connect_timeout
-        while True:
-            try:
-                self._sock = socket.create_connection(
-                    (host, port), timeout=timeout
-                )
-                break
-            except OSError:
-                if time.monotonic() >= deadline:
-                    raise ServerError(
-                        f"cannot connect to partition server at "
-                        f"{host}:{port}"
-                    ) from None
-                time.sleep(0.05)
-        self._stream = self._sock.makefile("rwb")
+        self._host, self._port = _parse_address(address)
+        self._timeout = timeout
+        self._connect_timeout = connect_timeout
+        self.retries = max(int(retries), 0)
+        self.backoff = backoff
+        self.stats_timeout = stats_timeout
+        self._sock: socket.socket | None = None
+        self._stream = None
         self._lock = threading.Lock()
+        #: Transport failures that were recovered by reconnect+retry.
+        self.transport_retries = 0
         #: Result-cache counters from the most recent
         #: :meth:`partition_many` acknowledgement (the CLI's
         #: ``--stats`` source).
         self.last_batch_stats: dict[str, int] = {}
+        self._connect()
+
+    # -- connection management ---------------------------------------------
+
+    def _connect(self) -> None:
+        """(Re)establish the connection; raises ServerUnavailable."""
+        self._disconnect()
+        deadline = time.monotonic() + self._connect_timeout
+        while True:
+            try:
+                self._sock = socket.create_connection(
+                    (self._host, self._port), timeout=self._timeout
+                )
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise ServerUnavailable(
+                        f"cannot connect to partition server at "
+                        f"{self._host}:{self._port}"
+                    ) from None
+                time.sleep(0.05)
+        self._stream = self._sock.makefile("rwb")
+
+    def _disconnect(self) -> None:
+        if self._stream is not None:
+            try:
+                self._stream.close()
+            except OSError:
+                pass
+            self._stream = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _backoff_sleep(self, attempt: int) -> None:
+        """Exponential backoff with jitter, capped at ~5 s."""
+        if self.backoff <= 0:
+            return
+        delay = min(self.backoff * (2**attempt), 5.0)
+        time.sleep(delay * (0.5 + random.random()))
 
     def close(self) -> None:
-        try:
-            self._stream.close()
-        except OSError:
-            pass
-        self._sock.close()
+        self._disconnect()
 
     def __enter__(self) -> "ServerClient":
         return self
@@ -914,24 +1472,94 @@ class ServerClient:
     # -- plumbing ----------------------------------------------------------
 
     def _recv(self) -> tuple[dict[str, Any], dict]:
-        message = recv_message(self._stream)
+        try:
+            message = recv_message(self._stream)
+        except (FrameError, OSError) as exc:
+            raise ServerUnavailable(
+                f"connection to partition server failed mid-reply: {exc}"
+            ) from exc
         if message is None:
-            raise ServerError("server closed the connection")
+            raise ServerUnavailable("server closed the connection")
         return message
+
+    def _send(self, document, arrays=None) -> None:
+        try:
+            send_message(self._stream, document, arrays)
+        except (FrameError, OSError) as exc:
+            raise ServerUnavailable(
+                f"connection to partition server failed mid-send: {exc}"
+            ) from exc
 
     def _call(self, document: Mapping[str, Any]) -> dict[str, Any]:
         with self._lock:
-            send_message(self._stream, document)
-            reply, _ = self._recv()
+            reply = self._exchange(document)
         if not reply.get("ok"):
             _raise_remote(reply)
         return reply
+
+    def _exchange(self, document: Mapping[str, Any]) -> dict[str, Any]:
+        """One request/reply round trip with reconnect+retry.
+
+        Caller holds ``self._lock``.  Transport failures retry on a
+        fresh connection; the last failure propagates as
+        :class:`ServerUnavailable`.
+        """
+        last: ServerUnavailable | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self.transport_retries += 1
+                self._backoff_sleep(attempt - 1)
+            try:
+                if self._stream is None:
+                    self._connect()
+                self._send(document)
+                reply, _ = self._recv()
+                return reply
+            except ServerUnavailable as exc:
+                last = exc
+                self._disconnect()
+        assert last is not None
+        raise last
 
     # -- operations --------------------------------------------------------
 
     def ping(self) -> dict[str, Any]:
         """Liveness + pool stats (worker count, requeues, respawns)."""
         return self._call({"op": "ping"})
+
+    def stats(self, timeout: float | None = None) -> dict[str, Any]:
+        """Membership, cache, store, and fault counters.
+
+        Uses a short dedicated socket timeout (``stats_timeout`` or the
+        ``timeout`` argument) so a closing or wedged server yields a
+        typed :class:`ServerUnavailable` quickly instead of hanging for
+        the client's full request timeout.  Never retried: stats are a
+        point-in-time observation.
+        """
+        budget = self.stats_timeout if timeout is None else timeout
+        with self._lock:
+            if self._stream is None:
+                self._connect()
+            assert self._sock is not None
+            previous = self._sock.gettimeout()
+            self._sock.settimeout(budget)
+            try:
+                self._send({"op": "stats"})
+                reply, _ = self._recv()
+            except (ServerUnavailable, OSError) as exc:
+                self._disconnect()
+                raise ServerUnavailable(
+                    f"stats request failed within {budget}s: {exc}"
+                ) from exc
+            else:
+                self._sock.settimeout(previous)
+        if not reply.get("ok"):
+            _raise_remote(reply)
+        return reply
+
+    def scale(self, workers: int) -> dict[str, Any]:
+        """Ask the server to resize its pool; returns target + live."""
+        return self._call({"op": "scale", "workers": int(workers)})
 
     def scenarios(self) -> list[str]:
         return list(self._call({"op": "scenarios"})["scenarios"])
@@ -964,30 +1592,51 @@ class ServerClient:
             "skip_infeasible": skip_infeasible,
             "requests": [r.to_payload() for r in request_objs],
         }
+        graph = None
         with self._lock:
-            send_message(self._stream, document)
-            ack, _ = self._recv()
-            if not ack.get("ok"):
-                _raise_remote(ack)
-            count = int(ack["count"])
-            served_platform = ack.get("platform")
-            self.last_batch_stats = {
-                "cache_hits": int(ack.get("cache_hits", 0)),
-                "cache_misses": int(ack.get("cache_misses", 0)),
-            }
-            scenario_obj = get_scenario(scenario)
-            graph = scenario_obj.build(
-                scenario_obj.resolve_params(params or {})
-            )
-            results: list[PartitionResult | None] = [None] * count
-            for _ in range(count):
-                body, arrays = self._recv()
-                index = int(body["index"])
-                payload = body.get("result")
-                if payload is not None:
-                    results[index] = artifacts.from_document(
-                        payload, arrays, graph
-                    )
+            # The whole exchange (request, ack, result stream) retries
+            # as a unit: a batch cut off mid-stream is re-sent on a
+            # fresh connection, and the server's result cache answers
+            # the already-solved requests without solving them again.
+            last: ServerUnavailable | None = None
+            for attempt in range(self.retries + 1):
+                if attempt:
+                    self.transport_retries += 1
+                    self._backoff_sleep(attempt - 1)
+                try:
+                    if self._stream is None:
+                        self._connect()
+                    self._send(document)
+                    ack, _ = self._recv()
+                    if not ack.get("ok"):
+                        _raise_remote(ack)
+                    count = int(ack["count"])
+                    served_platform = ack.get("platform")
+                    self.last_batch_stats = {
+                        "cache_hits": int(ack.get("cache_hits", 0)),
+                        "cache_misses": int(ack.get("cache_misses", 0)),
+                    }
+                    if graph is None:
+                        scenario_obj = get_scenario(scenario)
+                        graph = scenario_obj.build(
+                            scenario_obj.resolve_params(params or {})
+                        )
+                    results: list[PartitionResult | None] = [None] * count
+                    for _ in range(count):
+                        body, arrays = self._recv()
+                        index = int(body["index"])
+                        payload = body.get("result")
+                        if payload is not None:
+                            results[index] = artifacts.from_document(
+                                payload, arrays, graph
+                            )
+                    break
+                except ServerUnavailable as exc:
+                    last = exc
+                    self._disconnect()
+            else:
+                assert last is not None
+                raise last
         for request, result in zip(request_objs, results):
             if result is not None:
                 # Reattach serving context (the artifact does not carry

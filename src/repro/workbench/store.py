@@ -68,6 +68,7 @@ class StoreStats:
     hits: int = 0
     misses: int = 0
     disk_hits: int = 0
+    write_errors: int = 0
 
 
 def touch_entry(path: Path) -> None:
@@ -166,7 +167,15 @@ class ProfileStore:
     def _store_entry(self, key: str, obj: Any, graph_ref) -> _CacheEntry:
         document, arrays = artifacts.to_document(obj, graph_ref)
         if self.root is not None:
-            artifacts.write_document(self._path_for(key), document, arrays)
+            try:
+                artifacts.write_document(
+                    self._path_for(key), document, arrays
+                )
+            except OSError:
+                # A failed durable write costs persistence, not
+                # correctness: the in-memory entry still serves this
+                # process, and the next process re-profiles.
+                self.stats.write_errors += 1
         entry = _CacheEntry(document=document, arrays=arrays)
         self._memory[key] = entry
         return entry

@@ -118,3 +118,102 @@ def test_truncated_array_frame_raises_typed_error():
     blob = pack_arrays({"a0": np.arange(64, dtype=np.float64)})
     with pytest.raises(FrameError, match="corrupt array sidecar"):
         unpack_arrays(blob[: len(blob) // 2])
+
+
+def test_oversized_write_rejected_before_any_byte():
+    """The write side enforces the frame bound too — and leaves the
+    stream untouched when it rejects."""
+    from repro.runtime.frames import MAX_FRAME_BYTES
+
+    class Huge(bytes):
+        # A bytes subclass lying about its length: exercises the size
+        # check without allocating a real 1 GiB payload.
+        def __len__(self):
+            return MAX_FRAME_BYTES + 1
+
+    stream = io.BytesIO()
+    with pytest.raises(FrameError, match="exceeds"):
+        write_frame(stream, Huge(b"x"))
+    assert stream.getvalue() == b""
+
+
+def test_mid_prefix_eof_raises():
+    """A stream ending inside the 4-byte length prefix is truncation,
+    not clean EOF."""
+    for cut in (1, 2, 3):
+        stream = io.BytesIO(LENGTH_PREFIX.pack(5)[:cut])
+        with pytest.raises(FrameError, match="truncated"):
+            read_frame(stream)
+
+
+def test_mid_frame_eof_consumes_nothing_after_error():
+    """Truncation inside a payload raises without leaking a partial
+    read back to the caller (the stream is simply exhausted)."""
+    stream = io.BytesIO(LENGTH_PREFIX.pack(10) + b"abc")
+    with pytest.raises(FrameError, match="expected 10 bytes, got 3"):
+        read_frame(stream)
+    assert stream.read() == b""
+
+
+def test_mid_array_frame_eof_raises():
+    """EOF inside the npz sidecar frame of a message is typed."""
+    buffer = io.BytesIO()
+    send_message(buffer, {"k": 1}, {"x": np.arange(8)})
+    wire = buffer.getvalue()
+    stream = io.BytesIO(wire[:-7])  # cut inside the array frame
+    with pytest.raises(FrameError, match="truncated frame"):
+        recv_message(stream)
+
+
+def test_fault_hook_drop_and_truncate_raise_injected_fault():
+    from repro.runtime import frames
+    from repro.runtime.frames import InjectedFault
+
+    class Rule:
+        def __init__(self, action, delay=0.0):
+            self.action = action
+            self.delay = delay
+
+    try:
+        frames.set_fault_hook(lambda site: Rule("drop"))
+        stream = io.BytesIO()
+        with pytest.raises(InjectedFault):
+            send_message(stream, {"k": 1})
+        assert stream.getvalue() == b""  # nothing escaped
+
+        frames.set_fault_hook(lambda site: Rule("truncate"))
+        stream = io.BytesIO()
+        with pytest.raises(InjectedFault):
+            send_message(stream, {"k": 1})
+        # A half-written document frame: the receiver sees truncation.
+        stream.seek(0)
+        with pytest.raises(FrameError):
+            recv_message(stream)
+    finally:
+        frames.set_fault_hook(None)
+    assert isinstance(InjectedFault("x"), OSError)
+
+
+def test_fault_hook_corrupt_keeps_stream_aligned():
+    """A corrupted document frame fails typed at the receiver, and the
+    *next* message on the stream is still readable."""
+    from repro.runtime import frames
+
+    class Rule:
+        action = "corrupt"
+        delay = 0.0
+
+    fire = iter([Rule(), None])
+    try:
+        frames.set_fault_hook(lambda site: next(fire))
+        stream = io.BytesIO()
+        send_message(stream, {"seq": 1})
+        send_message(stream, {"seq": 2})
+    finally:
+        frames.set_fault_hook(None)
+    stream.seek(0)
+    with pytest.raises(FrameError, match="malformed document frame"):
+        recv_message(stream)
+    document, arrays = recv_message(stream)
+    assert document == {"seq": 2}
+    assert arrays == {}

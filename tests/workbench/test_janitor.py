@@ -115,6 +115,55 @@ def test_grace_window_protects_fresh_garbage(tmp_path):
     assert gc.removed_orphan_sidecars == 1
 
 
+def test_grace_edge_entry_is_kept(tmp_path):
+    """An entry whose mtime sits *exactly* at the grace cutoff is still
+    inside its window and must be kept; one tick older is garbage."""
+    store = ProfileStore(tmp_path)
+    store.put("edge", _payload())
+    (entry,) = _entry_paths(tmp_path)
+    orphan = tmp_path / f"{entry.name}.0123456789abcdef.npz"
+    orphan.write_bytes(b"write race loser at the edge")
+
+    now = time.time()
+    grace = 60.0
+    stamp = now - grace  # exactly the cutoff
+    os.utime(orphan, (stamp, stamp))
+    gc = StoreJanitor(tmp_path, grace_seconds=grace).sweep(now=now)
+    assert gc.removed_orphan_sidecars == 0
+    assert orphan.exists()
+
+    # The barest step past the edge makes it removable.
+    stamp = now - grace - 0.5
+    os.utime(orphan, (stamp, stamp))
+    gc = StoreJanitor(tmp_path, grace_seconds=grace).sweep(now=now)
+    assert gc.removed_orphan_sidecars == 1
+    assert not orphan.exists()
+
+
+def test_grace_edge_ttl_entry_is_kept(tmp_path):
+    """TTL expiry honors the same strict grace edge for live entries."""
+    store = ProfileStore(tmp_path)
+    store.put("edge", _payload())
+    (entry,) = _entry_paths(tmp_path)
+    now = time.time()
+    grace = 60.0
+    stamp = now - grace
+    os.utime(entry, (stamp, stamp))
+    npz = json.loads(entry.read_text()).get("npz")
+    if npz:
+        os.utime(entry.with_name(npz), (stamp, stamp))
+
+    # Well past its TTL, but exactly at the grace edge: kept.
+    gc = StoreJanitor(tmp_path, ttl=1.0, grace_seconds=grace).sweep(now=now)
+    assert gc.removed_expired == 0
+    assert entry.exists()
+
+    stamp = now - grace - 0.5
+    os.utime(entry, (stamp, stamp))
+    gc = StoreJanitor(tmp_path, ttl=1.0, grace_seconds=grace).sweep(now=now)
+    assert gc.removed_expired == 1
+
+
 def test_ttl_expiry(tmp_path):
     store = ProfileStore(tmp_path)
     store.put("old", _payload(0))

@@ -468,3 +468,100 @@ def test_budget_runs_split_at_budget_boundaries():
     resolved = {0: (1.0, 10.0), 1: (1.0, 10.0), 2: (0.9, 10.0), 3: (0.9, 20.0)}
     assert _budget_runs([0, 1, 2, 3], resolved) == [[0, 1], [2], [3]]
     assert _budget_runs([], resolved) == []
+
+
+# ---------------------------------------------------------------------------
+# Client transport errors: typed, retried, never hung
+# ---------------------------------------------------------------------------
+
+
+def test_client_raises_typed_error_after_server_close(store_dir):
+    """A dead server surfaces as ServerUnavailable (a ServerError) —
+    never a raw ConnectionResetError/BrokenPipeError."""
+    from repro.workbench import ServerUnavailable
+
+    with PartitionServer(workers=1, store=store_dir) as srv:
+        client = ServerClient(
+            srv.address, retries=1, backoff=0.01, connect_timeout=0.3
+        )
+    # Server (and its listener) are gone now.
+    try:
+        with pytest.raises(ServerUnavailable):
+            client.ping()
+    finally:
+        client.close()
+    assert issubclass(ServerUnavailable, ServerError)
+
+
+def test_client_retries_recover_from_torn_connection(server):
+    """Tearing the client's socket under it is healed by reconnect +
+    retry; the recovery is counted."""
+    client = ServerClient(server.address, retries=2, backoff=0.01)
+    try:
+        assert client.ping()["ok"]
+        # Kill the transport behind the client's back.
+        client._sock.shutdown(1)  # SHUT_WR: server sees EOF, closes
+        assert client.ping()["ok"]
+        assert client.transport_retries >= 1
+    finally:
+        client.close()
+
+
+def test_remote_application_errors_are_not_retried(server):
+    client = ServerClient(server.address, retries=3, backoff=0.01)
+    try:
+        before = client.transport_retries
+        with pytest.raises(ServerError, match="unknown op"):
+            client._call({"op": "definitely-not-an-op"})
+        assert client.transport_retries == before
+    finally:
+        client.close()
+
+
+def test_stats_times_out_quickly_against_silent_server():
+    """stats() uses its own short timeout: a listener that accepts but
+    never replies yields a typed error fast, not a 300 s hang."""
+    import socket as socket_mod
+
+    from repro.workbench import ServerUnavailable
+
+    listener = socket_mod.create_server(("127.0.0.1", 0), backlog=1)
+    try:
+        client = ServerClient(
+            listener.getsockname(), timeout=300.0, retries=0
+        )
+        try:
+            start = time.monotonic()
+            with pytest.raises(ServerUnavailable, match="stats"):
+                client.stats(timeout=0.5)
+            assert time.monotonic() - start < 5.0
+        finally:
+            client.close()
+    finally:
+        listener.close()
+
+
+def test_server_stats_op_reports_membership(server, store_dir):
+    with ServerClient(server.address) as client:
+        stats = client.stats()
+    assert stats["ok"]
+    assert stats["workers"] == 2
+    assert stats["target"] == 2
+    assert stats["membership"]["counters"]["joined"] >= 2
+    assert len(stats["worker_info"]) == 2
+    assert {row["state"] for row in stats["worker_info"]} == {"active"}
+    assert "faults" in stats and stats["faults"]["rules"] == 0
+
+
+def test_scale_op_resizes_pool(store_dir):
+    with PartitionServer(
+        workers=1, store=store_dir, max_workers=3
+    ) as srv:
+        with ServerClient(srv.address) as client:
+            reply = client.scale(3)
+            assert reply["target"] == 3
+            deadline = time.monotonic() + 10.0
+            while len(srv.worker_pids()) < 3:
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+            assert client.scale(1)["target"] == 1
