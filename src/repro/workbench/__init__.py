@@ -26,6 +26,10 @@ an embeddable service API:
 * :mod:`~repro.workbench.membership` — :class:`ElasticPolicy` and the
   heartbeat/membership primitives behind the server's elastic,
   self-healing worker pool (``repro serve --min-workers/--max-workers``);
+* :mod:`~repro.workbench.replication` — :class:`ReplicatedStore`:
+  consistent-hash placement of store/cache entries across N backend
+  directories with R-way replication, quorum writes, read-repair, and
+  anti-entropy (``repro store ring add|remove|status``);
 * :mod:`~repro.workbench.faults` — the deterministic fault-injection
   (chaos) subsystem: a seeded :class:`FaultPlan` of scheduled worker
   kills, heartbeat stalls, frame drops/corruption, and store-write
@@ -55,6 +59,12 @@ from .membership import (
     HeartbeatMonitor,
     MembershipEvent,
     MembershipLog,
+)
+from .replication import (
+    HashRing,
+    ReplicatedStore,
+    ReplicationStats,
+    as_layout,
 )
 from .scenarios import (
     Scenario,
@@ -86,6 +96,7 @@ __all__ = [
     "FaultPlanError",
     "FaultRule",
     "GCStats",
+    "HashRing",
     "HeartbeatMonitor",
     "MembershipEvent",
     "MembershipLog",
@@ -94,6 +105,8 @@ __all__ = [
     "PartitionService",
     "ProfileStore",
     "RateSearchRequest",
+    "ReplicatedStore",
+    "ReplicationStats",
     "ResultCache",
     "ResultCacheStats",
     "SCHEMA_VERSION",
@@ -105,6 +118,7 @@ __all__ = [
     "StoreJanitor",
     "StoreStats",
     "WorkbenchError",
+    "as_layout",
     "canonical_json",
     "from_json",
     "get_scenario",

@@ -689,7 +689,9 @@ def from_json(text: str, graph: StreamGraph | None = None) -> Any:
     return from_document(document, arrays, graph)
 
 
-def write_document(path, document: dict[str, Any], arrays, indent=None):
+def write_document(
+    path, document: dict[str, Any], arrays, indent=None, backend=None
+):
     """Write a document + npz sidecar to disk (the on-disk convention).
 
     The sidecar lands first and both files appear via write-then-rename,
@@ -713,7 +715,10 @@ def write_document(path, document: dict[str, Any], arrays, indent=None):
     # Chaos-only hook: a scheduled ``store.write`` fault raises (or
     # delays) here, before any byte lands — exercising every caller's
     # failed-durable-write path.  No-op without an installed plan.
-    faults.maybe_raise("store.write")
+    # ``backend`` scopes the occurrence counter per replica when a
+    # ReplicatedStore is the caller, so one failing backend can be
+    # scheduled without touching its siblings.
+    faults.maybe_raise("store.write", backend=backend)
 
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)

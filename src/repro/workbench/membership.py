@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 
@@ -155,6 +155,8 @@ class MembershipStats:
     retired_stuck: int = 0
     spawn_failures: int = 0
     degraded_entries: int = 0
+    store_degraded: int = 0
+    store_restored: int = 0
     events: int = 0
 
 
@@ -173,6 +175,10 @@ class MembershipLog:
         "retire-stuck": "retired_stuck",
         "spawn-failed": "spawn_failures",
         "degraded": "degraded_entries",
+        # Replicated-store backend health (see workbench.replication):
+        # a backend starts failing writes / serves again.
+        "store-degraded": "store_degraded",
+        "store-restored": "store_restored",
     }
 
     def __init__(self, max_events: int = 1024) -> None:

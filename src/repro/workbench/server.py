@@ -66,6 +66,7 @@ from .membership import (
     MembershipLog,
     WorkerInfo,
 )
+from .replication import ReplicatedStore, as_layout
 from .scenarios import WorkbenchError, get_scenario, list_scenarios
 from .session import (
     PartitionRequest,
@@ -208,7 +209,7 @@ def _run_job(
 
 def _worker_main(
     conn,
-    store_root: str | None,
+    store_root: "str | Mapping[str, Any] | None",
     wid: int = 0,
     heartbeat_interval: float | None = 1.0,
     plan_spec: Mapping[str, Any] | None = None,
@@ -370,7 +371,7 @@ class WorkerPool:
     def __init__(
         self,
         workers: int = 2,
-        store_root: str | None = None,
+        store_root: "str | Mapping[str, Any] | None" = None,
         mp_context=None,
         policy: ElasticPolicy | None = None,
         inline_runner=None,
@@ -907,7 +908,19 @@ class PartitionServer:
         self.workers = workers
         self.ship_probes = ship_probes
         self.default_platform = default_platform
-        self._store_root = str(store) if store is not None else None
+        # ``store`` accepts every layout shape (a directory, a
+        # ``dir1,dir2`` ring, ``@manifest.json``, a spec mapping, a
+        # layout instance).  The parent keeps the layout object — the
+        # result cache below shares it, counters and all — while
+        # workers receive the picklable spec and rebuild their own
+        # view at spawn (placement is deterministic, so all views
+        # agree on where every entry lives).
+        self._store_layout = as_layout(store)
+        self._store_root = (
+            self._store_layout.spec()
+            if self._store_layout is not None
+            else None
+        )
         self._mp_context = mp_context
         self.job_timeout = job_timeout
         self.policy = ElasticPolicy(
@@ -926,9 +939,9 @@ class PartitionServer:
             else fault_plan
         )
         self.result_cache: ResultCache | None = (
-            ResultCache(self._store_root) if result_cache else None
+            ResultCache(self._store_layout) if result_cache else None
         )
-        self._store = ProfileStore(self._store_root)
+        self._store = ProfileStore(self._store_layout)
         self._sessions: dict[str, Session] = {}
         self._sessions_lock = threading.Lock()
         self.pool: WorkerPool | None = None
@@ -1000,6 +1013,15 @@ class PartitionServer:
             inline_runner=self._solve_inline,
             fork_fd_snapshot=self._fork_fds,
         )
+        if isinstance(self._store_layout, ReplicatedStore):
+            # Backend health transitions (a replica starts failing
+            # writes, or serves again) land in the same membership log
+            # worker churn does: losing a store backend degrades to
+            # surviving replicas — counted, never fatal.
+            membership = self.pool.membership
+            self._store_layout.on_event = (
+                lambda kind, detail: membership.record(kind, None, detail)
+            )
         self._listener = socket.create_server(
             (self._host, self._port), backlog=16
         )
@@ -1176,6 +1198,11 @@ class PartitionServer:
             },
             "store": {
                 "write_errors": self._store.stats.write_errors,
+                "replication": (
+                    self._store_layout.stats_payload()
+                    if isinstance(self._store_layout, ReplicatedStore)
+                    else None
+                ),
             },
             "faults": asdict(faults.stats()),
         }

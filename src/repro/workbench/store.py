@@ -30,7 +30,6 @@ from __future__ import annotations
 import copy
 import hashlib
 import json
-import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping
@@ -38,6 +37,7 @@ from typing import Any, Mapping
 from ..dataflow.graph import StreamGraph
 from ..profiler.profiler import Measurement, Profiler
 from . import artifacts
+from .replication import SingleLayout, as_layout
 from .scenarios import Scenario, WorkbenchError, get_scenario
 
 #: Profiler settings participating in the content key, with the
@@ -97,12 +97,26 @@ class ProfileStore:
     """Content-hash-keyed storage for profiling measurements + artifacts.
 
     Args:
-        root: directory for durable storage, or ``None`` for a purely
-            in-memory store.  The directory is created lazily.
+        root: where durable entries live — a directory, a
+            ``dir1,dir2`` / ``@manifest.json`` / spec-mapping form
+            naming a :class:`~repro.workbench.replication.ReplicatedStore`
+            ring, an existing layout instance (shared, counters and
+            all), or ``None`` for a purely in-memory store.
+            Directories are created lazily.
     """
 
-    def __init__(self, root: str | Path | None = None) -> None:
-        self.root = Path(root) if root is not None else None
+    def __init__(self, root=None) -> None:
+        self.layout = as_layout(root)
+        # Back-compat: ``root`` stays a Path for the single-directory
+        # layout (and the layout itself for a ring), so callers like
+        # ``ResultCache(store.root)`` keep sharing the same location —
+        # and, for a ring, the same layout instance and counters.
+        if self.layout is None:
+            self.root = None
+        elif isinstance(self.layout, SingleLayout):
+            self.root = self.layout.root
+        else:
+            self.root = self.layout
         self._memory: dict[str, _CacheEntry] = {}
         self.stats = StoreStats()
 
@@ -139,26 +153,23 @@ class ProfileStore:
     # -- low-level payload cache -------------------------------------------
 
     def _path_for(self, key: str) -> Path:
-        assert self.root is not None
-        return self.root / f"{key}.json"
+        assert isinstance(self.layout, SingleLayout)
+        return self.layout.root / f"{key}.json"
 
     def _load_entry(self, key: str) -> _CacheEntry | None:
         entry = self._memory.get(key)
         if entry is not None:
             return entry
-        if self.root is None:
+        if self.layout is None:
             return None
-        path = self._path_for(key)
-        if not path.exists():
+        # The layout degrades truncated/partial/missing entries (and,
+        # for a ring, falls through and read-repairs replicas) — a
+        # bad durable entry is a cache miss, never poison; the
+        # re-profile overwrites it.
+        loaded = self.layout.read(f"{key}.json")
+        if loaded is None:
             return None
-        try:
-            document, arrays = artifacts.read_document(path)
-        except (OSError, ValueError, json.JSONDecodeError, zipfile.BadZipFile):
-            # A truncated/partial entry (e.g. the writing process was
-            # killed) must degrade to a cache miss, not poison every
-            # future run; the re-profile will overwrite it.
-            return None
-        touch_entry(path)
+        document, arrays = loaded
         entry = _CacheEntry(document=document, arrays=arrays)
         self._memory[key] = entry
         self.stats.disk_hits += 1
@@ -166,15 +177,14 @@ class ProfileStore:
 
     def _store_entry(self, key: str, obj: Any, graph_ref) -> _CacheEntry:
         document, arrays = artifacts.to_document(obj, graph_ref)
-        if self.root is not None:
+        if self.layout is not None:
             try:
-                artifacts.write_document(
-                    self._path_for(key), document, arrays
-                )
+                self.layout.write(f"{key}.json", document, arrays)
             except OSError:
-                # A failed durable write costs persistence, not
-                # correctness: the in-memory entry still serves this
-                # process, and the next process re-profiles.
+                # A failed durable write (or unmet replica quorum)
+                # costs persistence, not correctness: the in-memory
+                # entry still serves this process, and the next
+                # process re-profiles.
                 self.stats.write_errors += 1
         entry = _CacheEntry(document=document, arrays=arrays)
         self._memory[key] = entry

@@ -1,0 +1,530 @@
+"""Replicated store internals: ring placement, quorum, repair.
+
+Three layers of pinning:
+
+* :class:`HashRing` determinism and the *ring stability* property
+  (ISSUE 7 satellite): adding or removing one backend relocates only
+  ~1/N of primary placements, and never changes the replica set of a
+  key it did not touch (a set can only *gain* the new backend).
+* :class:`ReplicatedStore` semantics as plain unit tests: quorum
+  accounting, replica fall-through, digest-verified read-repair,
+  off-ring recovery after a resize, anti-entropy re-replication and
+  stray pruning, spec round-trips.
+* The :func:`as_layout` spellings the CLI and server accept.
+
+The end-to-end chaos schedules (byte-identical artifacts under seeded
+replica loss) live in ``test_replication_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workbench import faults
+from repro.workbench.faults import FaultPlan, FaultRule
+from repro.workbench.replication import (
+    HashRing,
+    ReplicatedStore,
+    SingleLayout,
+    as_layout,
+    parse_store_arg,
+    save_manifest,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+# ---------------------------------------------------------------------------
+# HashRing units
+# ---------------------------------------------------------------------------
+
+
+def test_ring_placement_is_deterministic():
+    a = HashRing(["b1", "b2", "b3"])
+    b = HashRing(["b3", "b1", "b2"])  # insertion order is irrelevant
+    for key in (f"entry-{i}.json" for i in range(50)):
+        assert a.replicas_for(key, 2) == b.replicas_for(key, 2)
+
+
+def test_ring_replicas_are_distinct_and_clamped():
+    ring = HashRing(["b1", "b2", "b3"])
+    for key in (f"entry-{i}.json" for i in range(50)):
+        replicas = ring.replicas_for(key, 2)
+        assert len(replicas) == len(set(replicas)) == 2
+        # Asking for more replicas than backends clamps to N.
+        assert sorted(ring.replicas_for(key, 99)) == ["b1", "b2", "b3"]
+
+
+def test_ring_membership_errors():
+    ring = HashRing(["b1"])
+    with pytest.raises(ValueError, match="already on the ring"):
+        ring.add("b1")
+    with pytest.raises(ValueError, match="is not on the ring"):
+        ring.remove("b2")
+    with pytest.raises(ValueError, match="vnodes"):
+        HashRing(vnodes=0)
+    assert HashRing().replicas_for("anything", 2) == []
+
+
+def test_ring_shares_are_balanced():
+    """Virtual nodes keep per-backend key shares near 1/N."""
+    backends = [f"b{i}" for i in range(4)]
+    ring = HashRing(backends)
+    counts = {b: 0 for b in backends}
+    total = 4000
+    for i in range(total):
+        counts[ring.replicas_for(f"key-{i}", 1)[0]] += 1
+    for backend, count in counts.items():
+        share = count / total
+        assert 0.15 <= share <= 0.35, (backend, share)
+
+
+# ---------------------------------------------------------------------------
+# Ring stability property (seeded Hypothesis sweep)
+# ---------------------------------------------------------------------------
+
+_ring_cases = st.tuples(
+    st.integers(min_value=2, max_value=6),   # existing backends
+    st.integers(min_value=0, max_value=2**32 - 1),  # key-universe seed
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_ring_cases)
+def test_ring_stability_under_add(case):
+    """Adding one backend moves ~1/N of primaries; untouched keys keep
+    their exact replica set, and a touched set only *gains* the new
+    backend (never reshuffles survivors)."""
+    n_backends, seed = case
+    backends = [f"ring-{seed}-b{i}" for i in range(n_backends)]
+    newcomer = f"ring-{seed}-new"
+    keys = [f"key-{seed}-{i}" for i in range(400)]
+
+    before = HashRing(backends)
+    primaries = {k: before.replicas_for(k, 1)[0] for k in keys}
+    sets = {k: before.replicas_for(k, 2) for k in keys}
+
+    after = HashRing(backends)
+    after.add(newcomer)
+
+    moved = sum(
+        1 for k in keys if after.replicas_for(k, 1)[0] != primaries[k]
+    )
+    # Expected fraction is 1/(N+1); allow generous sampling slack but
+    # rule out rehash-everything behaviour (which would move ~N/(N+1)).
+    expected = 1 / (n_backends + 1)
+    assert moved / len(keys) <= expected * 2.5 + 0.05
+
+    for k in keys:
+        new_set = after.replicas_for(k, 2)
+        old_set = sets[k]
+        # A replica set never acquires any backend but the newcomer...
+        assert set(new_set) <= set(old_set) | {newcomer}
+        # ...and a key the newcomer does not claim is fully untouched:
+        # same backends, same order.
+        if newcomer not in new_set:
+            assert new_set == old_set
+
+
+@settings(max_examples=30, deadline=None)
+@given(_ring_cases)
+def test_ring_stability_under_remove(case):
+    """Removing one backend only re-homes the keys it served."""
+    n_backends, seed = case
+    backends = [f"ring-{seed}-b{i}" for i in range(n_backends + 1)]
+    victim = backends[-1]
+    keys = [f"key-{seed}-{i}" for i in range(400)]
+
+    before = HashRing(backends)
+    sets = {k: before.replicas_for(k, 2) for k in keys}
+
+    after = HashRing(backends)
+    after.remove(victim)
+
+    for k in keys:
+        new_set = after.replicas_for(k, 2)
+        old_set = sets[k]
+        if victim not in old_set:
+            assert new_set == old_set
+        else:
+            # The survivors keep their relative order; only the
+            # victim's slot is refilled.
+            survivors = [b for b in old_set if b != victim]
+            assert [b for b in new_set if b in survivors] == survivors
+
+
+# ---------------------------------------------------------------------------
+# ReplicatedStore units
+# ---------------------------------------------------------------------------
+
+
+def _mk_store(tmp_path, n=3, **kwargs) -> ReplicatedStore:
+    return ReplicatedStore(
+        [str(tmp_path / f"b{i}") for i in range(n)], **kwargs
+    )
+
+
+def _doc(tag: float):
+    document = {"kind": "test", "tag": tag}
+    arrays = {"x": np.arange(8, dtype=np.float64) * tag}
+    return document, arrays
+
+
+def _entries(store, name):
+    """Which backends hold ``name``'s JSON body right now."""
+    from pathlib import Path
+
+    return [b for b in store.backends if (Path(b) / name).exists()]
+
+
+def test_write_places_replicas_and_read_roundtrips(tmp_path):
+    store = _mk_store(tmp_path, replicas=2)
+    document, arrays = _doc(2.0)
+    store.write("entry.json", document, arrays)
+
+    assert sorted(_entries(store, "entry.json")) == sorted(
+        store.replicas_for("entry.json")
+    )
+    got = store.read("entry.json")
+    assert got is not None
+    got_doc, got_arrays = got
+    assert got_doc["tag"] == 2.0
+    np.testing.assert_array_equal(got_arrays["x"], arrays["x"])
+    assert store.stats.writes == 1
+    assert store.stats.reads == 1
+    assert store.stats.read_misses == 0
+
+
+def test_replicas_are_byte_identical(tmp_path):
+    """np.savez determinism makes every replica the same bytes — the
+    invariant read-repair's digest comparison rests on."""
+    from pathlib import Path
+
+    store = _mk_store(tmp_path, replicas=3)
+    document, arrays = _doc(3.0)
+    store.write("entry.json", document, arrays)
+    holders = _entries(store, "entry.json")
+    assert len(holders) == 3
+    bodies = {(Path(b) / "entry.json").read_bytes() for b in holders}
+    assert len(bodies) == 1
+    npz_name = json.loads(bodies.pop())["npz"]
+    sidecars = {(Path(b) / npz_name).read_bytes() for b in holders}
+    assert len(sidecars) == 1
+
+
+def test_quorum_failure_raises_and_counts(tmp_path):
+    store = _mk_store(tmp_path, n=3, replicas=3, write_quorum=3)
+    plan = FaultPlan(
+        [FaultRule(site="store.write", action="raise", count=0)]
+    )
+    document, arrays = _doc(1.0)
+    with faults.injected(plan):
+        with pytest.raises(OSError, match="write quorum not met"):
+            store.write("entry.json", document, arrays)
+    assert store.stats.quorum_failures == 1
+    assert sum(
+        s.write_errors for s in store.per_backend.values()
+    ) == 3
+
+
+def test_quorum_met_with_one_failing_backend(tmp_path):
+    """r=3 q=2: one backend rejecting every write still lets the write
+    (and subsequent reads) succeed — the ISSUE's schedule 3."""
+    store = _mk_store(tmp_path, n=3, replicas=3, write_quorum=2)
+    targets = store.replicas_for("entry.json")
+    bad = store._backend_index[targets[0]]
+    plan = FaultPlan(
+        [
+            FaultRule(
+                site="store.write", action="raise",
+                backend=bad, count=0,
+            )
+        ]
+    )
+    document, arrays = _doc(4.0)
+    with faults.injected(plan):
+        store.write("entry.json", document, arrays)
+    assert store.stats.quorum_failures == 0
+    assert store.per_backend[targets[0]].write_errors == 1
+    assert len(_entries(store, "entry.json")) == 2
+    got = store.read("entry.json")
+    assert got is not None and got[0]["tag"] == 4.0
+
+
+def test_read_falls_through_and_repairs_missing_replica(tmp_path):
+    from pathlib import Path
+
+    store = _mk_store(tmp_path, replicas=2)
+    document, arrays = _doc(5.0)
+    store.write("entry.json", document, arrays)
+    first, second = store.replicas_for("entry.json")
+
+    # Vaporize the first replica (body + sidecar).
+    for victim in Path(first).iterdir():
+        victim.unlink()
+    got = store.read("entry.json")
+    assert got is not None and got[0]["tag"] == 5.0
+    # Read-repair rewrote the dead replica from the survivor...
+    assert (Path(first) / "entry.json").exists()
+    assert store.stats.read_repairs == 1
+    assert store.per_backend[first].read_failures == 1
+    assert store.per_backend[second].reads == 1
+    # ...and the repaired copy serves directly again.
+    assert store.read("entry.json")[0]["tag"] == 5.0
+    assert store.per_backend[first].reads == 1
+
+
+def test_read_detects_silent_corruption_by_digest(tmp_path):
+    """A bit-flipped sidecar fails its content-hash check and the read
+    falls through — no reliance on zip CRCs alone."""
+    from pathlib import Path
+
+    store = _mk_store(tmp_path, replicas=2)
+    document, arrays = _doc(6.0)
+    store.write("entry.json", document, arrays)
+    first = store.replicas_for("entry.json")[0]
+    npz_name = json.loads(
+        (Path(first) / "entry.json").read_text()
+    )["npz"]
+    sidecar = Path(first) / npz_name
+    blob = bytearray(sidecar.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    sidecar.write_bytes(bytes(blob))
+
+    got = store.read("entry.json")
+    assert got is not None and got[0]["tag"] == 6.0
+    np.testing.assert_array_equal(got[1]["x"], arrays["x"])
+    assert store.stats.read_repairs == 1
+    # The repair restored the content-addressed bytes exactly.
+    assert (
+        hashlib_digest(sidecar.read_bytes())
+        == npz_name.rsplit(".", 2)[1]
+    )
+
+
+def hashlib_digest(blob: bytes) -> str:
+    import hashlib
+
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def test_total_miss_returns_none(tmp_path):
+    store = _mk_store(tmp_path, replicas=2)
+    assert store.read("never-written.json") is None
+    assert store.stats.read_misses == 1
+
+
+def test_read_recovers_after_ring_resize(tmp_path):
+    """An entry stranded off-ring by add_backend is found by the
+    recovery scan, served, and re-replicated onto its new home."""
+    store = ReplicatedStore([str(tmp_path / "b0")], replicas=2)
+    document, arrays = _doc(7.0)
+    store.write("entry.json", document, arrays)
+
+    # Grow the ring until the entry's designated set excludes b0.
+    for i in range(1, 9):
+        store.add_backend(str(tmp_path / f"b{i}"))
+        if str(tmp_path / "b0") not in store.replicas_for("entry.json"):
+            break
+    else:
+        pytest.skip("entry never re-homed away from b0")
+
+    got = store.read("entry.json")
+    assert got is not None and got[0]["tag"] == 7.0
+    assert store.stats.recovered_reads == 1
+    # The recovery read re-replicated onto every designated backend.
+    designated = store.replicas_for("entry.json")
+    assert set(designated) <= set(_entries(store, "entry.json"))
+
+
+def test_anti_entropy_re_replicates_after_backend_loss(tmp_path):
+    import shutil
+    from pathlib import Path
+
+    store = _mk_store(tmp_path, replicas=2)
+    names = [f"entry-{i}.json" for i in range(12)]
+    for index, name in enumerate(names):
+        store.write(name, *_doc(float(index)))
+
+    victim = store.backends[0]
+    shutil.rmtree(victim)
+    sweep = store.anti_entropy()
+    assert sweep.scanned_keys == len(names)
+    lost = [n for n in names if victim in store.replicas_for(n)]
+    assert sweep.re_replicated == len(lost)
+    assert sweep.repair_errors == 0
+    # Fully healed: every entry back at its designated replica count.
+    assert store.describe()["under_replicated"] == 0
+    for name in names:
+        got = store.read(name)
+        assert got is not None
+
+
+def test_anti_entropy_prunes_strays_behind_grace(tmp_path):
+    import time as _time
+    from pathlib import Path
+
+    store = _mk_store(tmp_path, n=4, replicas=2)
+    store.write("entry.json", *_doc(8.0))
+    targets = store.replicas_for("entry.json")
+    stray = next(b for b in store.backends if b not in targets)
+    # Hand-plant a stray copy (as a ring resize would leave behind).
+    src = Path(targets[0])
+    Path(stray).mkdir(exist_ok=True)
+    for item in src.iterdir():
+        (Path(stray) / item.name).write_bytes(item.read_bytes())
+
+    now = _time.time()
+    # Inside the grace window: reported in dry-run, not yet pruned.
+    young = store.anti_entropy(grace_seconds=3600, now=now)
+    assert young.pruned == 0
+    old = store.anti_entropy(grace_seconds=0.0, now=now + 10)
+    assert old.pruned == 1
+    assert not (Path(stray) / "entry.json").exists()
+    assert store.describe()["stray_replicas"] == 0
+
+
+def test_anti_entropy_dry_run_changes_nothing(tmp_path):
+    import shutil
+
+    store = _mk_store(tmp_path, replicas=2)
+    store.write("entry.json", *_doc(9.0))
+    victim = store.replicas_for("entry.json")[0]
+    shutil.rmtree(victim)
+    sweep = store.anti_entropy(dry_run=True)
+    assert sweep.dry_run and sweep.re_replicated == 1
+    # Nothing was actually rewritten.
+    assert victim not in _entries(store, "entry.json")
+    assert store.stats.re_replicated == 0
+
+
+def test_delete_removes_every_replica(tmp_path):
+    store = _mk_store(tmp_path, replicas=3)
+    store.write("entry.json", *_doc(10.0))
+    assert len(_entries(store, "entry.json")) == 3
+    reclaimed = store.delete("entry.json")
+    assert reclaimed > 0
+    assert _entries(store, "entry.json") == []
+    assert store.read("entry.json") is None
+    # Anti-entropy cannot resurrect a deleted entry.
+    assert store.anti_entropy().scanned_keys == 0
+
+
+def test_health_events_fire_on_transitions_only(tmp_path):
+    events: list[tuple[str, str]] = []
+    store = _mk_store(tmp_path, n=3, replicas=3, write_quorum=1)
+    store.on_event = lambda kind, detail: events.append((kind, detail))
+    bad_backend = store.backends[0]
+    bad = store._backend_index[bad_backend]
+    plan = FaultPlan(
+        [
+            FaultRule(
+                site="store.write", action="raise",
+                backend=bad, after=0, count=2,
+            )
+        ]
+    )
+    with faults.injected(plan):
+        store.write("e1.json", *_doc(1.0))
+        store.write("e2.json", *_doc(2.0))  # still failing: no new event
+        store.write("e3.json", *_doc(3.0))  # recovers: one restore
+    kinds = [kind for kind, _ in events]
+    assert kinds.count("store-degraded") == 1
+    assert kinds.count("store-restored") == 1
+
+
+def test_stats_payload_and_describe_shapes(tmp_path):
+    store = _mk_store(tmp_path, replicas=2)
+    store.write("entry.json", *_doc(11.0))
+    payload = store.stats_payload()
+    assert payload["writes"] == 1
+    assert payload["write_quorum"] == 2
+    assert len(payload["backends"]) == 3
+    assert all("dir" in row and "failing" in row
+               for row in payload["backends"])
+    health = store.describe()
+    assert health["keys"] == 1
+    assert health["under_replicated"] == 0
+    assert health["stray_replicas"] == 0
+    assert sum(row["entries"] for row in health["backends"]) == 2
+
+
+# ---------------------------------------------------------------------------
+# Spec plumbing: as_layout / parse_store_arg / manifests
+# ---------------------------------------------------------------------------
+
+
+def test_spec_roundtrip(tmp_path):
+    store = _mk_store(tmp_path, replicas=3, write_quorum=2, vnodes=32)
+    clone = ReplicatedStore.from_spec(store.spec())
+    assert clone.backends == store.backends
+    assert clone.replicas == 3
+    assert clone.write_quorum == 2
+    assert clone.vnodes == 32
+    with pytest.raises(ValueError, match="unknown replicated-store"):
+        ReplicatedStore.from_spec({"backends": ["a"], "bogus": 1})
+    with pytest.raises(ValueError, match="needs a 'backends'"):
+        ReplicatedStore.from_spec({})
+
+
+def test_as_layout_forms(tmp_path):
+    assert as_layout(None) is None
+    single = as_layout(str(tmp_path / "one"))
+    assert isinstance(single, SingleLayout)
+    ring = as_layout(f"{tmp_path}/a,{tmp_path}/b")
+    assert isinstance(ring, ReplicatedStore)
+    assert len(ring.backends) == 2
+    # An existing layout passes through *shared*, counters and all.
+    assert as_layout(ring) is ring
+    from_spec = as_layout(ring.spec())
+    assert isinstance(from_spec, ReplicatedStore)
+    assert from_spec.backends == ring.backends
+
+
+def test_manifest_roundtrip(tmp_path):
+    store = _mk_store(tmp_path, replicas=2)
+    manifest = tmp_path / "ring.json"
+    save_manifest(manifest, store)
+    loaded = as_layout(f"@{manifest}")
+    assert isinstance(loaded, ReplicatedStore)
+    assert loaded.backends == store.backends
+    assert loaded.replicas == 2
+
+
+def test_parse_store_arg_overrides(tmp_path):
+    assert parse_store_arg(None) is None
+    assert parse_store_arg(str(tmp_path / "one")) == str(tmp_path / "one")
+    spec = parse_store_arg(
+        f"{tmp_path}/a,{tmp_path}/b,{tmp_path}/c",
+        replicas=3, write_quorum=2,
+    )
+    assert isinstance(spec, dict)
+    assert spec["replicas"] == 3 and spec["write_quorum"] == 2
+    rebuilt = as_layout(spec)
+    assert rebuilt.effective_replicas == 3
+    assert rebuilt.write_quorum == 2
+
+
+def test_constructor_validation(tmp_path):
+    with pytest.raises(ValueError, match=">= 1 backend"):
+        ReplicatedStore([])
+    with pytest.raises(ValueError, match="duplicate backends"):
+        ReplicatedStore([str(tmp_path / "a"), str(tmp_path / "a")])
+    with pytest.raises(ValueError, match="write_quorum must be >= 1"):
+        ReplicatedStore([str(tmp_path / "a")], write_quorum=0)
+    # Quorum is clamped to the effective replica count.
+    store = ReplicatedStore(
+        [str(tmp_path / "a")], replicas=3, write_quorum=3
+    )
+    assert store.effective_replicas == 1
+    assert store.write_quorum == 1

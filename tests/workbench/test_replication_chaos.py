@@ -1,0 +1,459 @@
+"""Seeded replica-loss schedules against the replicated store.
+
+The ISSUE 7 acceptance property: under deterministic
+:class:`~repro.workbench.faults.FaultPlan` schedules involving replica
+loss — a backend deleted mid-batch, a corrupt replica read-repaired, a
+write quorum met with one failing backend, a ring resize mid-batch —
+the served artifacts are *byte-identical in canonical form* to the
+in-process answers, and the hit/miss/repair counters land on exact,
+pinned values.  Plus the durability headline: kill any backend and
+every previously cached key is still readable from the survivors.
+
+Ground truth is computed into a plain single-directory store before
+any ring or plan exists, exactly as in ``test_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.workbench import (
+    FaultPlan,
+    FaultRule,
+    PartitionRequest,
+    PartitionServer,
+    ProfileStore,
+    ServerClient,
+    Session,
+)
+from repro.workbench import faults
+from repro.workbench.artifacts import canonical_json, read_document
+from repro.workbench.cache import RESULT_PREFIX
+from repro.workbench.replication import ReplicatedStore
+
+SCENARIO = "eeg"
+PARAMS = {"n_channels": 3}
+
+
+def replica_batch() -> list[PartitionRequest]:
+    """Four feasible requests plus one hopeless one (the None path)."""
+    requests = [
+        PartitionRequest(
+            rate_factor=rate, cpu_budget=cpu, net_budget=float("inf"),
+            gap_tolerance=5e-3,
+        )
+        for cpu in (1.0, 0.9)
+        for rate in (1.0, 2.0)
+    ]
+    requests.append(
+        PartitionRequest(
+            rate_factor=500000.0, cpu_budget=1e-9, gap_tolerance=5e-3
+        )
+    )
+    return requests
+
+
+@pytest.fixture(scope="module")
+def store_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("replica-chaos-store"))
+
+
+@pytest.fixture(scope="module")
+def ground_truth(store_dir):
+    session = Session(
+        SCENARIO, store=ProfileStore(store_dir), params=PARAMS,
+        result_cache=False,
+    )
+    return session.partition_many(replica_batch(), skip_infeasible=True)
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def assert_equivalent(local_results, served_results):
+    assert len(local_results) == len(served_results)
+    for index, (local, served) in enumerate(
+        zip(local_results, served_results)
+    ):
+        assert (local is None) == (served is None), f"request {index}"
+        if local is None:
+            continue
+        assert np.array_equal(local.solution.x, served.solution.x), (
+            f"request {index}: solution vectors differ"
+        )
+        assert canonical_json(local) == canonical_json(served), (
+            f"request {index}: canonical artifacts differ"
+        )
+
+
+def make_ring(tmp_path, n=3, **kwargs) -> ReplicatedStore:
+    return ReplicatedStore(
+        [str(tmp_path / f"b{i}") for i in range(n)], **kwargs
+    )
+
+
+def warm_profiles(store_dir: str, layout: ReplicatedStore) -> None:
+    """Replicate the shared ground-truth profiles onto the ring, so
+    every chaos run skips re-profiling (fast *and* deterministic)."""
+    for name in sorted(os.listdir(store_dir)):
+        if not name.endswith(".json"):
+            continue
+        document, arrays = read_document(os.path.join(store_dir, name))
+        layout.write(name, dict(document), arrays)
+
+
+def run_cold(layout, requests=None):
+    """Solve the batch through a fresh session over ``layout``; the
+    session (whose result cache shares the layout) is returned so the
+    caller can inspect counters."""
+    session = Session(SCENARIO, store=ProfileStore(layout), params=PARAMS)
+    assert session.result_cache is not None
+    assert session.result_cache.layout is layout  # shared, counters too
+    served = session.partition_many(
+        requests or replica_batch(), skip_infeasible=True
+    )
+    return session, served
+
+
+def run_warm(layout):
+    """Re-serve the batch through a *fresh* session (fresh in-memory
+    caches: every answer must come off the ring's disks)."""
+    return run_cold(layout)
+
+
+def result_names(layout) -> list[str]:
+    return sorted(
+        name for name in layout.entry_names()
+        if name.startswith(RESULT_PREFIX)
+    )
+
+
+# ---------------------------------------------------------------------------
+# The four pinned replica-loss schedules
+# ---------------------------------------------------------------------------
+
+
+def test_schedule_backend_deleted_mid_batch(
+    tmp_path, store_dir, ground_truth
+):
+    """Schedule 1: a backend directory vanishes between the third and
+    fourth request of the cold batch.  Earlier keys lose a replica,
+    later keys write into the recreated directory; the warm batch is
+    answered entirely from disk, byte-identical, and read-repair
+    restores exactly the replicas the loss destroyed."""
+    layout = make_ring(tmp_path, replicas=2)
+    warm_profiles(store_dir, layout)
+    requests = replica_batch()
+
+    # Ground truth must match the split batch composition: batching
+    # affects the solver's path (iteration counts land in the
+    # canonical form), so the reference is solved in the same halves.
+    truth_session = Session(
+        SCENARIO, store=ProfileStore(store_dir), params=PARAMS,
+        result_cache=False,
+    )
+    split_truth = truth_session.partition_many(
+        requests[:3], skip_infeasible=True
+    ) + truth_session.partition_many(requests[3:], skip_infeasible=True)
+
+    cold = Session(SCENARIO, store=ProfileStore(layout), params=PARAMS)
+    first = cold.partition_many(requests[:3], skip_infeasible=True)
+    victim = layout.backends[0]
+    shutil.rmtree(victim)
+    second = cold.partition_many(requests[3:], skip_infeasible=True)
+    assert_equivalent(split_truth, first + second)
+    assert cold.result_cache.stats.stores == len(requests)
+
+    before_repairs = layout.stats.read_repairs
+    before_misses = layout.stats.read_misses  # the cold lookups missed
+    before_victim = set(os.listdir(victim)) if os.path.isdir(victim) else set()
+    warm, served = run_warm(layout)
+    assert_equivalent(split_truth, served)
+    # Every answer came off the ring: all hits, no misses anywhere.
+    assert warm.result_cache.stats.hits == len(requests)
+    assert warm.result_cache.stats.misses == 0
+    assert layout.stats.read_misses == before_misses
+    # Read-repair restored exactly the replicas the deletion destroyed
+    # *and were probed first*: each repair recreates one JSON body (and
+    # its sidecar) in the victim directory.
+    after_victim = set(os.listdir(victim)) if os.path.isdir(victim) else set()
+    recreated = {
+        name for name in after_victim - before_victim
+        if name.endswith(".json")
+    }
+    assert layout.stats.read_repairs - before_repairs == len(recreated)
+    # Anti-entropy finishes the heal: full replica counts everywhere.
+    layout.anti_entropy()
+    assert layout.describe()["under_replicated"] == 0
+
+
+def test_schedule_corrupt_replica_read_repaired(
+    tmp_path, store_dir, ground_truth
+):
+    """Schedule 2: a ``store.read`` corrupt fault poisons exactly one
+    replica probe; the read falls through and repairs exactly once."""
+    layout = make_ring(tmp_path, replicas=2)
+    warm_profiles(store_dir, layout)
+    cold, served = run_cold(layout)
+    assert_equivalent(ground_truth, served)
+    assert cold.result_cache.stats.stores == len(replica_batch())
+
+    # Pin the fault to a backend that is ring-first for at least one
+    # cached result, so the corrupt occurrence lands on a real probe.
+    bad = layout.replicas_for(result_names(layout)[0])[0]
+    plan = FaultPlan(
+        [
+            FaultRule(
+                site="store.read", action="corrupt",
+                backend=layout._backend_index[bad], after=0, count=1,
+            )
+        ]
+    )
+    before_misses = layout.stats.read_misses  # the cold lookups missed
+    before_failures = layout.per_backend[bad].read_failures
+    with faults.injected(plan):
+        warm, served = run_warm(layout)
+    assert_equivalent(ground_truth, served)
+    assert warm.result_cache.stats.hits == len(replica_batch())
+    assert warm.result_cache.stats.misses == 0
+    assert layout.stats.read_misses == before_misses
+    # Exactly one probe was corrupted, so exactly one repair fired.
+    assert layout.stats.read_repairs == 1
+    assert layout.per_backend[bad].read_failures == before_failures + 1
+    assert [f[:2] for f in plan.fired] == [("store.read", "corrupt")]
+
+
+def test_schedule_quorum_met_with_failing_backend(
+    tmp_path, store_dir, ground_truth
+):
+    """Schedule 3: r=3 q=2 with one backend rejecting *every* write.
+    The cold batch lands its quorum each time (no caller ever sees an
+    error), and the warm batch read-repairs the failed backend's
+    missing copies on exactly the keys it was ring-first for."""
+    layout = make_ring(tmp_path, n=3, replicas=3, write_quorum=2)
+    warm_profiles(store_dir, layout)
+    bad = layout.backends[0]
+    plan = FaultPlan(
+        [
+            FaultRule(
+                site="store.write", action="raise",
+                backend=layout._backend_index[bad], count=0,
+            )
+        ]
+    )
+    with faults.injected(plan):
+        cold, served = run_cold(layout)
+    assert_equivalent(ground_truth, served)
+    requests = replica_batch()
+    assert cold.result_cache.stats.stores == len(requests)
+    assert cold.result_cache.stats.store_errors == 0  # quorum always met
+    assert layout.stats.quorum_failures == 0
+    assert layout.per_backend[bad].write_errors == len(requests)
+    missing = [
+        name for name in result_names(layout)
+        if not (Path(bad) / name).exists()
+    ]
+    assert len(missing) == len(requests)
+
+    # Warm, fault cleared: all hits; repairs restore ``bad``'s copies
+    # for exactly the keys whose ring-first replica it is.
+    expected_repairs = sum(
+        1 for name in result_names(layout)
+        if layout.replicas_for(name)[0] == bad
+    )
+    before_misses = layout.stats.read_misses  # the cold lookups missed
+    warm, served = run_warm(layout)
+    assert_equivalent(ground_truth, served)
+    assert warm.result_cache.stats.hits == len(requests)
+    assert warm.result_cache.stats.misses == 0
+    assert layout.stats.read_misses == before_misses
+    assert layout.stats.read_repairs == expected_repairs
+    layout.anti_entropy()
+    assert layout.describe()["under_replicated"] == 0
+
+
+def test_schedule_ring_resize_mid_batch(tmp_path, store_dir, ground_truth):
+    """Schedule 4: a backend joins the live ring between the cold and
+    warm halves.  Re-homed keys are found via fall-through (the old
+    holders are still designated — two replicas can't both move to one
+    newcomer), repaired onto the joiner, and anti-entropy then prunes
+    the stranded strays."""
+    layout = make_ring(tmp_path, n=2, replicas=2)
+    warm_profiles(store_dir, layout)
+    cold, served = run_cold(layout)
+    assert_equivalent(ground_truth, served)
+
+    newcomer = str(tmp_path / "b2")
+    layout.add_backend(newcomer)
+    before_misses = layout.stats.read_misses  # the cold lookups missed
+    warm, served = run_warm(layout)
+    assert_equivalent(ground_truth, served)
+    assert warm.result_cache.stats.hits == len(replica_batch())
+    assert warm.result_cache.stats.misses == 0
+    assert layout.stats.read_misses == before_misses
+    assert layout.stats.recovered_reads == 0  # old holders still designated
+    # Repairs == keys whose new ring-first is the (empty) newcomer —
+    # exactly the JSON bodies now present in its directory.
+    recreated = [
+        name for name in os.listdir(newcomer) if name.endswith(".json")
+    ] if os.path.isdir(newcomer) else []
+    assert layout.stats.read_repairs == len(recreated)
+    assert all(
+        layout.replicas_for(name)[0] == newcomer for name in recreated
+    )
+
+    # Anti-entropy completes the rebalance: full replica counts, strays
+    # pruned once past the grace window.
+    layout.anti_entropy(grace_seconds=0.0)
+    health = layout.describe()
+    assert health["under_replicated"] == 0
+    assert health["stray_replicas"] == 0
+    final, served = run_warm(layout)
+    assert_equivalent(ground_truth, served)
+    assert final.result_cache.stats.hits == len(replica_batch())
+
+
+# ---------------------------------------------------------------------------
+# Durability headline + seeded sweep
+# ---------------------------------------------------------------------------
+
+
+def test_every_key_survives_any_backend_kill(tmp_path, store_dir,
+                                             ground_truth):
+    """Kill each backend in turn (reads self-heal in between): every
+    previously cached key stays readable from the survivors."""
+    layout = make_ring(tmp_path, n=3, replicas=2)
+    warm_profiles(store_dir, layout)
+    cold, _ = run_cold(layout)
+    names = sorted(layout.entry_names())
+    assert len(names) >= len(replica_batch())
+    before_misses = layout.stats.read_misses  # the cold lookups missed
+
+    for victim in list(layout.backends):
+        shutil.rmtree(victim)
+        for name in names:
+            assert layout.read(name) is not None, (
+                f"{name} lost after killing {victim}"
+            )
+        # Read-repair plus one anti-entropy pass fully re-replicates
+        # before the next failure.
+        layout.anti_entropy()
+        assert layout.describe()["under_replicated"] == 0
+    assert layout.stats.read_misses == before_misses
+    # And the healed ring still serves the batch byte-identically.
+    warm, served = run_warm(layout)
+    assert_equivalent(ground_truth, served)
+    assert warm.result_cache.stats.misses == 0
+
+
+def test_seeded_replica_plans_roundtrip_and_replay():
+    for seed in range(20):
+        a = FaultPlan.seeded_replica(seed)
+        b = FaultPlan.seeded_replica(seed)
+        assert a.spec() == b.spec()
+        assert FaultPlan.from_json(a.to_json()).spec() == a.spec()
+        for rule in a.rules:
+            assert rule.site in ("store.read", "store.write")
+    assert (
+        FaultPlan.seeded_replica(1).spec()
+        != FaultPlan.seeded_replica(2).spec()
+    )
+
+
+def test_seeded_replica_sweep(tmp_path):
+    """Layer-level sweep: under every seeded replica schedule, each
+    entry written before the chaos reads back exactly (replicas=2 on 3
+    backends: no single-backend schedule can blind both copies)."""
+    for seed in (2, 5, 9, 13):
+        root = tmp_path / f"seed-{seed}"
+        layout = ReplicatedStore(
+            [str(root / f"b{i}") for i in range(3)], replicas=2
+        )
+        payloads = {}
+        for i in range(8):
+            name = f"entry-{i}.json"
+            document = {"kind": "sweep", "tag": float(i)}
+            arrays = {"x": np.arange(16, dtype=np.float64) + i}
+            layout.write(name, dict(document), arrays)
+            payloads[name] = (document, arrays)
+        plan = FaultPlan.seeded_replica(seed, backends=3, keys=8)
+        with faults.injected(plan):
+            for name, (document, arrays) in sorted(payloads.items()):
+                got = layout.read(name)
+                assert got is not None, (seed, name)
+                assert got[0]["tag"] == document["tag"]
+                np.testing.assert_array_equal(got[1]["x"], arrays["x"])
+        assert layout.stats.read_misses == 0
+
+
+# ---------------------------------------------------------------------------
+# Live server over a ring
+# ---------------------------------------------------------------------------
+
+
+def test_server_over_ring_survives_backend_loss(
+    tmp_path, store_dir, ground_truth
+):
+    """A live server over a 3-backend ring: one write fault degrades
+    (and restores) a backend in the membership log; a backend deleted
+    between server lives costs nothing — the next server answers the
+    whole batch from surviving replicas, byte-identically."""
+    backends = [str(tmp_path / f"b{i}") for i in range(3)]
+    spec = {"backends": backends, "replicas": 3, "write_quorum": 2}
+    warm_profiles(store_dir, ReplicatedStore.from_spec(spec))
+    requests = replica_batch()
+    plan = FaultPlan(
+        [
+            FaultRule(
+                site="store.write", action="raise",
+                backend=0, after=0, count=1,
+            )
+        ]
+    )
+
+    with PartitionServer(
+        store=spec, fault_plan=plan, workers=2, job_timeout=120.0
+    ) as srv:
+        with ServerClient(srv.address, retries=3) as client:
+            served = client.partition_many(
+                SCENARIO, requests, params=PARAMS, skip_infeasible=True
+            )
+            assert_equivalent(ground_truth, served)
+            stats = client.stats()
+    repl = stats["store"]["replication"]
+    assert repl is not None
+    assert repl["write_quorum"] == 2
+    assert len(repl["backends"]) == 3
+    # The injected write failure surfaced as a store-degraded
+    # membership transition, then the next write restored the backend.
+    counters = stats["membership"]["counters"]
+    assert counters["store_degraded"] >= 1
+    assert counters["store_restored"] >= 1
+    assert stats["cache"]["stores"] == len(requests)
+
+    # Kill a backend with the server down; a fresh server on the same
+    # ring serves everything from the survivors.
+    shutil.rmtree(backends[1])
+    with PartitionServer(
+        store=spec, workers=2, job_timeout=120.0
+    ) as srv:
+        with ServerClient(srv.address, retries=3) as client:
+            served = client.partition_many(
+                SCENARIO, requests, params=PARAMS, skip_infeasible=True
+            )
+            assert_equivalent(ground_truth, served)
+            stats = client.stats()
+    assert stats["cache"]["hits"] == len(requests)
+    assert stats["cache"]["misses"] == 0
+    repl = stats["store"]["replication"]
+    assert repl["read_misses"] == 0
+    assert repl["reads"] == len(requests)

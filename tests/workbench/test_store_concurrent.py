@@ -127,3 +127,33 @@ def test_truncated_sidecar_degrades_to_miss(tmp_path):
     fresh = ProfileStore(str(tmp_path))
     with pytest.raises(WorkbenchError, match="no stored artifact"):
         fresh.get("victim")
+
+
+def test_missing_sidecar_degrades_to_miss(tmp_path):
+    """A JSON body whose npz sidecar vanished *entirely* (a janitor
+    race, a partial restore) is a typed miss in every cache path —
+    never a raw ``FileNotFoundError`` to the caller."""
+    from repro.workbench.artifacts import ArtifactError, load_artifact
+    from repro.workbench.cache import ResultCache
+
+    store = ProfileStore(str(tmp_path))
+    store.put("victim", _payload(0))
+    (entry_path,) = [p for p in tmp_path.iterdir() if p.suffix == ".json"]
+    sidecar = entry_path.with_name(json.loads(entry_path.read_text())["npz"])
+    sidecar.unlink()
+
+    # Store path: typed miss.
+    fresh = ProfileStore(str(tmp_path))
+    with pytest.raises(WorkbenchError, match="no stored artifact"):
+        fresh.get("victim")
+
+    # Result-cache path: a plain miss (the caller re-solves).  Rename
+    # the orphaned body into the cache's namespace to probe its reader.
+    cache_body = entry_path.with_name("result-orphan.json")
+    entry_path.rename(cache_body)
+    cache = ResultCache(str(tmp_path))
+    assert cache.lookup("orphan") is None
+
+    # Standalone loader: the typed artifact error, not FileNotFoundError.
+    with pytest.raises(ArtifactError):
+        load_artifact(cache_body)
