@@ -10,9 +10,11 @@ Commands:
            [--replicas R] [--write-quorum Q]
            [--min-workers N] [--max-workers N] [--heartbeat S]
            [--fault-plan JSON|@FILE]
+  gateway  --backends H1:P1,H2:P2|@MANIFEST [--host H] [--port P]
+           [--max-inflight N] [--tenant-quota N] [--platform P]
   partition SCENARIO [--rates CSV] [--cpu-budgets CSV] [--net-budgets CSV]
-           [--param k=v ...] [--server HOST:PORT] [--out DIR] [--canonical]
-           [--stats]
+           [--param k=v ...] [--server HOST:PORT[,HOST:PORT..]|@MANIFEST]
+           [--tenant ID] [--out DIR] [--canonical] [--stats]
   store    stats|gc --store DIR|D1,D2,..|@RING [--server HOST:PORT]
            [--ttl S] [--max-bytes N] [--max-entries N] [--grace S]
            [--dry-run]
@@ -26,9 +28,13 @@ sustainable rate), prints the partition and predicted deployment
 behaviour, and can emit a colorized GraphViz file.
 
 ``serve`` runs the partition server (socket-served ``partition_many``
-sharded over worker processes); ``partition`` builds a budget x rate
-request grid and solves it either in process or — with ``--server`` —
-against a running server, optionally writing one artifact per request
+sharded over worker processes); ``gateway`` runs the asyncio front door
+that routes batches across several such servers by result-cache key
+(shards own their cache slices; failed backends fail over; admission
+control answers overload with typed ``ServerBusy``); ``partition``
+builds a budget x rate request grid and solves it in process or — with
+``--server`` — against a running server, a gateway, or a multi-backend
+spec routed client-side, optionally writing one artifact per request
 (``--stats`` reports how much of the batch the result cache answered).
 ``store`` is the lifecycle side: ``stats`` summarizes a durable store
 (``--server`` additionally reports a live server's fault counters —
@@ -214,6 +220,56 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_gateway(args) -> int:
+    import signal
+
+    from .workbench.gateway import Gateway
+
+    gateway = Gateway(
+        args.backends,
+        host=args.host,
+        port=args.port,
+        default_platform=args.platform,
+        max_inflight=args.max_inflight,
+        tenant_quota=args.tenant_quota,
+    )
+
+    # Same SIGTERM story as cmd_serve: CI cleanup `kill`s the gateway
+    # and expects a clean event-loop shutdown, not a leaked thread.
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    host, port = gateway.start()
+    print(
+        f"gateway routing partition requests on {host}:{port} "
+        f"across {len(gateway.directory)} backend(s): "
+        f"{','.join(gateway.directory.backends)}",
+        flush=True,
+    )
+
+    # Surface membership transitions (shard joins/leaves, backend
+    # failure/recovery) on stdout so operators — and the CI smoke job —
+    # can watch routed traffic degrade and heal.
+    import threading
+    import time as _time
+
+    def _print_events() -> None:
+        seen = 0
+        while not gateway.closed:
+            events = gateway.directory.log.events()
+            for event in events[seen:]:
+                print(f"[gateway] {event.kind}: {event.detail}", flush=True)
+            seen = len(events)
+            _time.sleep(0.2)
+
+    threading.Thread(
+        target=_print_events, name="gateway-events", daemon=True
+    ).start()
+    gateway.serve_forever()
+    return 0
+
+
 def _parse_param(text: str):
     key, sep, raw = text.partition("=")
     if not sep:
@@ -262,7 +318,7 @@ def cmd_partition(args) -> int:
 
         # An explicit client (rather than a bare address) so the
         # server's result-cache counters can be read off the ack.
-        with ServerClient(args.server) as client:
+        with ServerClient(args.server, tenant=args.tenant) as client:
             results = session.partition_many(
                 requests, skip_infeasible=True, server=client
             )
@@ -589,6 +645,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable server-side result memoization")
     serve.set_defaults(func=cmd_serve)
 
+    gateway = sub.add_parser(
+        "gateway",
+        help="route partition batches across several partition servers",
+    )
+    gateway.add_argument("--backends", required=True,
+                         help="backend partition servers: 'h1:p1,h2:p2,...' "
+                         "or '@manifest.json'")
+    gateway.add_argument("--host", default="127.0.0.1")
+    gateway.add_argument("--port", type=int, default=7460)
+    gateway.add_argument("--platform", default="tmote",
+                         choices=sorted(PLATFORMS),
+                         help="platform assumed when routing requests that "
+                         "name none (match the backends' --platform for "
+                         "exact cache-slice ownership)")
+    gateway.add_argument("--max-inflight", type=int, default=64,
+                         help="batches admitted concurrently before "
+                         "ServerBusy (default 64)")
+    gateway.add_argument("--tenant-quota", type=int, default=16,
+                         help="concurrent batches per tenant before "
+                         "ServerBusy (default 16)")
+    gateway.set_defaults(func=cmd_gateway)
+
     part = sub.add_parser(
         "partition",
         help="solve a budget x rate request grid (in-process or --server)",
@@ -608,8 +686,13 @@ def build_parser() -> argparse.ArgumentParser:
     part.add_argument("--param", action="append", type=_parse_param,
                       metavar="K=V", help="scenario parameter override")
     part.add_argument("--server", default=None,
-                      help="host:port of a running partition server "
+                      help="a running partition server or gateway "
+                      "(host:port), a comma list of servers routed "
+                      "client-side, or '@manifest.json' "
                       "(default: solve in process)")
+    part.add_argument("--tenant", default=None,
+                      help="tenant id stamped on server requests "
+                      "(gateway admission control)")
     part.add_argument("--store", default=None,
                       help="durable profile store for in-process solving")
     part.add_argument("--out", default=None,

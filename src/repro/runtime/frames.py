@@ -142,6 +142,41 @@ def unpack_arrays(payload: bytes) -> dict[str, np.ndarray]:
         raise FrameError(f"corrupt array sidecar frame: {exc}") from exc
 
 
+def encode_message(
+    document: Mapping[str, Any],
+    arrays: Mapping[str, np.ndarray] | None = None,
+) -> tuple[bytes, bytes]:
+    """Encode one message as its (header, body) frame payloads.
+
+    The canonical wire form shared by every transport in this repo —
+    the blocking server stream and the asyncio gateway alike — so a
+    message relayed through an intermediary re-encodes byte-identically.
+    """
+    header = json.dumps(document, sort_keys=True).encode("utf-8")
+    body = pack_arrays(arrays) if arrays else b""
+    return header, body
+
+
+def decode_message(
+    header: bytes, body: bytes
+) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
+    """Decode (header, body) frame payloads back into a message.
+
+    Raises :class:`FrameError` for malformed JSON, a non-object
+    document, or a corrupt array frame.
+    """
+    try:
+        document = json.loads(header.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"malformed document frame: {exc}") from exc
+    if not isinstance(document, dict):
+        raise FrameError(
+            f"document frame holds {type(document).__name__}, expected object"
+        )
+    arrays = unpack_arrays(body) if body else {}
+    return document, arrays
+
+
 def send_message(
     stream: BinaryIO,
     document: Mapping[str, Any],
@@ -156,8 +191,7 @@ def send_message(
     same ``OSError`` shape a dead peer produces, so the sender's
     connection-teardown path runs.
     """
-    header = json.dumps(document, sort_keys=True).encode("utf-8")
-    body = pack_arrays(arrays) if arrays else b""
+    header, body = encode_message(document, arrays)
     hook = _fault_hook
     if hook is not None:
         rule = hook("frames.send")
@@ -196,13 +230,4 @@ def recv_message(
     body = read_frame(stream)
     if body is None:
         raise FrameError("message truncated after its document frame")
-    try:
-        document = json.loads(header.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise FrameError(f"malformed document frame: {exc}") from exc
-    if not isinstance(document, dict):
-        raise FrameError(
-            f"document frame holds {type(document).__name__}, expected object"
-        )
-    arrays = unpack_arrays(body) if body else {}
-    return document, arrays
+    return decode_message(header, body)

@@ -33,7 +33,17 @@ an embeddable service API:
 * :mod:`~repro.workbench.faults` — the deterministic fault-injection
   (chaos) subsystem: a seeded :class:`FaultPlan` of scheduled worker
   kills, heartbeat stalls, frame drops/corruption, and store-write
-  errors, a no-op unless installed.
+  errors, a no-op unless installed;
+* :mod:`~repro.workbench.transport` — the shared connection/dispatch
+  plumbing under both server and gateway: address/manifest parsing,
+  the blocking :class:`ClientConnection`, the threaded
+  :class:`FrameListener`, and asyncio frame codecs;
+* :mod:`~repro.workbench.gateway` — :class:`Gateway` /
+  :class:`PartitionDirectory`, an asyncio front door that routes
+  ``partition_many`` batches across several partition servers by
+  result-cache key, with failover, admission control (typed
+  :class:`ServerBusy`), and shard membership events
+  (``python -m repro gateway``).
 """
 
 from .artifacts import (
@@ -54,6 +64,7 @@ from .cache import (
     result_key,
 )
 from .faults import FaultPlan, FaultPlanError, FaultRule
+from .gateway import Gateway, PartitionDirectory, batch_keys
 from .membership import (
     ElasticPolicy,
     HeartbeatMonitor,
@@ -77,6 +88,7 @@ from .scenarios import (
 )
 from .server import (
     PartitionServer,
+    ServerBusy,
     ServerClient,
     ServerError,
     ServerUnavailable,
@@ -96,10 +108,12 @@ __all__ = [
     "FaultPlanError",
     "FaultRule",
     "GCStats",
+    "Gateway",
     "HashRing",
     "HeartbeatMonitor",
     "MembershipEvent",
     "MembershipLog",
+    "PartitionDirectory",
     "PartitionRequest",
     "PartitionServer",
     "PartitionService",
@@ -111,6 +125,7 @@ __all__ = [
     "ResultCacheStats",
     "SCHEMA_VERSION",
     "Scenario",
+    "ServerBusy",
     "ServerClient",
     "ServerError",
     "ServerUnavailable",
@@ -119,6 +134,7 @@ __all__ = [
     "StoreStats",
     "WorkbenchError",
     "as_layout",
+    "batch_keys",
     "canonical_json",
     "from_json",
     "get_scenario",

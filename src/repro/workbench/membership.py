@@ -157,6 +157,10 @@ class MembershipStats:
     degraded_entries: int = 0
     store_degraded: int = 0
     store_restored: int = 0
+    shards_joined: int = 0
+    shards_left: int = 0
+    backends_failed: int = 0
+    backends_restored: int = 0
     events: int = 0
 
 
@@ -179,6 +183,13 @@ class MembershipLog:
         # a backend starts failing writes / serves again.
         "store-degraded": "store_degraded",
         "store-restored": "store_restored",
+        # Partition-directory shard membership (workbench.gateway):
+        # a serving backend enters/leaves the routing ring, or its
+        # health transitions while routed traffic fails over.
+        "shard-joined": "shards_joined",
+        "shard-left": "shards_left",
+        "backend-failed": "backends_failed",
+        "backend-restored": "backends_restored",
     }
 
     def __init__(self, max_events: int = 1024) -> None:

@@ -41,11 +41,10 @@ from __future__ import annotations
 import json
 import os
 import pickle
-import random
-import socket
 import threading
 import time
 import warnings
+import zlib
 from collections import deque
 from dataclasses import asdict, replace
 from typing import Any, BinaryIO, Mapping, Sequence
@@ -57,7 +56,7 @@ from ..core.cut import InfeasiblePartition
 from ..core.partitioner import PartitionResult
 from ..platforms import get_platform
 from ..profiler.profiler import Profiler
-from ..runtime.frames import FrameError, recv_message, send_message
+from ..runtime.frames import send_message
 from . import artifacts, faults
 from .cache import ResultCache, result_key
 from .membership import (
@@ -76,39 +75,32 @@ from .session import (
     solve_group,
 )
 from .store import ProfileStore, profiler_config
+from .transport import (
+    Backoff,
+    ClientConnection,
+    FrameListener,
+    ServerBusy,
+    ServerError,
+    ServerUnavailable,
+    parse_address,
+    parse_targets,
+)
+
+__all__ = [
+    "PartitionServer",
+    "ServerBusy",
+    "ServerClient",
+    "ServerError",
+    "ServerUnavailable",
+    "WorkerPool",
+]
 
 #: Test hook: seconds each worker sleeps before starting a run (lets the
 #: fault-tolerance tests kill a worker reliably mid-batch).
 _TEST_DELAY_ENV = "REPRO_SERVER_TEST_DELAY"
 
-
-class ServerError(WorkbenchError):
-    """Raised for partition-server protocol or transport failures."""
-
-
-class ServerUnavailable(ServerError):
-    """A transport-level failure: the server is gone, unreachable, or
-    the connection died mid-exchange.
-
-    This is the *retryable* subclass — the result cache makes re-sent
-    requests idempotent, so :class:`ServerClient` retries these with
-    exponential backoff.  Remote application errors (unknown scenario,
-    infeasible request, abandoned job) stay plain :class:`ServerError`
-    and are never retried.
-    """
-
-
-def _parse_address(address: Any) -> tuple[str, int]:
-    try:
-        if isinstance(address, (tuple, list)) and len(address) == 2:
-            return str(address[0]), int(address[1])
-        if isinstance(address, str):
-            host, sep, port = address.rpartition(":")
-            if sep:
-                return host or "127.0.0.1", int(port)
-    except (TypeError, ValueError):
-        pass
-    raise ServerError(f"address {address!r} is not host:port")
+# Back-compat alias: the parser moved to :mod:`repro.workbench.transport`.
+_parse_address = parse_address
 
 
 # ---------------------------------------------------------------------------
@@ -405,6 +397,10 @@ class WorkerPool:
         self.jobs_requeued = 0
         self.workers_respawned = 0
         self.degraded_runs = 0
+        #: Exceptions deliberately swallowed on teardown/best-effort
+        #: paths, counted by site label so a wedge diagnosis can see
+        #: them in ``stats`` instead of being blind.
+        self.swallowed_errors: dict[str, int] = {}
         self._degraded_active = False
         self.membership = MembershipLog()
         self.heartbeats = HeartbeatMonitor(self.policy.heartbeat_timeout)
@@ -426,6 +422,10 @@ class WorkerPool:
     def _live_locked(self) -> list[_WorkerHandle]:
         return [h for h in self._handles.values() if not h.draining]
 
+    def _swallow(self, site: str) -> None:
+        """Count one deliberately swallowed exception at ``site``."""
+        self.swallowed_errors[site] = self.swallowed_errors.get(site, 0) + 1
+
     def _spawn_locked(self) -> _WorkerHandle:
         rule = faults.hit("pool.spawn")
         if rule is not None and rule.action == "raise":
@@ -437,6 +437,9 @@ class WorkerPool:
             try:
                 close_fds = tuple(self._fork_fd_snapshot())
             except Exception:
+                # Best-effort: a failed snapshot only costs the EOF
+                # optimization, never the spawn — but count it.
+                self._swallow("pool.fork_fd_snapshot")
                 close_fds = ()
         process = self._ctx.Process(
             target=_worker_main,
@@ -494,6 +497,9 @@ class WorkerPool:
                     break
                 message = handle.conn.recv()
             except Exception:
+                # A dead worker's pipe can fail arbitrarily mid-drain;
+                # the results already received still count.
+                self._swallow("pool.drain_conn")
                 break
             if (
                 isinstance(message, tuple)
@@ -945,19 +951,19 @@ class PartitionServer:
         self._sessions: dict[str, Session] = {}
         self._sessions_lock = threading.Lock()
         self.pool: WorkerPool | None = None
-        self._listener: socket.socket | None = None
-        self._accept_thread: threading.Thread | None = None
-        self._conn_lock = threading.Lock()
-        self._conns: set[socket.socket] = set()
+        self._frames: FrameListener | None = None
         self._closed = threading.Event()
+        #: Parent-side swallowed-exception counters (see
+        #: :attr:`WorkerPool.swallowed_errors`), merged into ``stats``.
+        self.swallowed_errors: dict[str, int] = {}
 
     # -- lifecycle ---------------------------------------------------------
 
     @property
     def address(self) -> tuple[str, int]:
-        if self._listener is None:
+        if self._frames is None:
             raise ServerError("server is not started")
-        return self._listener.getsockname()[:2]
+        return self._frames.address
 
     def worker_pids(self) -> list[int]:
         if self.pool is None:
@@ -981,26 +987,13 @@ class PartitionServer:
         """The socket fds a freshly forked worker must close: the
         listener and every live client connection (inherited copies
         would keep torn-down connections from ever delivering EOF)."""
-        fds: list[int] = []
-        if self._listener is not None:
-            try:
-                fds.append(self._listener.fileno())
-            except OSError:
-                pass
-        with self._conn_lock:
-            conns = list(self._conns)
-        for conn in conns:
-            try:
-                fd = conn.fileno()
-            except OSError:
-                continue
-            if fd >= 0:
-                fds.append(fd)
-        return fds
+        if self._frames is None:
+            return []
+        return self._frames.fileno_snapshot()
 
     def start(self) -> tuple[str, int]:
         """Spawn the pool, bind, and begin accepting; returns the address."""
-        if self._listener is not None:
+        if self._frames is not None:
             return self.address
         if self.fault_plan is not None:
             faults.install(self.fault_plan)
@@ -1022,37 +1015,18 @@ class PartitionServer:
             self._store_layout.on_event = (
                 lambda kind, detail: membership.record(kind, None, detail)
             )
-        self._listener = socket.create_server(
-            (self._host, self._port), backlog=16
-        )
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="server-accept", daemon=True
-        )
-        self._accept_thread.start()
+        self._frames = FrameListener(self._host, self._port, self._serve_op)
+        self._frames.start()
         return self.address
 
     def close(self) -> None:
         if self._closed.is_set():
             return
         self._closed.set()
-        if self._listener is not None:
-            try:
-                self._listener.close()
-            except OSError:
-                pass
-        with self._conn_lock:
-            conns = list(self._conns)
-            self._conns.clear()
-        for conn in conns:
-            try:
-                conn.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            conn.close()
+        if self._frames is not None:
+            self._frames.close()
         if self.pool is not None:
             self.pool.close()
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=2.0)
 
     def __enter__(self) -> "PartitionServer":
         self.start()
@@ -1073,39 +1047,7 @@ class PartitionServer:
             self.close()
 
     # -- connection handling -----------------------------------------------
-
-    def _accept_loop(self) -> None:
-        assert self._listener is not None
-        while not self._closed.is_set():
-            try:
-                conn, _ = self._listener.accept()
-            except OSError:
-                return
-            with self._conn_lock:
-                self._conns.add(conn)
-            threading.Thread(
-                target=self._handle_conn, args=(conn,), daemon=True
-            ).start()
-
-    def _handle_conn(self, conn: socket.socket) -> None:
-        try:
-            stream = conn.makefile("rwb")
-            while not self._closed.is_set():
-                try:
-                    message = recv_message(stream)
-                except (FrameError, OSError):
-                    return
-                if message is None:
-                    return
-                document, _ = message
-                try:
-                    self._serve_op(stream, document)
-                except (BrokenPipeError, OSError):
-                    return
-        finally:
-            with self._conn_lock:
-                self._conns.discard(conn)
-            conn.close()
+    # (accept/dispatch plumbing lives in transport.FrameListener)
 
     def _serve_op(self, stream: BinaryIO, document: Mapping[str, Any]):
         op = document.get("op")
@@ -1204,9 +1146,18 @@ class PartitionServer:
                     else None
                 ),
             },
+            "swallowed_errors": self._swallowed_payload(),
             "faults": asdict(faults.stats()),
         }
         return payload
+
+    def _swallowed_payload(self) -> dict[str, int]:
+        """Per-site swallowed-exception counters (server + pool)."""
+        merged = dict(self.swallowed_errors)
+        if self.pool is not None:
+            for site, count in self.pool.swallowed_errors.items():
+                merged[site] = merged.get(site, 0) + count
+        return merged
 
     # -- partition_many ----------------------------------------------------
 
@@ -1364,7 +1315,15 @@ class PartitionServer:
                 try:
                     probe_blob = pickle.dumps(probe)
                 except Exception:
-                    probe_blob = None  # workers formulate from their stores
+                    # Workers formulate from their own stores instead —
+                    # slower, never wrong.  Counted so an unpicklable
+                    # probe shows up in stats rather than silently
+                    # changing the serving mode.
+                    self.swallowed_errors["server.probe_pickle"] = (
+                        self.swallowed_errors.get("server.probe_pickle", 0)
+                        + 1
+                    )
+                    probe_blob = None
             for run in _budget_runs(ordered, resolved):
                 payload = {
                     "scenario": scenario.name,
@@ -1399,13 +1358,24 @@ def _budget_runs(
 
 
 class ServerClient:
-    """A connection to a :class:`PartitionServer`.
+    """A connection to a :class:`PartitionServer` (or a routed fleet).
 
     Thread-safe (one in-flight call at a time per client).  ``address``
     is ``"host:port"``, an ``(host, port)`` pair, or a server's
     :attr:`~PartitionServer.address`.  ``connect_timeout`` retries the
     initial connection, so a client can be started alongside a server
-    that is still binding.
+    that is still binding; each connect *attempt* is capped at the
+    remaining connect budget, so a dead backend fails in
+    ``connect_timeout``, never the full request ``timeout``.
+
+    **Routing.**  A multi-backend spec — ``"h1:p1,h2:p2"``, a list of
+    addresses, or ``"@manifest.json"`` — turns the client into its own
+    router: batches split by the deterministic result-key partition
+    function (see :class:`~repro.workbench.gateway.PartitionDirectory`),
+    fan out to shard owners concurrently, and reassemble in request
+    order — byte-identical to the unrouted path.  A shard whose owner
+    is unreachable fails over to the next directory backend (counted in
+    :attr:`route_failovers`).
 
     Transport failures (a reset connection, a dead server, a torn
     frame) surface as :class:`ServerUnavailable` — never a raw
@@ -1415,8 +1385,12 @@ class ServerClient:
     because the server's result cache makes re-sent requests
     idempotent: a batch that solved before the failure is answered
     from cache, not solved twice.  *Application* errors reported by
-    the server (infeasible request, unknown scenario) are never
-    retried.
+    the server (infeasible request, unknown scenario, a gateway's
+    :class:`ServerBusy` backpressure) are never retried.
+
+    ``backoff_seed`` makes the retry jitter deterministic (chaos
+    replay); ``tenant`` stamps every batch with a client identity the
+    gateway's per-tenant admission quotas act on.
     """
 
     def __init__(
@@ -1427,67 +1401,72 @@ class ServerClient:
         retries: int = 2,
         backoff: float = 0.1,
         stats_timeout: float = 5.0,
+        backoff_seed: int | None = None,
+        tenant: str | None = None,
     ) -> None:
-        self._host, self._port = _parse_address(address)
+        self._targets = parse_targets(address)
+        self._host, self._port = parse_address(self._targets[0])
         self._timeout = timeout
         self._connect_timeout = connect_timeout
         self.retries = max(int(retries), 0)
         self.backoff = backoff
         self.stats_timeout = stats_timeout
-        self._sock: socket.socket | None = None
-        self._stream = None
+        self.backoff_seed = backoff_seed
+        self.tenant = tenant
+        self._backoff = Backoff(base=backoff, seed=backoff_seed)
+        self._conn: ClientConnection | None = None
         self._lock = threading.Lock()
         #: Transport failures that were recovered by reconnect+retry.
         self.transport_retries = 0
+        #: Shards re-homed to a surviving backend (routed mode only).
+        self.route_failovers = 0
         #: Result-cache counters from the most recent
         #: :meth:`partition_many` acknowledgement (the CLI's
         #: ``--stats`` source).
         self.last_batch_stats: dict[str, int] = {}
-        self._connect()
+        self._router: _ClientRouter | None = None
+        if len(self._targets) > 1:
+            from .gateway import PartitionDirectory
+
+            self._router = _ClientRouter(
+                self, PartitionDirectory(self._targets)
+            )
+        else:
+            self._connect()
 
     # -- connection management ---------------------------------------------
 
     def _connect(self) -> None:
         """(Re)establish the connection; raises ServerUnavailable."""
-        self._disconnect()
-        deadline = time.monotonic() + self._connect_timeout
-        while True:
-            try:
-                self._sock = socket.create_connection(
-                    (self._host, self._port), timeout=self._timeout
-                )
-                break
-            except OSError:
-                if time.monotonic() >= deadline:
-                    raise ServerUnavailable(
-                        f"cannot connect to partition server at "
-                        f"{self._host}:{self._port}"
-                    ) from None
-                time.sleep(0.05)
-        self._stream = self._sock.makefile("rwb")
+        if self._conn is None:
+            self._conn = ClientConnection(
+                self._host,
+                self._port,
+                timeout=self._timeout,
+                connect_timeout=self._connect_timeout,
+            )
+        self._conn.connect()
 
     def _disconnect(self) -> None:
-        if self._stream is not None:
-            try:
-                self._stream.close()
-            except OSError:
-                pass
-            self._stream = None
-        if self._sock is not None:
-            try:
-                self._sock.close()
-            except OSError:
-                pass
-            self._sock = None
+        if self._conn is not None:
+            self._conn.close()
+
+    @property
+    def _connected(self) -> bool:
+        return self._conn is not None and self._conn.connected
+
+    @property
+    def _sock(self) -> Any:
+        """The live socket (tests tear it to exercise retries)."""
+        return self._conn.sock if self._conn is not None else None
 
     def _backoff_sleep(self, attempt: int) -> None:
         """Exponential backoff with jitter, capped at ~5 s."""
-        if self.backoff <= 0:
-            return
-        delay = min(self.backoff * (2**attempt), 5.0)
-        time.sleep(delay * (0.5 + random.random()))
+        self._backoff.sleep(attempt)
 
     def close(self) -> None:
+        if self._router is not None:
+            self._router.close()
         self._disconnect()
 
     def __enter__(self) -> "ServerClient":
@@ -1499,23 +1478,12 @@ class ServerClient:
     # -- plumbing ----------------------------------------------------------
 
     def _recv(self) -> tuple[dict[str, Any], dict]:
-        try:
-            message = recv_message(self._stream)
-        except (FrameError, OSError) as exc:
-            raise ServerUnavailable(
-                f"connection to partition server failed mid-reply: {exc}"
-            ) from exc
-        if message is None:
-            raise ServerUnavailable("server closed the connection")
-        return message
+        assert self._conn is not None
+        return self._conn.recv()
 
     def _send(self, document, arrays=None) -> None:
-        try:
-            send_message(self._stream, document, arrays)
-        except (FrameError, OSError) as exc:
-            raise ServerUnavailable(
-                f"connection to partition server failed mid-send: {exc}"
-            ) from exc
+        assert self._conn is not None
+        self._conn.send(document, arrays)
 
     def _call(self, document: Mapping[str, Any]) -> dict[str, Any]:
         with self._lock:
@@ -1537,7 +1505,7 @@ class ServerClient:
                 self.transport_retries += 1
                 self._backoff_sleep(attempt - 1)
             try:
-                if self._stream is None:
+                if not self._connected:
                     self._connect()
                 self._send(document)
                 reply, _ = self._recv()
@@ -1552,6 +1520,8 @@ class ServerClient:
 
     def ping(self) -> dict[str, Any]:
         """Liveness + pool stats (worker count, requeues, respawns)."""
+        if self._router is not None:
+            return self._router.delegate("ping")
         return self._call({"op": "ping"})
 
     def stats(self, timeout: float | None = None) -> dict[str, Any]:
@@ -1563,13 +1533,14 @@ class ServerClient:
         the client's full request timeout.  Never retried: stats are a
         point-in-time observation.
         """
+        if self._router is not None:
+            return self._router.delegate("stats", timeout)
         budget = self.stats_timeout if timeout is None else timeout
         with self._lock:
-            if self._stream is None:
+            if not self._connected:
                 self._connect()
-            assert self._sock is not None
-            previous = self._sock.gettimeout()
-            self._sock.settimeout(budget)
+            assert self._conn is not None
+            previous = self._conn.settimeout(budget)
             try:
                 self._send({"op": "stats"})
                 reply, _ = self._recv()
@@ -1579,16 +1550,20 @@ class ServerClient:
                     f"stats request failed within {budget}s: {exc}"
                 ) from exc
             else:
-                self._sock.settimeout(previous)
+                self._conn.settimeout(previous)
         if not reply.get("ok"):
             _raise_remote(reply)
         return reply
 
     def scale(self, workers: int) -> dict[str, Any]:
         """Ask the server to resize its pool; returns target + live."""
+        if self._router is not None:
+            return self._router.delegate("scale", workers)
         return self._call({"op": "scale", "workers": int(workers)})
 
     def scenarios(self) -> list[str]:
+        if self._router is not None:
+            return self._router.delegate("scenarios")
         return list(self._call({"op": "scenarios"})["scenarios"])
 
     def partition_many(
@@ -1608,6 +1583,15 @@ class ServerClient:
             else PartitionRequest.from_payload(r)
             for r in requests
         ]
+        if self._router is not None:
+            return self._router.partition_many(
+                scenario,
+                request_objs,
+                params=params,
+                platform=platform,
+                profiler=profiler,
+                skip_infeasible=skip_infeasible,
+            )
         document = {
             "op": "partition_many",
             "scenario": scenario,
@@ -1619,6 +1603,8 @@ class ServerClient:
             "skip_infeasible": skip_infeasible,
             "requests": [r.to_payload() for r in request_objs],
         }
+        if self.tenant is not None:
+            document["tenant"] = self.tenant
         graph = None
         with self._lock:
             # The whole exchange (request, ack, result stream) retries
@@ -1631,7 +1617,7 @@ class ServerClient:
                     self.transport_retries += 1
                     self._backoff_sleep(attempt - 1)
                 try:
-                    if self._stream is None:
+                    if not self._connected:
                         self._connect()
                     self._send(document)
                     ack, _ = self._recv()
@@ -1681,4 +1667,173 @@ def _raise_remote(reply: Mapping[str, Any]) -> None:
     error = reply.get("error", "unknown server error")
     if kind == "InfeasiblePartition":
         raise InfeasiblePartition(error)
+    if kind == "ServerBusy":
+        raise ServerBusy(error)
+    if kind == "ServerUnavailable":
+        # A gateway reporting that a shard's backends are all gone:
+        # retryable, exactly like a direct transport failure.
+        raise ServerUnavailable(error)
     raise ServerError(f"{kind}: {error}")
+
+
+class _ClientRouter:
+    """Client-side routing: one sub-client per directory backend.
+
+    Owned by a :class:`ServerClient` constructed with a multi-backend
+    spec.  ``partition_many`` batches split by the shared deterministic
+    partition function (the result-cache key hashed onto the backend
+    ring), sub-batches fan out on concurrent threads, and results
+    reassemble in original request order.  When a shard's owner is
+    unreachable the shard fails over along the directory's backend
+    chain; *application* errors never fail over.
+
+    Admin ops (``ping``/``stats``/``scale``/``scenarios``) delegate to
+    the first reachable backend.
+    """
+
+    def __init__(self, owner: ServerClient, directory) -> None:
+        self.owner = owner
+        self.directory = directory
+        self._clients: dict[str, ServerClient] = {}
+        self._lock = threading.Lock()
+
+    def close(self) -> None:
+        with self._lock:
+            clients = list(self._clients.values())
+            self._clients.clear()
+        for client in clients:
+            client.close()
+
+    def _client_for(self, backend: str) -> ServerClient:
+        with self._lock:
+            client = self._clients.get(backend)
+        if client is not None:
+            return client
+        seed = self.owner.backoff_seed
+        client = ServerClient(
+            backend,
+            timeout=self.owner._timeout,
+            connect_timeout=self.owner._connect_timeout,
+            retries=self.owner.retries,
+            backoff=self.owner.backoff,
+            stats_timeout=self.owner.stats_timeout,
+            backoff_seed=(
+                None
+                if seed is None
+                else seed ^ zlib.crc32(backend.encode("utf-8"))
+            ),
+            tenant=self.owner.tenant,
+        )
+        with self._lock:
+            kept = self._clients.setdefault(backend, client)
+        if kept is not client:
+            client.close()
+        return kept
+
+    def _drop(self, backend: str) -> None:
+        with self._lock:
+            client = self._clients.pop(backend, None)
+        if client is not None:
+            client.close()
+
+    def delegate(self, op: str, *args, **kwargs):
+        """Run an admin op against the first reachable backend."""
+        last: ServerUnavailable | None = None
+        for backend in self.directory.backends:
+            try:
+                return getattr(self._client_for(backend), op)(
+                    *args, **kwargs
+                )
+            except ServerUnavailable as exc:
+                last = exc
+                self._drop(backend)
+        raise last if last is not None else ServerUnavailable(
+            "directory names no backends"
+        )
+
+    def partition_many(
+        self,
+        scenario: str,
+        request_objs: Sequence[PartitionRequest],
+        params: Mapping[str, Any] | None = None,
+        platform: str | None = None,
+        profiler: Profiler | None = None,
+        skip_infeasible: bool = False,
+    ) -> list[PartitionResult | None]:
+        from .gateway import ROUTE_PLATFORM_DEFAULT, batch_groups
+
+        scenario_obj = get_scenario(scenario)
+        groups = batch_groups(
+            scenario_obj,
+            params or {},
+            profiler_config(profiler) if profiler is not None else None,
+            platform or ROUTE_PLATFORM_DEFAULT,
+            request_objs,
+        )
+        shards = self.directory.split_groups(groups)
+        results: list[PartitionResult | None] = [None] * len(request_objs)
+        stats_lock = threading.Lock()
+        totals = {"cache_hits": 0, "cache_misses": 0}
+        errors: list[Exception] = []
+
+        def run_shard(primary: str, indices: list[int]) -> None:
+            subset = [request_objs[i] for i in indices]
+            last: ServerUnavailable | None = None
+            for hop, backend in enumerate(self.directory.chain(primary)):
+                try:
+                    client = self._client_for(backend)
+                    shard_results = client.partition_many(
+                        scenario,
+                        subset,
+                        params=params,
+                        platform=platform,
+                        profiler=profiler,
+                        skip_infeasible=skip_infeasible,
+                    )
+                except ServerUnavailable as exc:
+                    last = exc
+                    self._drop(backend)
+                    self.directory.note_failure(backend, str(exc))
+                    continue
+                except Exception as exc:
+                    # Application error (infeasible, unknown scenario,
+                    # busy): every backend would answer the same way.
+                    with stats_lock:
+                        errors.append(exc)
+                    return
+                self.directory.note_ok(backend)
+                with stats_lock:
+                    if hop:
+                        self.owner.route_failovers += 1
+                    batch = client.last_batch_stats
+                    totals["cache_hits"] += batch.get("cache_hits", 0)
+                    totals["cache_misses"] += batch.get("cache_misses", 0)
+                    for index, result in zip(indices, shard_results):
+                        results[index] = result
+                return
+            with stats_lock:
+                errors.append(
+                    last
+                    if last is not None
+                    else ServerUnavailable(
+                        f"no reachable backend for shard {primary}"
+                    )
+                )
+
+        threads = [
+            threading.Thread(
+                target=run_shard,
+                args=(backend, indices),
+                name=f"route-{backend}",
+                daemon=True,
+            )
+            for backend, indices in shards.items()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        self.owner.last_batch_stats = dict(totals)
+        return results

@@ -124,9 +124,11 @@ def run_under_plan(
     with PartitionServer(
         store=cache_dir, fault_plan=plan, **server_kwargs
     ) as srv:
-        with ServerClient(
-            srv.address, **(client_kwargs or {"retries": 3})
-        ) as client:
+        # A seeded backoff keeps retry timing reproducible run to run,
+        # like the fault schedules themselves.
+        client_kwargs = dict(client_kwargs or {"retries": 3})
+        client_kwargs.setdefault("backoff_seed", 0x5EED)
+        with ServerClient(srv.address, **client_kwargs) as client:
             served = client.partition_many(
                 SCENARIO, requests, params=PARAMS, skip_infeasible=True
             )
@@ -286,7 +288,9 @@ def test_degrades_to_inprocess_when_pool_empties(
             workers=1, min_workers=0, store=str(tmp_path / "cache"),
             fault_plan=plan, job_timeout=120.0,
         ) as srv:
-            with ServerClient(srv.address, retries=3) as client:
+            with ServerClient(
+                srv.address, retries=3, backoff_seed=0x5EED
+            ) as client:
                 served = client.partition_many(
                     SCENARIO, requests, params=PARAMS, skip_infeasible=True
                 )

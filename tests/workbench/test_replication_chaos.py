@@ -423,7 +423,9 @@ def test_server_over_ring_survives_backend_loss(
     with PartitionServer(
         store=spec, fault_plan=plan, workers=2, job_timeout=120.0
     ) as srv:
-        with ServerClient(srv.address, retries=3) as client:
+        with ServerClient(
+            srv.address, retries=3, backoff_seed=0x5EED
+        ) as client:
             served = client.partition_many(
                 SCENARIO, requests, params=PARAMS, skip_infeasible=True
             )
@@ -446,7 +448,9 @@ def test_server_over_ring_survives_backend_loss(
     with PartitionServer(
         store=spec, workers=2, job_timeout=120.0
     ) as srv:
-        with ServerClient(srv.address, retries=3) as client:
+        with ServerClient(
+            srv.address, retries=3, backoff_seed=0x5EED
+        ) as client:
             served = client.partition_many(
                 SCENARIO, requests, params=PARAMS, skip_infeasible=True
             )
