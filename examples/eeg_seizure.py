@@ -75,7 +75,7 @@ def main(full: bool = False):
     print(f"graph: {len(graph)} operators "
           f"(22 channels would be {expected_operator_count(22)}; "
           "paper reports 1412)")
-    executor = run_graph(graph, test.source_data(), round_robin=True)
+    executor = run_graph(graph, test.source_data())
     alarms = executor.sink_values("alarms")
     test_features = extract_feature_vectors(
         test.source_data(), n_channels=n_channels

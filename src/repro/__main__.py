@@ -12,6 +12,10 @@ Commands:
            [--fault-plan JSON|@FILE]
   gateway  --backends H1:P1,H2:P2|@MANIFEST [--host H] [--port P]
            [--max-inflight N] [--tenant-quota N] [--platform P]
+  profile  SCENARIO [--param k=v ...] [--parallelism N]
+           [--strategy shuffle|key] [--scalar] [--batch-size N]
+           [--bucket-seconds S] [--no-peak] [--store SPEC]
+           [--out FILE] [--canonical]
   partition SCENARIO [--rates CSV] [--cpu-budgets CSV] [--net-budgets CSV]
            [--param k=v ...] [--server HOST:PORT[,HOST:PORT..]|@MANIFEST]
            [--tenant ID] [--out DIR] [--canonical] [--stats]
@@ -36,6 +40,10 @@ builds a budget x rate request grid and solves it in process or — with
 ``--server`` — against a running server, a gateway, or a multi-backend
 spec routed client-side, optionally writing one artifact per request
 (``--stats`` reports how much of the batch the result cache answered).
+``profile`` runs the profiler alone — ``--parallelism N`` shards
+source-exclusive operator subgraphs across N forked workers (virtual-time
+merge semantics preserved; the artifact is byte-identical to a serial
+run, which the CI smoke job diffs).
 ``store`` is the lifecycle side: ``stats`` summarizes a durable store
 (``--server`` additionally reports a live server's fault counters —
 ``store_errors``/``write_errors`` — and per-backend replica health),
@@ -72,8 +80,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dot", default=None,
                         help="write a GraphViz file of the partition")
     parser.add_argument("--store", default=None,
-                        help="directory for a durable profile store "
-                        "(default: in-memory)")
+                        help="durable profile store: directory, "
+                        "'dir1,dir2,...' (a replicated ring), or "
+                        "'@manifest.json' (default: in-memory)")
 
 
 def _session(args, scenario: str, **params) -> Session:
@@ -171,13 +180,8 @@ def cmd_serve(args) -> int:
 
     # Chaos testing only: a fault plan from --fault-plan (inline JSON or
     # @file) or, failing that, the REPRO_FAULT_PLAN environment variable.
-    fault_plan = None
     if getattr(args, "fault_plan", None):
-        spec = args.fault_plan
-        if spec.startswith("@"):
-            with open(spec[1:], "r", encoding="utf-8") as handle:
-                spec = handle.read()
-        fault_plan = FaultPlan.from_json(spec)
+        fault_plan = FaultPlan.from_text(args.fault_plan)
     else:
         fault_plan = FaultPlan.from_env()
 
@@ -565,6 +569,67 @@ def cmd_store_gc(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    import time
+
+    from .dataflow.channels import ExecutionPlan, fork_available
+    from .workbench.artifacts import canonical_json, save_artifact
+
+    params = dict(args.param or [])
+    plan = ExecutionPlan(
+        batch=not args.scalar,
+        batch_size=args.batch_size,
+        bucket_seconds=args.bucket_seconds,
+        track_peak=not args.no_peak,
+        parallelism=args.parallelism,
+        strategy=args.strategy,
+    )
+    store = ProfileStore(args.store) if args.store else None
+    session = Session(
+        args.scenario, store=store, platform=args.platform, params=params
+    )
+    start = time.perf_counter()
+    measurement = session.measurement(plan=plan)
+    wall = time.perf_counter() - start
+
+    mode = "serial"
+    if args.parallelism > 1:
+        mode = (
+            f"parallel x{args.parallelism} ({args.strategy})"
+            if fork_available()
+            else f"serial (fork unavailable; requested x{args.parallelism})"
+        )
+    total = sum(
+        op.invocations for op in measurement.stats.operators.values()
+    )
+    print(f"scenario: {session.scenario.name} "
+          + " ".join(f"{k}={v!r}" for k, v in sorted(session.params.items())))
+    print(f"plan: {mode}, "
+          f"{'batched' if plan.batch else 'scalar'} execution, "
+          f"bucket {plan.bucket_seconds or 1.0:g} s, "
+          f"peaks {'on' if not args.no_peak else 'off'}")
+    print(f"measured {len(measurement.stats.operators)} operators, "
+          f"{total} invocations over {measurement.duration:g} virtual s")
+    # Wall-clock stays on stdout only — artifacts must be byte-comparable
+    # across serial and parallel runs.
+    print(f"profiled in {wall:.3f} s wall")
+    if args.out:
+        from pathlib import Path
+
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        graph_ref = {
+            "scenario": session.scenario.name,
+            "params": session.params,
+        }
+        if args.canonical:
+            out_path.write_text(canonical_json(measurement, graph_ref) + "\n")
+        else:
+            save_artifact(measurement, out_path, graph_ref)
+        print(f"wrote {out_path}")
+    return 0
+
+
 def cmd_speech(args) -> int:
     return _partition_and_report(args, "speech")
 
@@ -666,6 +731,43 @@ def build_parser() -> argparse.ArgumentParser:
                          help="concurrent batches per tenant before "
                          "ServerBusy (default 16)")
     gateway.set_defaults(func=cmd_gateway)
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile a scenario (optionally operator-parallel) and "
+        "write the measurement artifact",
+    )
+    profile.add_argument("scenario", help="registered scenario name")
+    profile.add_argument("--platform", default="tmote",
+                         choices=sorted(PLATFORMS))
+    profile.add_argument("--param", action="append", type=_parse_param,
+                         metavar="K=V", help="scenario parameter override")
+    profile.add_argument("--parallelism", type=int, default=1,
+                         help="profiler worker processes; source shards "
+                         "are distributed across them and the result is "
+                         "byte-identical to --parallelism 1 (default 1)")
+    profile.add_argument("--strategy", default="shuffle",
+                         choices=["shuffle", "key"],
+                         help="shard-to-worker partition strategy "
+                         "(default shuffle: round-robin)")
+    profile.add_argument("--scalar", action="store_true",
+                         help="element-at-a-time execution instead of "
+                         "columnar batches")
+    profile.add_argument("--batch-size", type=int, default=None,
+                         help="cap batched chunks at this many elements")
+    profile.add_argument("--bucket-seconds", type=float, default=None,
+                         help="peak-tracking bucket width (default 1.0)")
+    profile.add_argument("--no-peak", action="store_true",
+                         help="disable per-bucket peak tracking")
+    profile.add_argument("--store", default=None,
+                         help="durable profile store: directory, "
+                         "'dir1,dir2,...' (ring), or '@manifest.json'")
+    profile.add_argument("--out", default=None,
+                         help="write the measurement artifact to this file")
+    profile.add_argument("--canonical", action="store_true",
+                         help="write a canonical (wall-clock-free) artifact "
+                         "for byte comparison")
+    profile.set_defaults(func=cmd_profile)
 
     part = sub.add_parser(
         "partition",

@@ -159,13 +159,21 @@ def source_rates(n_channels: int = N_CHANNELS) -> dict[str, float]:
 def extract_feature_vectors(
     source_data: dict[str, list[Any]],
     n_channels: int = N_CHANNELS,
+    plan: "ExecutionPlan | None" = None,
 ) -> np.ndarray:
     """Run only the feature-extraction part; return (n_windows, 66) array.
 
     Used to train the patient-specific SVM: the cascade through the
     ``featureVector`` zip runs in-process, and the vectors that would be
     handed to the SVM are captured at the boundary.
+
+    The default plan interleaves channels block-by-block (equal-rate
+    virtual-time merge — the order simultaneous sampling would produce);
+    pass e.g. ``ExecutionPlan(interleave=False, batch=True)`` to drive
+    the extraction vectorized instead.  The returned array is one row
+    per window either way.
     """
+    from ...dataflow.channels import ExecutionPlan
     from ...runtime.node import BoundedExecutor
 
     graph = build_eeg_pipeline(n_channels=n_channels)
@@ -175,17 +183,14 @@ def extract_feature_vectors(
         if name not in ("svm", "onset", "alarms")
     )
     executor = BoundedExecutor(graph, feature_set)
-    # Interleave channels block-by-block, as simultaneous sampling would.
     names = sorted(source_data)
     lengths = {len(source_data[n]) for n in names}
-    if len(lengths) != 1:
+    if len(lengths) > 1:
         raise ValueError("all channels must have the same trace length")
-    vectors: list[np.ndarray] = []
-    for block_index in range(lengths.pop()):
-        for name in names:
-            boundary = executor.push(name, source_data[name][block_index])
-            for _, value in boundary:
-                vectors.append(_flatten_features(value))
+    if plan is None:
+        plan = ExecutionPlan(sources=tuple(names))
+    boundary = executor.run(source_data, plan)
+    vectors = [_flatten_features(value) for _, value in boundary]
     return np.stack(vectors) if vectors else np.zeros((0, 3 * n_channels))
 
 

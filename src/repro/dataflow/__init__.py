@@ -7,11 +7,22 @@ emit semantics and records the measurements the profiler consumes.
 """
 
 from .builder import GraphBuilder, Stream
+from .channels import (
+    Channel,
+    ChannelClosed,
+    ExecutionPlan,
+    ExecutionPlanError,
+    PartitionStrategy,
+    ProcessChannel,
+    stable_hash,
+)
 from .execute import (
     EdgeStats,
     ExecutionStats,
     Executor,
     OperatorStats,
+    ScheduleRun,
+    merge_schedule,
     run_graph,
 )
 from .graph import (
@@ -29,8 +40,12 @@ from .sizing import element_size
 from .validate import crosses_network_once, validate_graph
 
 __all__ = [
+    "Channel",
+    "ChannelClosed",
     "Edge",
     "EdgeStats",
+    "ExecutionPlan",
+    "ExecutionPlanError",
     "ExecutionStats",
     "Executor",
     "GraphBuilder",
@@ -39,13 +54,18 @@ __all__ = [
     "Operator",
     "OperatorContext",
     "OperatorStats",
+    "PartitionStrategy",
     "Pinning",
+    "ProcessChannel",
+    "ScheduleRun",
     "SinkBuffer",
     "Stream",
     "StreamGraph",
     "WorkCounts",
     "crosses_network_once",
     "element_size",
+    "merge_schedule",
     "run_graph",
+    "stable_hash",
     "validate_graph",
 ]

@@ -1,0 +1,404 @@
+"""Channels, partition strategies, and the typed :class:`ExecutionPlan`.
+
+This module is the generic interface in front of operator-parallel
+dataflow execution (Ray-streaming / Bytewax style): *operator instances*
+exchange elements over :class:`Channel`/:class:`ProcessChannel` links,
+and a :class:`PartitionStrategy` names how a stream fans out across the
+instances of its consumer — round-robin (``shuffle``), sticky by a
+stable key hash (``key``), or replicated (``broadcast``).
+
+The :class:`ExecutionPlan` is the api_redesign half: one typed object
+describing *how* a graph run should be driven — which sources, at what
+virtual-time rates, interleaved or drained, scalar or columnar-batched
+(and at what chunk size), with what peak-tracking buckets, across how
+many worker processes, under which partition strategies.  It replaces
+the keyword knobs that had accreted on ``run_graph``/``Profiler`` and is
+consumed uniformly by :meth:`Executor.run <repro.dataflow.execute.
+Executor.run>`, :meth:`Profiler.measure <repro.profiler.profiler.
+Profiler.measure>`, :meth:`Session.profile <repro.workbench.session.
+Session.profile>`, the deployment replay path, and the CLI
+(``repro profile --parallelism N``).
+
+Key hashing is ``sha256``-based (:func:`stable_hash`): placement is a
+pure function of the key, independent of ``PYTHONHASHSEED``, process,
+and platform — the same property the replicated store's hash ring
+relies on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Any, Iterable, Mapping
+
+from .graph import GraphError
+
+
+class ExecutionPlanError(GraphError):
+    """Raised for invalid :class:`ExecutionPlan` configurations — e.g. a
+    plan naming a source the graph (or the sample data) does not have."""
+
+
+class ChannelClosed(Exception):
+    """Receiving from (or sending to) a channel whose peer is gone."""
+
+
+# ---------------------------------------------------------------------------
+# Partition strategies
+# ---------------------------------------------------------------------------
+
+
+class PartitionStrategy(str, Enum):
+    """How a stream is spread across the parallel instances downstream.
+
+    * ``SHUFFLE`` — round-robin: successive items (or shards) go to
+      successive instances; maximizes balance, ignores content.
+    * ``KEY`` — sticky: an item goes to ``stable_hash(key) % n``, so the
+      same key always lands on the same instance (stateful consumers).
+    * ``BROADCAST`` — replicated: every instance receives every item
+      (control streams, and the coordinator fan-in of boundary traffic).
+    """
+
+    SHUFFLE = "shuffle"
+    KEY = "key"
+    BROADCAST = "broadcast"
+
+    @classmethod
+    def of(cls, value: "PartitionStrategy | str") -> "PartitionStrategy":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            raise ExecutionPlanError(
+                f"unknown partition strategy {value!r} "
+                f"(known: {[s.value for s in cls]})"
+            ) from None
+
+
+def stable_hash(key: str) -> int:
+    """A process/seed-independent 64-bit hash of ``key``.
+
+    ``sha256``-based like the replicated store's ring: placement
+    decisions derived from it are pure functions of the key, stable
+    across ``PYTHONHASHSEED``, interpreters, and platforms (Python's
+    builtin ``hash`` is none of those things).
+    """
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def route(
+    strategy: PartitionStrategy,
+    instances: int,
+    key: str | None = None,
+    cursor: int = 0,
+) -> tuple[int, ...]:
+    """Destination instance indices for one item under a strategy.
+
+    ``cursor`` is the item's ordinal for ``SHUFFLE`` round-robin;
+    ``key`` feeds the stable hash for ``KEY``.  ``BROADCAST`` returns
+    every instance.
+    """
+    if instances < 1:
+        raise ExecutionPlanError("route needs at least one instance")
+    strategy = PartitionStrategy.of(strategy)
+    if strategy is PartitionStrategy.BROADCAST:
+        return tuple(range(instances))
+    if strategy is PartitionStrategy.KEY:
+        if key is None:
+            raise ExecutionPlanError("KEY routing needs a key")
+        return (stable_hash(key) % instances,)
+    return (cursor % instances,)
+
+
+def assign_shards(
+    shards: Iterable[str],
+    workers: int,
+    strategy: PartitionStrategy = PartitionStrategy.SHUFFLE,
+    overrides: Mapping[str, PartitionStrategy] | None = None,
+) -> list[list[str]]:
+    """Place named shards onto ``workers`` instances.
+
+    Shards are placed in the given order (callers pass a sorted list, so
+    placement is deterministic).  ``overrides`` pins individual shards
+    to a different strategy; ``BROADCAST`` is rejected here because a
+    shard owns its slice of the measured statistics — replicating it
+    would double-count.
+    """
+    if workers < 1:
+        raise ExecutionPlanError("assign_shards needs at least one worker")
+    assignment: list[list[str]] = [[] for _ in range(workers)]
+    cursor = 0
+    for shard in shards:
+        chosen = PartitionStrategy.of(
+            (overrides or {}).get(shard, strategy)
+        )
+        if chosen is PartitionStrategy.BROADCAST:
+            raise ExecutionPlanError(
+                f"shard {shard!r} cannot be broadcast: shards own their "
+                "statistics (use shuffle or key)"
+            )
+        (index,) = route(chosen, workers, key=shard, cursor=cursor)
+        if chosen is PartitionStrategy.SHUFFLE:
+            cursor += 1
+        assignment[index].append(shard)
+    return assignment
+
+
+# ---------------------------------------------------------------------------
+# Channels
+# ---------------------------------------------------------------------------
+
+
+class Channel:
+    """In-process FIFO channel between operator instances.
+
+    The reference (single-process) implementation of the channel
+    contract: :meth:`send` enqueues, :meth:`recv` dequeues in order,
+    :meth:`close` makes further receives raise :class:`ChannelClosed`
+    once drained.
+    """
+
+    def __init__(self) -> None:
+        self._items: deque[Any] = deque()
+        self._closed = False
+
+    def send(self, item: Any) -> None:
+        if self._closed:
+            raise ChannelClosed("channel is closed")
+        self._items.append(item)
+
+    def recv(self) -> Any:
+        if not self._items:
+            raise ChannelClosed(
+                "channel drained" if self._closed else "channel empty"
+            )
+        return self._items.popleft()
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        while self._items:
+            yield self._items.popleft()
+
+
+class ProcessChannel:
+    """A channel across a ``fork()`` boundary, over an OS pipe.
+
+    Wraps one end of a :func:`multiprocessing.Pipe`; a dead peer
+    surfaces as :class:`ChannelClosed` instead of ``EOFError`` /
+    ``BrokenPipeError``, so callers handle worker loss as a channel
+    condition, not a transport accident.
+    """
+
+    def __init__(self, connection: Any) -> None:
+        self._connection = connection
+
+    @classmethod
+    def pair(cls) -> tuple["ProcessChannel", "ProcessChannel"]:
+        """(receiving end, sending end) of a one-way pipe."""
+        import multiprocessing as mp
+
+        receiver, sender = mp.Pipe(duplex=False)
+        return cls(receiver), cls(sender)
+
+    def send(self, item: Any) -> None:
+        try:
+            self._connection.send(item)
+        except (BrokenPipeError, OSError) as exc:
+            raise ChannelClosed(f"peer is gone: {exc}") from exc
+
+    def recv(self) -> Any:
+        try:
+            return self._connection.recv()
+        except (EOFError, OSError) as exc:
+            raise ChannelClosed(f"peer is gone: {exc}") from exc
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def fileno(self) -> int:
+        return self._connection.fileno()
+
+
+def fork_available() -> bool:
+    """Whether this platform can fork worker processes.
+
+    Operator-parallel execution forks: work functions are closures, so
+    they cross into workers only by address-space inheritance, never by
+    pickling.
+    """
+    import multiprocessing as mp
+
+    return "fork" in mp.get_all_start_methods()
+
+
+# ---------------------------------------------------------------------------
+# The execution plan
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """One typed description of how to drive a graph on source traces.
+
+    Every field is optional; ``None`` (or the field default) means
+    "inherit the consumer's default" — so a bare ``ExecutionPlan()``
+    reproduces each entry point's historical behaviour, and a plan can
+    be handed unchanged to :meth:`Executor.run
+    <repro.dataflow.execute.Executor.run>`, :meth:`Profiler.measure
+    <repro.profiler.profiler.Profiler.measure>`, :meth:`Session.profile
+    <repro.workbench.session.Session.profile>`, the deployment replay
+    path, and the CLI.
+
+    Args:
+        sources: the sources to drive, ``None`` meaning every source
+            the sample data provides.  Naming a source the graph or the
+            data lacks raises :class:`ExecutionPlanError` (not a bare
+            ``KeyError``).
+        rates: per-source element rates (elements/second) for the
+            virtual-time merge; ``None`` ticks all sources in lockstep.
+        interleave: merge sources by virtual time (the deployment-
+            faithful order).  ``False`` drains each source's trace in
+            full before the next — incompatible with ``rates``.
+        batch: drive columnar chunks instead of single elements
+            (``None``: consumer default — ``False`` for ``run_graph``,
+            the profiler's configured mode for ``Profiler.measure``).
+        batch_size: maximum elements per columnar chunk.  Chunk
+            splitting preserves per-source element order, so aggregate
+            statistics are unchanged; ``None`` lets bucket boundaries
+            alone bound chunks.
+        bucket_seconds: peak-tracking bucket width override.
+        track_peak: per-bucket peak recording override.
+        parallelism: worker processes for operator-parallel execution
+            (``None``/1: single-process).
+        strategy: default :class:`PartitionStrategy` for placing
+            parallel shards onto workers.
+        partition: per-source strategy overrides (keyed by the source
+            operator rooting each shard).
+    """
+
+    sources: tuple[str, ...] | None = None
+    rates: Mapping[str, float] | None = None
+    interleave: bool = True
+    batch: bool | None = None
+    batch_size: int | None = None
+    bucket_seconds: float | None = None
+    track_peak: bool | None = None
+    parallelism: int | None = None
+    strategy: PartitionStrategy = PartitionStrategy.SHUFFLE
+    partition: Mapping[str, PartitionStrategy] | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.sources is not None:
+            object.__setattr__(self, "sources", tuple(self.sources))
+        if self.rates is not None:
+            rates = dict(self.rates)
+            for name, rate in rates.items():
+                if rate <= 0:
+                    raise ExecutionPlanError(
+                        f"source {name!r} has non-positive rate {rate!r}"
+                    )
+            if not self.interleave:
+                raise ExecutionPlanError(
+                    "rates imply a virtual-time merge; they cannot be "
+                    "combined with interleave=False"
+                )
+            object.__setattr__(self, "rates", rates)
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ExecutionPlanError("batch_size must be >= 1")
+        if self.parallelism is not None and self.parallelism < 1:
+            raise ExecutionPlanError("parallelism must be >= 1")
+        if self.bucket_seconds is not None and self.bucket_seconds <= 0:
+            raise ExecutionPlanError("bucket_seconds must be positive")
+        object.__setattr__(
+            self, "strategy", PartitionStrategy.of(self.strategy)
+        )
+        if self.partition is not None:
+            object.__setattr__(
+                self,
+                "partition",
+                {
+                    name: PartitionStrategy.of(value)
+                    for name, value in dict(self.partition).items()
+                },
+            )
+
+    # -- resolution ----------------------------------------------------------
+
+    def resolve_sources(
+        self,
+        source_data: Mapping[str, Any],
+        graph: "Any | None" = None,
+    ) -> list[str]:
+        """The sources this plan drives, validated against data + graph.
+
+        Defaults to every source in ``source_data`` (in data order —
+        the virtual-time merge imposes its own deterministic order
+        downstream).  A plan naming a source absent from the data or
+        the graph raises :class:`ExecutionPlanError`.
+        """
+        if self.sources is None:
+            names = list(source_data)
+        else:
+            names = list(self.sources)
+            missing = [n for n in names if n not in source_data]
+            if missing:
+                raise ExecutionPlanError(
+                    f"plan names sources absent from the sample data: "
+                    f"{sorted(missing)}"
+                )
+        if graph is not None:
+            graph_sources = set(graph.sources)
+            unknown = [n for n in names if n not in graph_sources]
+            if unknown:
+                raise ExecutionPlanError(
+                    f"plan names operators that are not sources of "
+                    f"{graph.name!r}: {sorted(unknown)}"
+                )
+        if self.rates is not None:
+            missing_rates = [n for n in names if n not in self.rates]
+            if missing_rates:
+                raise ExecutionPlanError(
+                    f"plan rates missing sources: {sorted(missing_rates)}"
+                )
+        return names
+
+    def strategy_for(self, source: str) -> PartitionStrategy:
+        """The placement strategy for the shard rooted at ``source``."""
+        if self.partition is not None and source in self.partition:
+            return self.partition[source]
+        return self.strategy
+
+    def with_overrides(self, **changes: Any) -> "ExecutionPlan":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    @classmethod
+    def from_legacy(
+        cls,
+        round_robin: bool = True,
+        source_rates: Mapping[str, float] | None = None,
+        batch: bool = False,
+    ) -> "ExecutionPlan":
+        """The plan equivalent of the retired ``run_graph`` knobs.
+
+        Legacy ``batch=True`` drained each source's trace as one chunk
+        (no interleaving), so it maps to ``batch`` + ``interleave=False``;
+        legacy ``round_robin``/``source_rates`` map to ``interleave`` /
+        ``rates``.
+        """
+        if batch:
+            return cls(batch=True, interleave=False)
+        return cls(
+            rates=dict(source_rates) if source_rates is not None else None,
+            interleave=bool(round_robin) or source_rates is not None,
+            batch=False,
+        )

@@ -26,11 +26,13 @@ all operator state evolution and aggregate statistics), but interleaves
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 import numpy as np
 
+from .channels import ExecutionPlan
 from .graph import (
     Edge,
     GraphError,
@@ -220,6 +222,47 @@ class Executor:
             self._touched_ops.add(source)
         self._deliver_batch(source, values)
 
+    def run(
+        self,
+        source_data: dict[str, Any],
+        plan: ExecutionPlan | None = None,
+    ) -> "Executor":
+        """Drive the executor to completion as described by ``plan``.
+
+        The one plan-shaped entry point shared with ``run_graph``, the
+        profiler, and the deployment replay path.  A ``None``/default
+        plan interleaves all sources element-by-element in scalar mode.
+        Batched plans deliver columnar chunks split at ``batch_size``
+        and virtual-time bucket boundaries; ``interleave=False`` drains
+        each source's trace in full before the next.
+        """
+        if plan is None:
+            plan = ExecutionPlan()
+        names = plan.resolve_sources(source_data, self.graph)
+        batch = bool(plan.batch) if plan.batch is not None else False
+        if not plan.interleave:
+            for name in names:
+                if batch:
+                    self.push_batch(name, source_data[name])
+                else:
+                    self.push_many(name, source_data[name])
+            return self
+        lengths = {name: len(source_data[name]) for name in names}
+        schedule = merge_schedule(
+            lengths, plan.rates, plan.bucket_seconds, grouped=batch
+        )
+        for sched_run in schedule:
+            items = source_data[sched_run.name]
+            if batch:
+                for s, e in chunk_spans(
+                    sched_run.start, sched_run.stop, plan.batch_size
+                ):
+                    self.push_batch(sched_run.name, items[s:e])
+            else:
+                for index in range(sched_run.start, sched_run.stop):
+                    self.push(sched_run.name, items[index])
+        return self
+
     # -- internals ----------------------------------------------------------
 
     def _deliver(self, src: str, value: Any) -> None:
@@ -358,11 +401,14 @@ def merge_schedule(
 
     Element ``i`` of source ``s`` carries timestamp ``i / rates[s]`` —
     the moment a deployment's sensor would produce it.  The merge is the
-    vectorized equivalent of a ``(timestamp, source_order)`` heap: ties
-    go to the source listed first in ``lengths`` (insertion order).
+    vectorized equivalent of a ``(timestamp, source_name)`` heap: ties
+    go to the lexicographically smallest source name, so the schedule is
+    a pure function of ``(lengths, rates)`` — invariant under the
+    insertion order of either mapping (property-tested in
+    ``tests/dataflow/test_merge_schedule.py``).
 
     Args:
-        lengths: ordered map source name -> trace length.
+        lengths: map source name -> trace length.
         rates: per-source element rates; ``None`` means all sources tick
             in lockstep (rate 1.0), which reproduces the classic
             element-by-element round-robin interleave.
@@ -374,15 +420,22 @@ def merge_schedule(
             aggregates are unaffected (per-source element order is
             preserved; only cross-source interleaving coarsens).
     """
-    names = [name for name, n in lengths.items() if n > 0]
+    names = sorted(name for name, n in lengths.items() if n > 0)
     if not names:
         return []
     if rates is None:
         rates = {name: 1.0 for name in names}
 
-    times_per_source = [
-        np.arange(lengths[name], dtype=float) / rates[name] for name in names
-    ]
+    times_per_source = []
+    for name in names:
+        rate = rates[name]
+        if rate <= 0:
+            raise GraphError(
+                f"source {name!r} has non-positive rate {rate!r}"
+            )
+        times_per_source.append(
+            np.arange(lengths[name], dtype=float) / rate
+        )
     if bucket_seconds is not None:
         buckets_per_source = [
             (t / bucket_seconds).astype(np.int64) for t in times_per_source
@@ -446,58 +499,94 @@ def merge_schedule(
     return runs
 
 
+def chunk_spans(
+    start: int, stop: int, batch_size: int | None = None
+) -> Iterator[tuple[int, int]]:
+    """Split ``[start, stop)`` into in-order spans of ≤ ``batch_size``.
+
+    ``None`` yields the whole span.  Splitting preserves element order,
+    so aggregate statistics are independent of the chunking.
+    """
+    if batch_size is None:
+        if stop > start:
+            yield start, stop
+        return
+    for s in range(start, stop, batch_size):
+        yield s, min(s + batch_size, stop)
+
+
+_LEGACY = object()  # sentinel: distinguishes "not passed" from any value
+
+
 def run_graph(
     graph: StreamGraph,
     source_data: dict[str, list[Any]],
-    round_robin: bool = True,
-    source_rates: dict[str, float] | None = None,
-    batch: bool = False,
+    plan: ExecutionPlan | None = None,
+    *,
+    round_robin: Any = _LEGACY,
+    source_rates: Any = _LEGACY,
+    batch: Any = _LEGACY,
 ) -> Executor:
     """Run a graph to completion on per-source input traces.
 
-    With ``round_robin=True`` sources are interleaved element-by-element
-    (matching simultaneous sampling of multiple sensors); otherwise each
-    source's trace is drained in full before the next.  Passing
-    ``source_rates`` interleaves by virtual time instead — the same merge
-    the profiler uses (element ``i`` of source ``s`` arrives at
-    ``i / source_rates[s]``), of which plain round-robin is the
-    equal-rates special case.
+    How the traces are driven is described by an
+    :class:`~repro.dataflow.channels.ExecutionPlan`; the default plan
+    interleaves all sources element-by-element (matching simultaneous
+    sampling of multiple sensors).  ``plan.rates`` interleaves by
+    virtual time instead — the same merge the profiler uses — and
+    ``plan.batch`` delivers columnar chunks via
+    :meth:`Executor.push_batch`.
 
-    With ``batch=True`` each source's trace is delivered as one columnar
-    chunk via :meth:`Executor.push_batch` — far faster on graphs whose
-    operators carry ``work_batch`` forms; per-source element order (and
-    therefore all statistics) is unchanged, but sources are not
-    interleaved at all, so ``round_robin``/``source_rates`` do not apply
-    (``source_rates`` may not be combined with ``batch=True``; use
-    :class:`~repro.profiler.Profiler` with ``batch=True`` for
-    bucket-aligned rate-aware chunking).
+    The retired keyword knobs (``round_robin``, ``source_rates``,
+    ``batch``) still work as DeprecationWarning shims mapping onto the
+    equivalent plan; a plain bool in the ``plan`` position is accepted
+    as the old positional ``round_robin``.
     """
-    executor = Executor(graph)
     missing = set(source_data) - set(graph.sources)
     if missing:
         raise GraphError(f"not source operators: {sorted(missing)}")
-    if source_rates is not None:
-        if batch:
-            raise GraphError(
-                "source_rates cannot be combined with batch=True: batched "
-                "run_graph drains each source's trace as one chunk"
+    if isinstance(plan, bool):  # legacy positional round_robin
+        if round_robin is not _LEGACY:
+            raise TypeError("round_robin passed twice")
+        plan, round_robin = None, plan
+    legacy = {
+        name: value
+        for name, value in (
+            ("round_robin", round_robin),
+            ("source_rates", source_rates),
+            ("batch", batch),
+        )
+        if value is not _LEGACY
+    }
+    if legacy:
+        if plan is not None:
+            raise TypeError(
+                "pass either an ExecutionPlan or the legacy keywords, "
+                "not both"
             )
-        if set(source_rates) != set(source_data):
-            mismatch = set(source_rates) ^ set(source_data)
-            raise GraphError(
-                f"source_rates keys must match source_data: "
-                f"{sorted(mismatch)}"
-            )
-    if batch:
-        for name, items in source_data.items():
-            executor.push_batch(name, items)
-    elif round_robin or source_rates is not None:
-        lengths = {name: len(items) for name, items in source_data.items()}
-        for run in merge_schedule(lengths, source_rates):
-            items = source_data[run.name]
-            for index in range(run.start, run.stop):
-                executor.push(run.name, items[index])
-    else:
-        for name, items in source_data.items():
-            executor.push_many(name, items)
-    return executor
+        warnings.warn(
+            f"run_graph({', '.join(sorted(legacy))}=...) is deprecated; "
+            "pass an ExecutionPlan instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        rr = legacy.get("round_robin", True)
+        rates = legacy.get("source_rates")
+        batched = legacy.get("batch", False)
+        if rates is not None:
+            if batched:
+                raise GraphError(
+                    "source_rates cannot be combined with batch=True: "
+                    "batched run_graph drains each source's trace as one "
+                    "chunk"
+                )
+            if set(rates) != set(source_data):
+                mismatch = set(rates) ^ set(source_data)
+                raise GraphError(
+                    f"source_rates keys must match source_data: "
+                    f"{sorted(mismatch)}"
+                )
+        plan = ExecutionPlan.from_legacy(
+            round_robin=rr, source_rates=rates, batch=batched
+        )
+    return Executor(graph).run(source_data, plan)

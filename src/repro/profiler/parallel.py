@@ -1,0 +1,478 @@
+"""Operator-parallel profiling: shard workers + merge-region replay.
+
+Profiling work in this codebase is embarrassingly parallel along the
+graph's *source-disjoint* structure: an EEG pipeline is 256 independent
+per-channel cascades feeding one small fusion tail, a speech pipeline is
+one chain.  This module exploits that shape while keeping the headline
+guarantee of the batched profiler: **the parallel measurement is
+byte-identical in canonical form to the single-process one** —
+WorkCounts, per-bucket peaks, edge traffic, and sink contents included.
+
+How: the graph is partitioned by source ancestry.
+
+* A **shard** is the set of operators downstream of exactly one source
+  (the per-channel cascades).  Shards are placed onto forked worker
+  processes by the plan's :class:`~repro.dataflow.channels.
+  PartitionStrategy` (``shuffle`` round-robin or sticky ``key`` hash).
+* The **merge region** is every operator fed by two or more sources
+  (the fusion tail: zips, classifiers, sinks behind them).
+
+Each worker executes its shards' slice of the *global* virtual-time
+:func:`~repro.dataflow.execute.merge_schedule` with a real
+:class:`~repro.dataflow.execute.Executor`, so all shard statistics and
+per-bucket peaks are measured exactly as the serial run measures them.
+Deliveries crossing a shard→merge boundary are *captured* (after the
+edge's traffic is recorded, before the destination would run) and
+shipped back over a :class:`~repro.dataflow.channels.ProcessChannel`.
+Because every schedule run has exactly one owning source — hence one
+owning worker — the coordinator can replay all captures in global run
+order on a merge-region executor, reproducing the serial arrival order
+at every multi-source operator, and therefore its state evolution,
+WorkCounts, and outputs, bit for bit.
+
+Fault tolerance: each worker reports to the ``profiler.shard`` fault
+site on startup (the plan is inherited across ``fork``).  A killed or
+erroring worker's shards are re-executed in-process by the coordinator
+with fault hits disabled, so seeded kill schedules still produce
+byte-identical measurements.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from ..dataflow.channels import (
+    ChannelClosed,
+    ExecutionPlan,
+    PartitionStrategy,
+    ProcessChannel,
+    assign_shards,
+)
+from ..dataflow.execute import (
+    EdgeStats,
+    ExecutionStats,
+    Executor,
+    OperatorStats,
+    ScheduleRun,
+    chunk_spans,
+    merge_schedule,
+)
+from ..dataflow.graph import Edge, StreamGraph, WorkCounts
+from .profiler import PeakTracker
+
+#: Fault-injection site consulted once per forked shard worker.
+FAULT_SITE = "profiler.shard"
+
+
+# ---------------------------------------------------------------------------
+# Shard planning
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The source-ancestry partition of a graph.
+
+    ``shard_ops[s]`` is the operator set owned by the shard rooted at
+    driven source ``s`` (operators — including ``s`` — whose source
+    ancestry is exactly ``{s}``); ``merge_ops`` is everything else:
+    multi-source operators plus anything only undriven sources reach.
+    Every operator (and, via its ``src``, every edge) has exactly one
+    owner, so parallel statistics never double-count.
+    """
+
+    shard_sources: tuple[str, ...]
+    shard_ops: Mapping[str, frozenset[str]]
+    merge_ops: frozenset[str]
+
+    def owner_of_run(self, source: str) -> str | None:
+        return source if source in self.shard_ops else None
+
+
+def plan_shards(graph: StreamGraph, driven: Iterable[str]) -> ShardPlan:
+    """Partition ``graph`` into per-source shards and a merge region."""
+    ancestry: dict[str, set[str]] = {name: set() for name in graph.operators}
+    for source in graph.sources:
+        ancestry[source].add(source)
+        for op in graph.descendants(source):
+            ancestry[op].add(source)
+    shard_ops: dict[str, frozenset[str]] = {}
+    owned: set[str] = set()
+    for source in sorted(driven):
+        members = frozenset(
+            op for op, anc in ancestry.items() if anc == {source}
+        )
+        shard_ops[source] = members
+        owned |= members
+    merge_ops = frozenset(set(graph.operators) - owned)
+    return ShardPlan(tuple(sorted(driven)), shard_ops, merge_ops)
+
+
+# ---------------------------------------------------------------------------
+# Shard-side execution
+# ---------------------------------------------------------------------------
+
+
+class ShardExecutor(Executor):
+    """An :class:`Executor` confined to one worker's shard operators.
+
+    Deliveries to operators outside the owned set are *captured* rather
+    than invoked: :meth:`Executor._deliver` has already recorded the
+    boundary edge's traffic (and touch) by the time ``_invoke`` runs,
+    so the worker measures every edge whose ``src`` it owns, while the
+    destination's execution is deferred to the coordinator's replay.
+    """
+
+    def __init__(self, graph: StreamGraph, owned: frozenset[str]) -> None:
+        super().__init__(graph)
+        self._owned = owned
+        self._run_ordinal = 0
+        #: global run ordinal -> ordered (dst, port, values, batched)
+        self.captures: dict[int, list[tuple[str, int, Any, bool]]] = {}
+
+    def begin_run(self, ordinal: int) -> None:
+        self._run_ordinal = ordinal
+
+    def _invoke(self, name: str, port: int, item: Any) -> None:
+        if name not in self._owned:
+            self.captures.setdefault(self._run_ordinal, []).append(
+                (name, port, item, False)
+            )
+            return
+        super()._invoke(name, port, item)
+
+    def _invoke_batch(self, name: str, port: int, values: Any) -> None:
+        if name not in self._owned:
+            self.captures.setdefault(self._run_ordinal, []).append(
+                (name, port, values, True)
+            )
+            return
+        super()._invoke_batch(name, port, values)
+
+
+@dataclass
+class ShardResult:
+    """Everything one worker measured, shipped back over its channel."""
+
+    worker: int
+    sources: list[str]
+    source_inputs: dict[str, int]
+    operators: dict[str, OperatorStats]
+    edges: dict[Edge, EdgeStats]
+    edge_peaks: dict[Edge, float]
+    #: raw per-bucket peak deltas (coordinator scales by 1/bucket)
+    op_peaks: dict[str, WorkCounts]
+    captures: dict[int, list[tuple[str, int, Any, bool]]]
+    sinks: dict[str, list] = field(default_factory=dict)
+
+
+def _maybe_fault(worker: int | None) -> None:
+    """Consult the ``profiler.shard`` site (no-op without a plan)."""
+    if worker is None:
+        return
+    from ..workbench import faults
+
+    rule = faults.hit(FAULT_SITE, worker=worker)
+    if rule is None:
+        return
+    if rule.action == "kill":
+        os._exit(1)
+    if rule.action == "raise":
+        raise rule.build_error()
+    if rule.action == "delay":
+        time.sleep(rule.delay)
+
+
+def _run_shards(
+    graph: StreamGraph,
+    source_data: Mapping[str, Any],
+    schedule: list[ScheduleRun],
+    sources: list[str],
+    owned: frozenset[str],
+    worker: int,
+    *,
+    batch: bool,
+    batch_size: int | None,
+    bucket_seconds: float,
+    track_peak: bool,
+    fault_worker: int | None,
+) -> ShardResult:
+    """Execute one worker's shards over the global schedule.
+
+    Runs of other workers' sources are skipped but still advance the
+    peak-bucket clock, so this worker's per-bucket deltas land in
+    exactly the buckets the serial run would assign them.  Passing
+    ``fault_worker=None`` (the coordinator's recovery path) skips the
+    fault site so a kill rule cannot take down the parent.
+    """
+    _maybe_fault(fault_worker)
+    executor = ShardExecutor(graph, owned)
+    tracker = PeakTracker(executor, bucket_seconds) if track_peak else None
+    mine = set(sources)
+    current_bucket = 0
+    for ordinal, run in enumerate(schedule):
+        if tracker is not None and run.bucket != current_bucket:
+            tracker.flush()
+            current_bucket = run.bucket
+        if run.name not in mine:
+            continue
+        executor.begin_run(ordinal)
+        items = source_data[run.name]
+        if batch:
+            for s, e in chunk_spans(run.start, run.stop, batch_size):
+                executor.push_batch(run.name, items[s:e])
+        else:
+            for index in range(run.start, run.stop):
+                executor.push(run.name, items[index])
+    if tracker is not None:
+        tracker.flush()
+
+    stats = executor.stats
+    sinks = {
+        name: executor.sink_values(name)
+        for name in sorted(owned)
+        if graph.operators[name].is_sink
+    }
+    return ShardResult(
+        worker=worker,
+        sources=list(sources),
+        source_inputs={
+            name: stats.source_inputs[name] for name in sources
+        },
+        operators={name: stats.operators[name] for name in owned},
+        edges={
+            edge: stats.edge_traffic[edge]
+            for edge in graph.edges
+            if edge.src in owned
+        },
+        edge_peaks=dict(tracker.edge_peaks) if tracker is not None else {},
+        op_peaks=dict(tracker.op_peaks) if tracker is not None else {},
+        captures=executor.captures,
+        sinks=sinks,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ParallelMeasurement:
+    """Assembled output of one operator-parallel profiling run."""
+
+    stats: ExecutionStats
+    edge_peaks: dict[Edge, float]
+    #: raw per-bucket peak deltas (scale by 1/bucket_seconds)
+    op_peaks: dict[str, WorkCounts]
+    sinks: dict[str, list]
+    workers_used: int
+    #: worker slots whose shards were re-executed in-process after a
+    #: worker death or injected error
+    recovered_workers: list[int] = field(default_factory=list)
+
+
+def _copy_operator(target: OperatorStats, source: OperatorStats) -> None:
+    # Mutate in place: ExecutionStats pre-wires per-operator views of its
+    # stats objects; replacing dict entries would orphan those caches.
+    target.invocations = source.invocations
+    target.inputs = source.inputs
+    target.outputs = source.outputs
+    target.counts = source.counts
+
+
+def _copy_edge(target: EdgeStats, source: EdgeStats) -> None:
+    target.elements = source.elements
+    target.bytes = source.bytes
+    target.peak_element_bytes = source.peak_element_bytes
+
+
+def measure_operator_parallel(
+    graph: StreamGraph,
+    source_data: Mapping[str, Any],
+    source_rates: Mapping[str, float],
+    *,
+    bucket_seconds: float,
+    track_peak: bool,
+    batch: bool,
+    batch_size: int | None,
+    parallelism: int,
+    plan: ExecutionPlan | None = None,
+) -> ParallelMeasurement:
+    """Profile ``graph`` across a pool of forked shard workers.
+
+    The result is byte-identical in canonical form to the serial
+    (single-process) measurement with the same configuration; see the
+    module docstring for the argument.  Workers are forked, never
+    spawned: operator work functions are closures and cross the process
+    boundary by address-space inheritance only.
+    """
+    import multiprocessing as mp
+
+    ordered = {name: source_data[name] for name in sorted(source_data)}
+    shard_plan = plan_shards(graph, ordered)
+    lengths = {name: len(items) for name, items in ordered.items()}
+    schedule = merge_schedule(
+        lengths,
+        dict(source_rates),
+        bucket_seconds=bucket_seconds if track_peak else None,
+        grouped=batch,
+    )
+    n_workers = max(1, min(parallelism, len(shard_plan.shard_sources)))
+    strategy = (
+        plan.strategy if plan is not None else PartitionStrategy.SHUFFLE
+    )
+    overrides = plan.partition if plan is not None else None
+    assignment = assign_shards(
+        shard_plan.shard_sources, n_workers, strategy, overrides
+    )
+
+    def owned_of(shard_names: list[str]) -> frozenset[str]:
+        owned: set[str] = set()
+        for name in shard_names:
+            owned |= shard_plan.shard_ops[name]
+        return frozenset(owned)
+
+    run_kwargs = dict(
+        batch=batch,
+        batch_size=batch_size,
+        bucket_seconds=bucket_seconds,
+        track_peak=track_peak,
+    )
+
+    context = mp.get_context("fork")
+    spawned: list[tuple[Any, ProcessChannel, int, list[str]]] = []
+    for index, shard_names in enumerate(assignment):
+        if not shard_names:
+            continue
+        receiver, sender = ProcessChannel.pair()
+
+        def child(
+            index: int = index,
+            shard_names: list[str] = shard_names,
+            sender: ProcessChannel = sender,
+        ) -> None:
+            try:
+                result = _run_shards(
+                    graph,
+                    ordered,
+                    schedule,
+                    shard_names,
+                    owned_of(shard_names),
+                    index,
+                    fault_worker=index,
+                    **run_kwargs,
+                )
+                sender.send(("ok", result))
+            except BaseException as exc:
+                try:
+                    sender.send(
+                        ("error", f"{type(exc).__name__}: {exc}")
+                    )
+                except Exception:
+                    pass
+                os._exit(1)
+            os._exit(0)
+
+        process = context.Process(target=child, daemon=True)
+        process.start()
+        spawned.append((process, receiver, index, shard_names))
+
+    results: dict[int, ShardResult] = {}
+    recovered: list[int] = []
+    for process, receiver, index, shard_names in spawned:
+        try:
+            kind, payload = receiver.recv()
+        except ChannelClosed:
+            kind, payload = "error", "worker died"
+        if kind == "ok":
+            results[index] = payload
+        else:
+            # In-process recovery: same shards, same schedule slice,
+            # fault hits disabled so a kill rule cannot recurse.
+            recovered.append(index)
+            results[index] = _run_shards(
+                graph,
+                ordered,
+                schedule,
+                shard_names,
+                owned_of(shard_names),
+                index,
+                fault_worker=None,
+                **run_kwargs,
+            )
+    for process, receiver, _, _ in spawned:
+        process.join()
+        receiver.close()
+
+    # -- merge-region replay ------------------------------------------------
+    # Every schedule run has exactly one owning worker, so stitching the
+    # per-run capture lists back together in global run order reproduces
+    # the serial arrival order at every merge-region operator.
+    captures_by_run: dict[int, list[tuple[str, int, Any, bool]]] = {}
+    for result in results.values():
+        captures_by_run.update(result.captures)
+
+    merge_executor = Executor(graph)
+    tracker = (
+        PeakTracker(merge_executor, bucket_seconds) if track_peak else None
+    )
+    current_bucket = 0
+    for ordinal, run in enumerate(schedule):
+        if tracker is not None and run.bucket != current_bucket:
+            tracker.flush()
+            current_bucket = run.bucket
+        for dst, port, values, batched in captures_by_run.get(ordinal, ()):
+            if batched:
+                merge_executor._invoke_batch(dst, port, values)
+            else:
+                merge_executor._invoke(dst, port, values)
+    if tracker is not None:
+        tracker.flush()
+
+    # -- assembly -----------------------------------------------------------
+    stats = ExecutionStats(graph)
+    for index in sorted(results):
+        result = results[index]
+        for name, op_stats in result.operators.items():
+            _copy_operator(stats.operators[name], op_stats)
+        for edge, edge_stats in result.edges.items():
+            _copy_edge(stats.edge_traffic[edge], edge_stats)
+        for name, count in result.source_inputs.items():
+            stats.source_inputs[name] = count
+    merge_stats = merge_executor.stats
+    for name in shard_plan.merge_ops:
+        _copy_operator(stats.operators[name], merge_stats.operators[name])
+    for edge in graph.edges:
+        if edge.src in shard_plan.merge_ops:
+            _copy_edge(
+                stats.edge_traffic[edge], merge_stats.edge_traffic[edge]
+            )
+
+    edge_peaks: dict[Edge, float] = {}
+    op_peaks: dict[str, WorkCounts] = {}
+    for index in sorted(results):
+        edge_peaks.update(results[index].edge_peaks)
+        op_peaks.update(results[index].op_peaks)
+    if tracker is not None:
+        edge_peaks.update(tracker.edge_peaks)
+        op_peaks.update(tracker.op_peaks)
+
+    sinks: dict[str, list] = {}
+    for index in sorted(results):
+        sinks.update(results[index].sinks)
+    for name in sorted(shard_plan.merge_ops):
+        if graph.operators[name].is_sink:
+            sinks[name] = merge_executor.sink_values(name)
+
+    return ParallelMeasurement(
+        stats=stats,
+        edge_peaks=edge_peaks,
+        op_peaks=op_peaks,
+        sinks=sinks,
+        workers_used=len(spawned),
+        recovered_workers=recovered,
+    )

@@ -18,7 +18,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from ..dataflow.execute import ExecutionStats, Executor, merge_schedule
+from ..dataflow.channels import (
+    ExecutionPlan,
+    ExecutionPlanError,
+    fork_available,
+)
+from ..dataflow.execute import (
+    ExecutionStats,
+    Executor,
+    chunk_spans,
+    merge_schedule,
+)
 from ..dataflow.graph import Edge, GraphError, StreamGraph, WorkCounts
 from ..platforms.base import Platform
 from .records import EdgeProfile, GraphProfile, OperatorProfile
@@ -101,6 +111,63 @@ class Measurement:
         )
 
 
+class PeakTracker:
+    """Event-driven per-bucket peak accumulator over one executor.
+
+    Shared by the serial profiling loop, every operator-parallel shard
+    worker, and the coordinator's merge-region replay
+    (:mod:`repro.profiler.parallel`): each holds a tracker over its own
+    executor and flushes it at virtual-time bucket boundaries.  Because
+    a flush over an untouched graph region is a no-op, per-region
+    trackers flushed on the *global* bucket sequence accumulate exactly
+    the peaks the single-process run would.
+    """
+
+    def __init__(self, executor: Executor, bucket_seconds: float) -> None:
+        self.executor = executor
+        self.bucket_seconds = bucket_seconds
+        #: per-edge peak bytes/sec over any single bucket
+        self.edge_peaks: dict[Edge, float] = {}
+        #: per-operator peak WorkCounts over any single bucket (raw
+        #: deltas; scale by ``1/bucket_seconds`` for per-second rates)
+        self.op_peaks: dict[str, WorkCounts] = {}
+        self._prev_edge_bytes: dict[Edge, int] = {}
+        self._prev_op_counts: dict[str, WorkCounts] = {}
+        executor.start_touch_tracking()
+
+    def flush(self) -> None:
+        """Fold the since-last-boundary deltas into the running peaks."""
+        touched_edges, touched_ops = self.executor.drain_touched()
+        edge_traffic = self.executor.stats.edge_traffic
+        op_stats = self.executor.stats.operators
+        for edge in touched_edges:
+            total = edge_traffic[edge].bytes
+            delta = total - self._prev_edge_bytes.get(edge, 0)
+            if delta:
+                self._prev_edge_bytes[edge] = total
+                rate = delta / self.bucket_seconds
+                if rate > self.edge_peaks.get(edge, 0.0):
+                    self.edge_peaks[edge] = rate
+        for name in touched_ops:
+            counts = op_stats[name].counts
+            prev = self._prev_op_counts.get(name)
+            delta_counts = (
+                counts.minus(prev) if prev is not None else counts.copy()
+            )
+            if delta_counts.total:
+                self._prev_op_counts[name] = counts.copy()
+                best = self.op_peaks.get(name)
+                if best is None or delta_counts.total > best.total:
+                    self.op_peaks[name] = delta_counts
+
+    def scaled_op_peaks(self) -> dict[str, WorkCounts]:
+        """Peak counts per *second* (peak utilization needs the width)."""
+        return {
+            name: counts.scaled(1.0 / self.bucket_seconds)
+            for name, counts in self.op_peaks.items()
+        }
+
+
 class Profiler:
     """Runs a graph on programmer-supplied sample data (paper Section 3).
 
@@ -117,6 +184,15 @@ class Profiler:
             scalar run; only the element-level interleaving of *different*
             sources inside one bucket coarsens.  Off by default to keep
             the paper-faithful traversal order.
+        parallelism: worker processes for operator-parallel execution
+            (:mod:`repro.profiler.parallel`).  Parallel measurements are
+            byte-identical in canonical form to the single-process run,
+            so this is pure throughput — it does not enter the profile
+            content key.  Falls back to single-process execution where
+            ``fork`` is unavailable.
+        batch_size: optional cap on elements per columnar chunk in
+            batched mode (``None``: bucket boundaries alone bound
+            chunks).
 
     Peak tracking is event-driven: the executor reports which edges and
     operators were touched since the last bucket boundary, and the
@@ -129,18 +205,60 @@ class Profiler:
         bucket_seconds: float = 1.0,
         track_peak: bool = True,
         batch: bool = False,
+        parallelism: int = 1,
+        batch_size: int | None = None,
     ):
         if bucket_seconds <= 0:
             raise ValueError("bucket_seconds must be positive")
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.bucket_seconds = bucket_seconds
         self.track_peak = track_peak
         self.batch = batch
+        self.parallelism = parallelism
+        self.batch_size = batch_size
+
+    def with_plan(self, plan: ExecutionPlan | None) -> "Profiler":
+        """A profiler with this one's config overridden by ``plan``.
+
+        Only the plan's explicitly-set execution-config fields override
+        (``None`` fields inherit); per-call fields (``sources``,
+        ``rates``) are consumed by :meth:`measure` itself.
+        """
+        if plan is None:
+            return self
+        return Profiler(
+            bucket_seconds=(
+                self.bucket_seconds
+                if plan.bucket_seconds is None
+                else plan.bucket_seconds
+            ),
+            track_peak=(
+                self.track_peak
+                if plan.track_peak is None
+                else plan.track_peak
+            ),
+            batch=self.batch if plan.batch is None else plan.batch,
+            parallelism=(
+                self.parallelism
+                if plan.parallelism is None
+                else plan.parallelism
+            ),
+            batch_size=(
+                self.batch_size
+                if plan.batch_size is None
+                else plan.batch_size
+            ),
+        )
 
     def measure(
         self,
         graph: StreamGraph,
         source_data: dict[str, list[Any]],
-        source_rates: dict[str, float],
+        source_rates: dict[str, float] | None = None,
+        plan: ExecutionPlan | None = None,
     ) -> Measurement:
         """Execute ``graph`` on sample traces.
 
@@ -149,7 +267,34 @@ class Profiler:
             source_data: per-source sample input traces.
             source_rates: per-source element rates (elements/second) — the
                 real-time rates the deployed sensors would produce.
+            plan: optional :class:`~repro.dataflow.channels.ExecutionPlan`
+                selecting sources (typed :class:`~repro.dataflow.channels.
+                ExecutionPlanError` if it names one the graph or data
+                lacks), overriding rates, and overriding this profiler's
+                batch/bucket/peak/parallelism configuration per call.
         """
+        if plan is not None:
+            selected = plan.resolve_sources(source_data, graph)
+            source_data = {name: source_data[name] for name in selected}
+            if plan.rates is not None:
+                source_rates = {name: plan.rates[name] for name in selected}
+            elif source_rates is not None:
+                missing = [n for n in selected if n not in source_rates]
+                if missing:
+                    raise ExecutionPlanError(
+                        f"no rates for plan sources: {sorted(missing)}"
+                    )
+                source_rates = {
+                    name: source_rates[name] for name in selected
+                }
+            else:
+                raise ExecutionPlanError(
+                    f"no rates for plan sources: {sorted(selected)}"
+                )
+        if source_rates is None:
+            raise ValueError(
+                "source_rates are required (directly or via plan.rates)"
+            )
         missing = set(source_data) - set(graph.sources)
         if missing:
             raise GraphError(f"not source operators: {sorted(missing)}")
@@ -161,52 +306,59 @@ class Profiler:
         if not source_data or all(not v for v in source_data.values()):
             raise ValueError("sample traces are empty")
 
-        executor = Executor(graph)
+        effective = self.with_plan(plan)
         duration = max(
             len(items) / source_rates[name]
             for name, items in source_data.items()
         )
+        if effective.parallelism > 1 and fork_available():
+            from .parallel import measure_operator_parallel
 
-        edge_peaks: dict[Edge, float] = {}
-        op_peaks: dict[str, WorkCounts] = {}
-        prev_edge_bytes: dict[Edge, int] = {}
-        prev_op_counts: dict[str, WorkCounts] = {}
+            result = measure_operator_parallel(
+                graph,
+                source_data,
+                source_rates,
+                bucket_seconds=effective.bucket_seconds,
+                track_peak=effective.track_peak,
+                batch=effective.batch,
+                batch_size=effective.batch_size,
+                parallelism=effective.parallelism,
+                plan=plan,
+            )
+            return Measurement(
+                graph=graph,
+                stats=result.stats,
+                duration=duration,
+                edge_peak_bytes_per_sec=result.edge_peaks,
+                operator_peak_counts={
+                    name: counts.scaled(1.0 / effective.bucket_seconds)
+                    for name, counts in result.op_peaks.items()
+                },
+            )
+        return effective._measure_serial(
+            graph, source_data, source_rates, duration
+        )
 
-        if self.track_peak:
-            executor.start_touch_tracking()
-        edge_traffic = executor.stats.edge_traffic
-        op_stats = executor.stats.operators
-
-        def flush_bucket() -> None:
-            """Fold the since-last-boundary deltas into the running peaks."""
-            touched_edges, touched_ops = executor.drain_touched()
-            for edge in touched_edges:
-                total = edge_traffic[edge].bytes
-                delta = total - prev_edge_bytes.get(edge, 0)
-                if delta:
-                    prev_edge_bytes[edge] = total
-                    rate = delta / self.bucket_seconds
-                    if rate > edge_peaks.get(edge, 0.0):
-                        edge_peaks[edge] = rate
-            for name in touched_ops:
-                counts = op_stats[name].counts
-                prev = prev_op_counts.get(name)
-                delta_counts = (
-                    counts.minus(prev) if prev is not None else counts.copy()
-                )
-                if delta_counts.total:
-                    prev_op_counts[name] = counts.copy()
-                    best = op_peaks.get(name)
-                    if best is None or delta_counts.total > best.total:
-                        op_peaks[name] = delta_counts
+    def _measure_serial(
+        self,
+        graph: StreamGraph,
+        source_data: dict[str, list[Any]],
+        source_rates: dict[str, float],
+        duration: float,
+    ) -> Measurement:
+        executor = Executor(graph)
+        tracker = (
+            PeakTracker(executor, self.bucket_seconds)
+            if self.track_peak
+            else None
+        )
 
         # Merge-by-virtual-time so simultaneous sensors interleave the way
         # they would in a deployment.  Scalar mode replays the exact
         # element-by-element heap order; batch mode groups each bucket's
         # elements per source into one columnar chunk (bucket assignment
         # is computed vectorially inside merge_schedule).
-        ordered = dict(sorted(source_data.items()))
-        lengths = {name: len(items) for name, items in ordered.items()}
+        lengths = {name: len(items) for name, items in source_data.items()}
         schedule = merge_schedule(
             lengths,
             source_rates,
@@ -216,30 +368,30 @@ class Profiler:
 
         current_bucket = 0
         for run in schedule:
-            if self.track_peak and run.bucket != current_bucket:
-                flush_bucket()
+            if tracker is not None and run.bucket != current_bucket:
+                tracker.flush()
                 current_bucket = run.bucket
             items = source_data[run.name]
             if self.batch:
-                executor.push_batch(run.name, items[run.start:run.stop])
+                for s, e in chunk_spans(run.start, run.stop, self.batch_size):
+                    executor.push_batch(run.name, items[s:e])
             else:
                 for index in range(run.start, run.stop):
                     executor.push(run.name, items[index])
 
-        if self.track_peak:
-            flush_bucket()
+        if tracker is not None:
+            tracker.flush()
 
-        # Peak operator counts -> peak utilization requires the bucket width.
-        scaled_op_peaks = {
-            name: counts.scaled(1.0 / self.bucket_seconds)
-            for name, counts in op_peaks.items()
-        }
         return Measurement(
             graph=graph,
             stats=executor.stats,
             duration=duration,
-            edge_peak_bytes_per_sec=edge_peaks,
-            operator_peak_counts=scaled_op_peaks,
+            edge_peak_bytes_per_sec=(
+                tracker.edge_peaks if tracker is not None else {}
+            ),
+            operator_peak_counts=(
+                tracker.scaled_op_peaks() if tracker is not None else {}
+            ),
         )
 
     def profile(
@@ -248,6 +400,9 @@ class Profiler:
         source_data: dict[str, list[Any]],
         source_rates: dict[str, float],
         platform: Platform,
+        plan: ExecutionPlan | None = None,
     ) -> GraphProfile:
         """Measure and cost in one call (single-platform convenience)."""
-        return self.measure(graph, source_data, source_rates).on(platform)
+        return self.measure(graph, source_data, source_rates, plan=plan).on(
+            platform
+        )

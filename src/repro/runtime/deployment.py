@@ -22,6 +22,8 @@ from typing import Any
 
 import numpy as np
 
+from ..dataflow.channels import ExecutionPlan
+from ..dataflow.execute import merge_schedule
 from ..dataflow.graph import StreamGraph
 from ..network.testbed import Testbed
 from ..profiler.records import GraphProfile
@@ -188,21 +190,53 @@ class Deployment:
 
     # -- full simulation ------------------------------------------------------
 
+    def _event_order(
+        self,
+        source_data: dict[str, list[Any]],
+        plan: ExecutionPlan,
+    ) -> list[tuple[str, Any]]:
+        """Flatten the traces into the per-node event order ``plan`` asks
+        for: insertion-order drain when ``interleave`` is off (the historic
+        replay order), virtual-time merge otherwise.
+        """
+        names = plan.resolve_sources(source_data, self.graph)
+        events: list[tuple[str, Any]] = []
+        if not plan.interleave:
+            for name in names:
+                events.extend((name, item) for item in source_data[name])
+            return events
+        lengths = {name: len(source_data[name]) for name in names}
+        schedule = merge_schedule(lengths, plan.rates, plan.bucket_seconds)
+        for sched_run in schedule:
+            items = source_data[sched_run.name]
+            events.extend(
+                (sched_run.name, items[index])
+                for index in range(sched_run.start, sched_run.stop)
+            )
+        return events
+
     def run(
         self,
         source_data: dict[str, list[Any]],
         source_rates: dict[str, float],
         seed: int = 0,
         buffer_depth: int = 1,
+        plan: ExecutionPlan | None = None,
     ) -> DeploymentRunStats:
         """Execute the deployment on sample data, end to end.
 
         Every node receives the same input trace (the paper's nodes all
-        sample comparable audio); per-node state stays distinct.
+        sample comparable audio); per-node state stays distinct.  ``plan``
+        controls the replay order the same way it does for the profiler's
+        :meth:`Executor.run <repro.dataflow.execute.Executor.run>`; the
+        default keeps the historic per-source insertion-order drain.
         """
         platform = self.profile.platform
         rng = np.random.default_rng(seed)
         total_rate = sum(source_rates.values())
+        if plan is None:
+            plan = ExecutionPlan(interleave=False)
+        events = self._event_order(source_data, plan)
 
         nodes = [
             NodeRuntime(
@@ -221,9 +255,8 @@ class Deployment:
             for name, items in source_data.items()
         )
         for node in nodes:
-            for source, items in source_data.items():
-                for item in items:
-                    all_packets.extend(node.offer_event(source, item))
+            for source, item in events:
+                all_packets.extend(node.offer_event(source, item))
 
         # Channel: aggregate offered rate decides the delivery fraction.
         offered_pps = len(all_packets) / duration

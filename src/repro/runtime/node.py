@@ -12,6 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..dataflow.channels import ExecutionPlan
+from ..dataflow.execute import (
+    batch_items,
+    batch_length,
+    chunk_spans,
+    merge_schedule,
+)
 from ..dataflow.graph import Edge, OperatorContext, StreamGraph, WorkCounts
 from ..platforms.base import Platform
 from .marshal import Packet, fragment, pack
@@ -70,6 +77,66 @@ class BoundedExecutor:
         self._deliver(source, item)
         return self.outbox[start:]
 
+    def push_batch(self, source: str, values: Any) -> list[tuple[Edge, Any]]:
+        """Run a whole columnar chunk through the partition.
+
+        Work counts and per-stream element order are identical to ``n``
+        scalar :meth:`push` calls — operators with a ``work_batch`` form
+        process the chunk vectorized, everything else falls back to
+        per-element dispatch within it.  Boundary crossings are
+        flattened back to per-element ``(edge, value)`` pairs, so the
+        outbox contract is unchanged.
+        """
+        if source not in self.node_set:
+            raise ValueError(f"source {source!r} not in the node partition")
+        start = len(self.outbox)
+        n = batch_length(values)
+        if n == 0:
+            return []
+        self.counts[source].add(invocations=float(n))
+        self._deliver_batch(source, values)
+        return self.outbox[start:]
+
+    def run(
+        self,
+        source_data: dict[str, Any],
+        plan: ExecutionPlan | None = None,
+    ) -> list[tuple[Edge, Any]]:
+        """Replay full traces under an
+        :class:`~repro.dataflow.channels.ExecutionPlan` — the same entry
+        point shape as :meth:`Executor.run
+        <repro.dataflow.execute.Executor.run>`, so deploy ≡ profile in
+        API terms.  Returns the boundary emissions of the whole replay.
+        """
+        if plan is None:
+            plan = ExecutionPlan()
+        names = plan.resolve_sources(source_data)
+        start = len(self.outbox)
+        batch = bool(plan.batch) if plan.batch is not None else False
+        if not plan.interleave:
+            for name in names:
+                if batch:
+                    self.push_batch(name, source_data[name])
+                else:
+                    for item in source_data[name]:
+                        self.push(name, item)
+            return self.outbox[start:]
+        lengths = {name: len(source_data[name]) for name in names}
+        schedule = merge_schedule(
+            lengths, plan.rates, plan.bucket_seconds, grouped=batch
+        )
+        for sched_run in schedule:
+            items = source_data[sched_run.name]
+            if batch:
+                for s, e in chunk_spans(
+                    sched_run.start, sched_run.stop, plan.batch_size
+                ):
+                    self.push_batch(sched_run.name, items[s:e])
+            else:
+                for index in range(sched_run.start, sched_run.stop):
+                    self.push(sched_run.name, items[index])
+        return self.outbox[start:]
+
     def _deliver(self, src: str, value: Any) -> None:
         for edge in self.graph.out_edges(src):
             if edge.dst in self.node_set:
@@ -87,6 +154,37 @@ class BoundedExecutor:
             op.work(ctx, port, item)
         for value in emitted:
             self._deliver(name, value)
+
+    def _deliver_batch(self, src: str, values: Any) -> None:
+        for edge in self.graph.out_edges(src):
+            if edge.dst in self.node_set:
+                self._invoke_batch(edge.dst, edge.dst_port, values)
+            else:
+                for item in batch_items(values):
+                    self.outbox.append((edge, item))
+
+    def _invoke_batch(self, name: str, port: int, values: Any) -> None:
+        op = self.graph.operators[name]
+        counts = self.counts[name]
+        n = batch_length(values)
+        counts.add(invocations=float(n))
+        emitted: list[Any] = []
+        ctx = OperatorContext(self._state[name], emitted.append, counts)
+        outputs: Any = None
+        if op.work_batch is not None:
+            outputs = op.work_batch(ctx, port, values)
+        elif op.work is not None:
+            # Per-element fallback: same state, same counts, outputs
+            # regrouped into one chunk for the rest of the traversal.
+            work = op.work
+            for item in batch_items(values):
+                work(ctx, port, item)
+        if emitted and outputs is not None:
+            outputs = list(emitted) + list(batch_items(outputs))
+        elif outputs is None:
+            outputs = emitted
+        if batch_length(outputs):
+            self._deliver_batch(name, outputs)
 
 
 @dataclass

@@ -823,14 +823,16 @@ def as_layout(
         return root
     if isinstance(root, Mapping):
         return ReplicatedStore.from_spec(root)
-    text = str(root)
-    if text.startswith("@"):
-        with open(text[1:], "r", encoding="utf-8") as handle:
-            return ReplicatedStore.from_spec(json.load(handle))
-    if "," in text:
-        dirs = [part for part in text.split(",") if part]
-        return ReplicatedStore(dirs)
-    return SingleLayout(text)
+    # Same a,b,c|@manifest grammar as every backend-naming CLI flag;
+    # the manifest payload here is a ReplicatedStore ring spec.
+    from .transport import split_spec
+
+    payload, items = split_spec(str(root))
+    if payload is not None:
+        return ReplicatedStore.from_spec(payload)
+    if len(items) > 1:
+        return ReplicatedStore(items)
+    return SingleLayout(items[0] if items else str(root))
 
 
 def parse_store_arg(

@@ -44,10 +44,11 @@ from ..platforms import get_platform
 from ..profiler.profiler import Measurement, Profiler
 from ..profiler.records import GraphProfile
 from ..runtime.deployment import Deployment, DeploymentPrediction
+from ..dataflow.channels import ExecutionPlan
 from ..dataflow.graph import StreamGraph
 from .cache import ResultCache, result_key
 from .scenarios import Scenario, WorkbenchError, get_scenario
-from .store import ProfileStore
+from .store import DEFAULT_PROFILER_CONFIG, ProfileStore
 
 
 @dataclass(frozen=True)
@@ -406,10 +407,33 @@ class Session:
 
     # -- profiling ----------------------------------------------------------
 
-    def measurement(self) -> Measurement:
-        """The scenario's (cached) platform-independent measurement."""
+    def _profiler_for(self, plan: "ExecutionPlan | None") -> Profiler | None:
+        """The session profiler with ``plan``'s config overrides applied.
+
+        ``parallelism``/``batch_size`` do not enter the profile content
+        key (parallel measurements are byte-identical to serial ones),
+        so plan-overridden sessions share store entries with plain ones.
+        """
+        if plan is None:
+            return self.profiler
+        base = (
+            self.profiler
+            if self.profiler is not None
+            else Profiler(**DEFAULT_PROFILER_CONFIG)
+        )
+        return base.with_plan(plan)
+
+    def measurement(
+        self, plan: "ExecutionPlan | None" = None
+    ) -> Measurement:
+        """The scenario's (cached) platform-independent measurement.
+
+        ``plan`` overrides the profiler's execution configuration for
+        this lookup — e.g. ``ExecutionPlan(parallelism=4)`` profiles
+        cache misses across four worker processes.
+        """
         _, measurement = self.store.measurement(
-            self.scenario, self.params, self.profiler
+            self.scenario, self.params, self._profiler_for(plan)
         )
         return measurement
 
@@ -421,15 +445,24 @@ class Session:
         return self.measurement().on(get_platform(platform))
 
     def profile(
-        self, platform: str | None = None, rate_factor: float = 1.0
+        self,
+        platform: str | None = None,
+        rate_factor: float = 1.0,
+        plan: "ExecutionPlan | None" = None,
     ) -> GraphProfile:
         """The scenario costed on a platform (optionally rate-scaled).
 
         Returns a freshly materialized profile the caller owns outright;
         internal solving/deployment paths share the service's cached
-        instance instead.
+        instance instead.  ``plan`` overrides profiler execution config
+        (parallelism, batching, buckets) for this call.
         """
-        profile = self._factor_one_profile(platform or self.platform)
+        if plan is None:
+            profile = self._factor_one_profile(platform or self.platform)
+        else:
+            profile = self.measurement(plan).on(
+                get_platform(platform or self.platform)
+            )
         if rate_factor != 1.0:
             profile = profile.scaled(rate_factor)
         return profile

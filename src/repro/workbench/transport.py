@@ -104,14 +104,33 @@ def format_address(address: Any) -> str:
     return f"{host}:{port}"
 
 
+def split_spec(spec: str) -> tuple[Any, list[str]]:
+    """Parse the shared ``a,b,c`` | ``@manifest.json`` target grammar.
+
+    The one spelling for every CLI flag naming backends or store
+    directories (``--server``, ``--backends``, ``--store``): a comma
+    list of items, or an ``@file`` reference to a JSON manifest whose
+    shape the caller interprets.  Returns ``(payload, items)`` — for an
+    ``@file`` reference ``payload`` is the parsed JSON document and
+    ``items`` is empty; otherwise ``payload`` is ``None`` and ``items``
+    is the comma-split, stripped, non-empty parts.
+    """
+    spec = spec.strip()
+    if spec.startswith("@"):
+        path = spec[1:]
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise ServerError(f"cannot read manifest {path}: {exc}")
+        except json.JSONDecodeError as exc:
+            raise ServerError(f"manifest {path} is not JSON: {exc}")
+        return payload, []
+    return None, [part.strip() for part in spec.split(",") if part.strip()]
+
+
 def load_manifest(path: str | Path) -> list[str]:
     """Read a partition-directory manifest: ``{"backends": [...]}``."""
-    try:
-        payload = json.loads(Path(path).read_text(encoding="utf-8"))
-    except OSError as exc:
-        raise ServerError(f"cannot read backend manifest {path}: {exc}")
-    except json.JSONDecodeError as exc:
-        raise ServerError(f"backend manifest {path} is not JSON: {exc}")
+    payload, _ = split_spec(f"@{path}")
     if not isinstance(payload, Mapping) or "backends" not in payload:
         raise ServerError(
             f"backend manifest {path} needs a 'backends' list"
@@ -150,14 +169,9 @@ def parse_targets(spec: Any) -> list[str]:
     if isinstance(spec, str):
         if spec.startswith("@"):
             targets = load_manifest(spec[1:])
-        elif "," in spec:
-            targets = [
-                format_address(part)
-                for part in (p.strip() for p in spec.split(","))
-                if part
-            ]
         else:
-            targets = [format_address(spec)]
+            _, items = split_spec(spec)
+            targets = [format_address(part) for part in items]
     elif (
         isinstance(spec, (tuple, list))
         and len(spec) == 2

@@ -184,7 +184,7 @@ def test_end_to_end_seizure_detection():
         feature_mean=svm._mean,
         feature_std=svm._std,
     )
-    executor = run_graph(graph, test.source_data(), round_robin=True)
+    executor = run_graph(graph, test.source_data())
     alarms = executor.sink_values("alarms")
     assert len(alarms) >= 1
     # Declared within the seizure (windows 15..22).

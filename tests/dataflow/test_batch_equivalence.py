@@ -16,7 +16,7 @@ from repro.apps.eeg.pipeline import source_rates
 from repro.apps.speech import build_speech_pipeline, synth_speech_audio
 from repro.apps.speech.audio import FRAMES_PER_SEC
 from repro.core import PartitionObjective, RelocationMode, Wishbone
-from repro.dataflow import GraphBuilder, run_graph
+from repro.dataflow import ExecutionPlan, GraphBuilder, run_graph
 from repro.dataflow.execute import Executor, merge_schedule
 from repro.dataflow.operators import (
     add_streams,
@@ -95,8 +95,11 @@ def test_kitchen_sink_equivalence(seed):
         "blocks": [rng.normal(size=16) for _ in range(n_blocks)],
     }
 
-    scalar = run_graph(build_kitchen_sink(), data, round_robin=True)
-    batched = run_graph(build_kitchen_sink(), data, batch=True)
+    scalar = run_graph(build_kitchen_sink(), data)
+    batched = run_graph(
+        build_kitchen_sink(), data,
+        ExecutionPlan(batch=True, interleave=False),
+    )
     assert_stats_equal(scalar.stats, batched.stats)
 
     a = scalar.sink_values("out")
@@ -115,7 +118,9 @@ def test_mixed_scalar_and_batch_pushes_share_state(seed):
         "scalars": [float(x) for x in rng.normal(size=60)],
         "blocks": [rng.normal(size=16) for _ in range(18)],
     }
-    scalar = run_graph(build_kitchen_sink(), data, round_robin=False)
+    scalar = run_graph(
+        build_kitchen_sink(), data, ExecutionPlan(interleave=False)
+    )
 
     mixed = Executor(build_kitchen_sink())
     items = data["scalars"]
@@ -195,8 +200,10 @@ def test_speech_stats_and_sink_identical():
 
     graph_scalar = build_speech_pipeline()
     graph_batched = build_speech_pipeline()
-    scalar_exec = run_graph(graph_scalar, data, round_robin=True)
-    batched_exec = run_graph(graph_batched, data, batch=True)
+    scalar_exec = run_graph(graph_scalar, data)
+    batched_exec = run_graph(
+        graph_batched, data, ExecutionPlan(batch=True, interleave=False)
+    )
     assert_stats_equal(scalar_exec.stats, batched_exec.stats)
     assert scalar_exec.sink_values("results") == batched_exec.sink_values(
         "results"
@@ -224,9 +231,9 @@ def test_run_graph_source_rates_interleaves_like_profiler():
     run_graph(
         builder.build(),
         {"fast": [1, 2, 3, 4], "slow": [10, 20]},
-        source_rates={"fast": 4.0, "slow": 2.0},
+        ExecutionPlan(rates={"fast": 4.0, "slow": 2.0}),
     )
-    # fast at t=0,.25,.5,.75; slow at t=0,.5; ties break by dict order.
+    # fast at t=0,.25,.5,.75; slow at t=0,.5; ties break by source name.
     assert order == ["fast", "slow", "fast", "fast", "slow", "fast"]
 
 
@@ -256,6 +263,7 @@ def test_merge_schedule_grouped_respects_buckets():
 
 
 def test_run_graph_source_rates_validation():
+    """The retired keywords keep their validation messages (shim path)."""
     from repro.dataflow.graph import GraphError
 
     builder = GraphBuilder()
@@ -266,7 +274,35 @@ def test_run_graph_source_rates_validation():
     builder.sink("ob", b)
     graph = builder.build()
     data = {"a": [1, 2], "b": [3, 4]}
-    with pytest.raises(GraphError, match="match"):
+    with pytest.raises(GraphError, match="match"), pytest.deprecated_call():
         run_graph(graph, data, source_rates={"a": 1.0})
-    with pytest.raises(GraphError, match="batch"):
+    with pytest.raises(GraphError, match="batch"), pytest.deprecated_call():
         run_graph(graph, data, source_rates={"a": 1.0, "b": 1.0}, batch=True)
+
+
+def test_run_graph_legacy_kwargs_are_deprecation_shims():
+    """Old spellings still run, warn, and match their plan equivalents."""
+    data = {
+        "scalars": [float(x) for x in range(20)],
+        "blocks": [np.arange(16.0) for _ in range(5)],
+    }
+    with pytest.deprecated_call(match="ExecutionPlan"):
+        legacy = run_graph(build_kitchen_sink(), data, batch=True)
+    planned = run_graph(
+        build_kitchen_sink(), data,
+        ExecutionPlan(batch=True, interleave=False),
+    )
+    assert_stats_equal(legacy.stats, planned.stats)
+
+    # A plain bool in the plan position is the old positional round_robin.
+    with pytest.deprecated_call():
+        positional = run_graph(build_kitchen_sink(), data, False)
+    sequential = run_graph(
+        build_kitchen_sink(), data, ExecutionPlan(interleave=False)
+    )
+    assert_stats_equal(positional.stats, sequential.stats)
+
+    with pytest.raises(TypeError, match="not both"):
+        run_graph(
+            build_kitchen_sink(), data, ExecutionPlan(), batch=True
+        )

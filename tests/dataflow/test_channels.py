@@ -1,0 +1,211 @@
+"""Channels, partition strategies, and the typed ExecutionPlan."""
+
+import pytest
+
+from repro.dataflow import GraphBuilder
+from repro.dataflow.channels import (
+    Channel,
+    ChannelClosed,
+    ExecutionPlan,
+    ExecutionPlanError,
+    PartitionStrategy,
+    ProcessChannel,
+    assign_shards,
+    fork_available,
+    route,
+    stable_hash,
+)
+
+
+def _two_source_graph():
+    builder = GraphBuilder("two")
+    with builder.node():
+        a = builder.source("a")
+        c = builder.source("c")
+
+        def forward(ctx, port, item):
+            ctx.emit(item)
+
+        z = builder.merge("z", [a, c], forward)
+    builder.sink("out", z)
+    return builder.build()
+
+
+# -- partition strategies ---------------------------------------------------
+
+
+def test_strategy_of_coerces_strings_and_instances():
+    assert PartitionStrategy.of("shuffle") is PartitionStrategy.SHUFFLE
+    assert PartitionStrategy.of("KEY") is PartitionStrategy.KEY
+    assert (
+        PartitionStrategy.of(PartitionStrategy.BROADCAST)
+        is PartitionStrategy.BROADCAST
+    )
+    with pytest.raises(ExecutionPlanError, match="unknown partition"):
+        PartitionStrategy.of("zigzag")
+
+
+def test_stable_hash_is_deterministic_and_seed_independent():
+    # sha256-derived: a fixed key must hash identically everywhere,
+    # unlike builtin hash() under PYTHONHASHSEED.
+    assert stable_hash("ch00.source") == stable_hash("ch00.source")
+    assert stable_hash("a") != stable_hash("b")
+    assert 0 <= stable_hash("x") < 2 ** 64
+
+
+def test_route_shuffle_round_robins():
+    assert [route("shuffle", 3, cursor=i) for i in range(4)] == [
+        (0,), (1,), (2,), (0,)
+    ]
+
+
+def test_route_key_is_sticky_and_broadcast_fans_out():
+    first = route("key", 4, key="sensor-7")
+    assert route("key", 4, key="sensor-7") == first
+    assert route("broadcast", 3) == (0, 1, 2)
+    with pytest.raises(ExecutionPlanError, match="needs a key"):
+        route("key", 2)
+    with pytest.raises(ExecutionPlanError, match="at least one instance"):
+        route("shuffle", 0)
+
+
+def test_assign_shards_shuffle_balances():
+    shards = [f"s{i}" for i in range(7)]
+    assignment = assign_shards(shards, 3)
+    assert assignment == [["s0", "s3", "s6"], ["s1", "s4"], ["s2", "s5"]]
+
+
+def test_assign_shards_key_is_stable_and_broadcast_rejected():
+    shards = ["a", "b", "c", "d"]
+    by_key = assign_shards(shards, 2, strategy=PartitionStrategy.KEY)
+    assert by_key == assign_shards(shards, 2, strategy="key")
+    assert sorted(sum(by_key, [])) == shards
+    with pytest.raises(ExecutionPlanError, match="cannot be broadcast"):
+        assign_shards(shards, 2, strategy=PartitionStrategy.BROADCAST)
+    with pytest.raises(ExecutionPlanError, match="cannot be broadcast"):
+        assign_shards(
+            shards, 2, overrides={"b": PartitionStrategy.BROADCAST}
+        )
+
+
+def test_assign_shards_overrides_pin_individual_shards():
+    shards = ["a", "b", "c"]
+    pinned = assign_shards(
+        shards, 2, overrides={"b": PartitionStrategy.KEY}
+    )
+    # "b" goes where its hash says; shuffle shards keep round-robin order.
+    expected_b = stable_hash("b") % 2
+    assert "b" in pinned[expected_b]
+    assert sorted(sum(pinned, [])) == shards
+
+
+# -- channels ---------------------------------------------------------------
+
+
+def test_channel_fifo_and_close_semantics():
+    ch = Channel()
+    ch.send(1)
+    ch.send(2)
+    assert len(ch) == 2
+    assert ch.recv() == 1
+    ch.close()
+    with pytest.raises(ChannelClosed, match="closed"):
+        ch.send(3)
+    assert ch.recv() == 2  # drains what was buffered
+    with pytest.raises(ChannelClosed, match="drained"):
+        ch.recv()
+
+
+def test_channel_empty_recv_raises():
+    with pytest.raises(ChannelClosed, match="empty"):
+        Channel().recv()
+
+
+def test_channel_iter_drains():
+    ch = Channel()
+    for i in range(3):
+        ch.send(i)
+    assert list(ch) == [0, 1, 2]
+    assert len(ch) == 0
+
+
+def test_process_channel_round_trip_and_peer_loss():
+    receiver, sender = ProcessChannel.pair()
+    sender.send({"x": 1})
+    assert receiver.recv() == {"x": 1}
+    sender.close()
+    with pytest.raises(ChannelClosed, match="peer is gone"):
+        receiver.recv()
+
+
+def test_fork_available_reports_platform_capability():
+    import multiprocessing as mp
+
+    assert fork_available() == ("fork" in mp.get_all_start_methods())
+
+
+# -- the ExecutionPlan ------------------------------------------------------
+
+
+def test_plan_validates_fields():
+    with pytest.raises(ExecutionPlanError, match="non-positive rate"):
+        ExecutionPlan(rates={"a": 0.0})
+    with pytest.raises(ExecutionPlanError, match="interleave=False"):
+        ExecutionPlan(rates={"a": 1.0}, interleave=False)
+    with pytest.raises(ExecutionPlanError, match="batch_size"):
+        ExecutionPlan(batch_size=0)
+    with pytest.raises(ExecutionPlanError, match="parallelism"):
+        ExecutionPlan(parallelism=0)
+    with pytest.raises(ExecutionPlanError, match="bucket_seconds"):
+        ExecutionPlan(bucket_seconds=0.0)
+    with pytest.raises(ExecutionPlanError, match="unknown partition"):
+        ExecutionPlan(strategy="zigzag")
+
+
+def test_plan_coerces_strategy_strings():
+    plan = ExecutionPlan(strategy="key", partition={"a": "broadcast"})
+    assert plan.strategy is PartitionStrategy.KEY
+    assert plan.strategy_for("a") is PartitionStrategy.BROADCAST
+    assert plan.strategy_for("b") is PartitionStrategy.KEY
+
+
+def test_plan_resolve_sources_defaults_to_data_order():
+    plan = ExecutionPlan()
+    assert plan.resolve_sources({"c": [1], "a": [2]}) == ["c", "a"]
+
+
+def test_plan_resolve_sources_typed_errors():
+    graph = _two_source_graph()
+    data = {"a": [1], "c": [2]}
+    with pytest.raises(ExecutionPlanError, match="absent from the sample"):
+        ExecutionPlan(sources=("a", "ghost")).resolve_sources(data)
+    with pytest.raises(ExecutionPlanError, match="not sources of"):
+        ExecutionPlan(sources=("z",)).resolve_sources({"z": [1]}, graph)
+    with pytest.raises(ExecutionPlanError, match="rates missing"):
+        ExecutionPlan(rates={"a": 1.0}).resolve_sources(data)
+    # ExecutionPlanError is a GraphError subclass: old except clauses
+    # keep working.
+    from repro.dataflow import GraphError
+
+    assert issubclass(ExecutionPlanError, GraphError)
+
+
+def test_plan_with_overrides_returns_new_frozen_copy():
+    plan = ExecutionPlan(parallelism=2)
+    bumped = plan.with_overrides(parallelism=4, batch=True)
+    assert plan.parallelism == 2
+    assert (bumped.parallelism, bumped.batch) == (4, True)
+    with pytest.raises(AttributeError):
+        plan.parallelism = 8
+
+
+def test_plan_from_legacy_maps_retired_knobs():
+    assert ExecutionPlan.from_legacy(batch=True) == ExecutionPlan(
+        batch=True, interleave=False
+    )
+    assert ExecutionPlan.from_legacy(round_robin=False) == ExecutionPlan(
+        interleave=False, batch=False
+    )
+    rates = {"a": 2.0}
+    plan = ExecutionPlan.from_legacy(source_rates=rates)
+    assert plan.rates == rates and plan.interleave

@@ -112,7 +112,7 @@ def test_round_robin_interleaves_sources():
     builder.sink("oa", fa)
     builder.sink("ob", fb)
     graph = builder.build()
-    run_graph(graph, {"a": [1, 2], "b": [1, 2]}, round_robin=True)
+    run_graph(graph, {"a": [1, 2], "b": [1, 2]})
     assert order == ["a", "b", "a", "b"]
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.dataflow import GraphBuilder, SinkBuffer, run_graph
+from repro.dataflow import ExecutionPlan, GraphBuilder, SinkBuffer, run_graph
 
 
 def test_empty_buffer():
@@ -121,7 +121,9 @@ def test_batched_and_scalar_sinks_agree():
     graph_b = _identity_graph()
     data = np.arange(40.0)
     scalar = run_graph(graph_a, {"src": list(data)})
-    batched = run_graph(graph_b, {"src": data}, batch=True)
+    batched = run_graph(
+        graph_b, {"src": data}, ExecutionPlan(batch=True, interleave=False)
+    )
     np.testing.assert_array_equal(
         scalar.sink_array("out"), batched.sink_array("out")
     )

@@ -110,3 +110,47 @@ def test_goodput_peaks_at_filterbank(tmote_speech_profile, tmote_testbed):
         )
         goodputs[cut] = deployment.analyze().goodput
     assert max(goodputs, key=goodputs.get) == "filtbank"
+
+
+def test_run_default_plan_matches_explicit_insertion_order(
+    server_speech_profile,
+):
+    """run() without a plan is the historic insertion-order drain."""
+    from repro.dataflow.channels import ExecutionPlan
+
+    graph = server_speech_profile.graph
+    testbed = Testbed(get_platform("meraki"), n_nodes=1)
+    deployment = Deployment(
+        server_speech_profile, node_set_for_cut(graph, "source"), testbed
+    )
+    audio = synth_speech_audio(duration_s=1.0, seed=4)
+    data = {"source": audio.frames()}
+    rates = {"source": FRAMES_PER_SEC}
+    default = deployment.run(data, rates, seed=0)
+    explicit = deployment.run(
+        data, rates, seed=0, plan=ExecutionPlan(interleave=False)
+    )
+    merged = deployment.run(
+        data, rates, seed=0, plan=ExecutionPlan(rates=rates)
+    )
+    assert default.server_outputs == explicit.server_outputs
+    assert default.packets_sent == explicit.packets_sent
+    # One source: the virtual-time merge degenerates to the same order.
+    assert default.server_outputs == merged.server_outputs
+
+
+def test_run_plan_rejects_unknown_source(server_speech_profile):
+    from repro.dataflow.channels import ExecutionPlan, ExecutionPlanError
+
+    graph = server_speech_profile.graph
+    testbed = Testbed(get_platform("meraki"), n_nodes=1)
+    deployment = Deployment(
+        server_speech_profile, node_set_for_cut(graph, "source"), testbed
+    )
+    audio = synth_speech_audio(duration_s=0.5, seed=4)
+    with pytest.raises(ExecutionPlanError, match="not sources of"):
+        deployment.run(
+            {"source": audio.frames(), "fft": []},
+            {"source": FRAMES_PER_SEC},
+            plan=ExecutionPlan(sources=("fft",)),
+        )

@@ -5,7 +5,7 @@ import pytest
 from repro.core import Partition, brute_force_partition
 from repro.core.heuristics import HeuristicResult
 from repro.core.problem import PartitionProblem, WeightedEdge
-from repro.dataflow import GraphBuilder, Pinning, run_graph
+from repro.dataflow import ExecutionPlan, GraphBuilder, Pinning, run_graph
 from repro.solver import LinearProgram, SolveStatus, solve_lp
 
 
@@ -35,7 +35,7 @@ def test_run_graph_sequential_mode():
     builder.sink("oa", fa)
     builder.sink("ob", fb)
     graph = builder.build()
-    run_graph(graph, {"a": [1, 2], "b": [3, 4]}, round_robin=False)
+    run_graph(graph, {"a": [1, 2], "b": [3, 4]}, ExecutionPlan(interleave=False))
     assert order == ["a", "a", "b", "b"]
 
 

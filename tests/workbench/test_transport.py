@@ -226,3 +226,61 @@ def test_backoff_does_not_touch_global_random():
     for attempt in range(8):
         backoff.delay(attempt)
     assert [random.random() for _ in range(4)] == expected
+
+
+# ---------------------------------------------------------------------------
+# split_spec: the one shared "dir1,dir2,...|@manifest.json" parser
+# ---------------------------------------------------------------------------
+
+
+def test_split_spec_comma_list():
+    from repro.workbench.transport import split_spec
+
+    payload, items = split_spec(" a, b ,,c ")
+    assert payload is None
+    assert items == ["a", "b", "c"]
+
+
+def test_split_spec_single_item_and_empty():
+    from repro.workbench.transport import split_spec
+
+    assert split_spec("alpha") == (None, ["alpha"])
+    assert split_spec("") == (None, [])
+    assert split_spec("  ,  ") == (None, [])
+
+
+def test_split_spec_manifest(tmp_path):
+    from repro.workbench.transport import split_spec
+
+    path = tmp_path / "ring.json"
+    path.write_text(json.dumps({"backends": ["x", "y"], "replicas": 2}))
+    payload, items = split_spec(f"@{path}")
+    assert payload == {"backends": ["x", "y"], "replicas": 2}
+    assert items == []
+
+
+def test_split_spec_manifest_errors(tmp_path):
+    from repro.workbench.transport import split_spec
+
+    with pytest.raises(ServerError, match="cannot read manifest"):
+        split_spec(f"@{tmp_path / 'missing.json'}")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{nope")
+    with pytest.raises(ServerError, match="is not JSON"):
+        split_spec(f"@{bad}")
+
+
+def test_as_layout_routes_through_split_spec(tmp_path):
+    from repro.workbench.replication import (
+        ReplicatedStore,
+        SingleLayout,
+        as_layout,
+    )
+
+    single = as_layout(str(tmp_path / "solo"))
+    assert isinstance(single, SingleLayout)
+    # A trailing comma is still a single directory, not a ring.
+    also_single = as_layout(str(tmp_path / "solo") + ",")
+    assert isinstance(also_single, SingleLayout)
+    ring = as_layout(f"{tmp_path / 'a'},{tmp_path / 'b'}")
+    assert isinstance(ring, ReplicatedStore)
